@@ -1,0 +1,52 @@
+// Command blktrace records and renders a block trace of a TPC-C run on a
+// simulated SSD RAID, in the spirit of blktrace/blkparse as used for the
+// paper's Figures 3 and 4.
+//
+// Usage:
+//
+//	blktrace -engine sias|si [-wh N] [-dur SECONDS] [-width N] [-height N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sias/internal/engine"
+	"sias/internal/exp"
+	"sias/internal/simclock"
+)
+
+func main() {
+	eng := flag.String("engine", "sias", "storage engine: sias or si")
+	wh := flag.Int("wh", 20, "warehouses (scaled population)")
+	dur := flag.Int("dur", 300, "run duration in virtual seconds")
+	width := flag.Int("width", 100, "plot width in characters")
+	height := flag.Int("height", 24, "plot height in lines")
+	flag.Parse()
+
+	kind := engine.KindSIAS
+	if *eng == "si" {
+		kind = engine.KindSI
+	} else if *eng != "sias" {
+		fmt.Fprintf(os.Stderr, "blktrace: unknown engine %q\n", *eng)
+		os.Exit(2)
+	}
+	cfg := exp.BlocktraceConfig{
+		Warehouses: *wh,
+		Duration:   simclock.Duration(*dur) * simclock.Second,
+		Width:      *width,
+		Height:     *height,
+	}
+	res, rendered, err := exp.RunBlocktrace(kind, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blktrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rendered)
+	fmt.Printf("throughput: %.0f NOTPM, avg response %s\n", res.Metrics.NOTPM, res.Metrics.AvgResponse)
+	for i, w := range res.Wear {
+		fmt.Printf("ssd%d wear: %d erases (max/block %d), %d pages relocated by device GC\n",
+			i, w.TotalErases, w.MaxErases, w.Relocated)
+	}
+}

@@ -1,0 +1,63 @@
+// TPC-C mini: run the scaled TPC-C workload against both engines on the same
+// simulated SSD RAID and compare throughput, response time and write volume —
+// a miniature of the paper's headline experiment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sias/internal/engine"
+	"sias/internal/exp"
+	"sias/internal/simclock"
+)
+
+func main() {
+	const warehouses = 10
+	const duration = 90 * simclock.Second // spans multiple checkpoints
+
+	type outcome struct {
+		name    string
+		notpm   float64
+		resp    simclock.Duration
+		writeMB float64
+		readMB  float64
+	}
+	var outs []outcome
+	for _, kind := range []engine.Kind{engine.KindSIAS, engine.KindSI} {
+		pol := engine.PolicyT2
+		if kind == engine.KindSI {
+			pol = engine.PolicyT1
+		}
+		res, err := exp.Run(exp.Config{
+			Engine:     kind,
+			Policy:     pol,
+			Storage:    exp.StorageSSDRAID2,
+			Warehouses: warehouses,
+			Duration:   duration,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outs = append(outs, outcome{
+			name:    kind.String(),
+			notpm:   res.Metrics.NOTPM,
+			resp:    res.Metrics.AvgResponse,
+			writeMB: res.Data.WrittenMB(),
+			readMB:  res.Data.ReadMB(),
+		})
+	}
+
+	fmt.Printf("TPC-C (scaled), %d warehouses, %.0f virtual seconds, 2-SSD RAID-0\n\n", warehouses, duration.Seconds())
+	fmt.Printf("%-6s %12s %14s %12s %12s\n", "engine", "NOTPM", "avg response", "writes (MB)", "reads (MB)")
+	for _, o := range outs {
+		fmt.Printf("%-6s %12.0f %14s %12.1f %12.1f\n", o.name, o.notpm, o.resp, o.writeMB, o.readMB)
+	}
+	if outs[1].notpm > 0 && outs[1].writeMB > 0 {
+		fmt.Printf("\nSIAS/SI throughput ratio: %.2fx\n", outs[0].notpm/outs[1].notpm)
+		perTxSIAS := outs[0].writeMB / (outs[0].notpm / 60 * duration.Seconds())
+		perTxSI := outs[1].writeMB / (outs[1].notpm / 60 * duration.Seconds())
+		fmt.Printf("write volume per NewOrder: SIAS %.1f KB vs SI %.1f KB (%.0f%% reduction)\n",
+			perTxSIAS*1024, perTxSI*1024, 100*(1-perTxSIAS/perTxSI))
+	}
+}

@@ -1,0 +1,3 @@
+module sias
+
+go 1.22

@@ -1,0 +1,316 @@
+// Package buffer implements the buffer manager: a fixed pool of page frames
+// over a block device with clock-sweep replacement, pin counting, dirty
+// tracking, a background writer and checkpointing.
+//
+// The paper's write-reduction experiment (Table 1) hinges on *when* dirty
+// pages reach the device:
+//
+//   - threshold t1 — the PostgreSQL background writer's default pace: the
+//     engine calls SweepDirty on a fixed virtual-time tick, persisting dirty
+//     pages (including sparsely filled SIAS append pages) frequently;
+//   - threshold t2 — checkpoint piggyback: dirty pages are flushed only by
+//     FlushAll at checkpoint intervals, so SIAS append pages are almost
+//     always full when they first reach the device.
+//
+// WAL-before-data is enforced: before a dirty page is written, the pool
+// calls the configured WALFlush up to the page's LSN.
+package buffer
+
+import (
+	"fmt"
+	"sync"
+
+	"sias/internal/device"
+	"sias/internal/page"
+	"sias/internal/simclock"
+)
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Frames is the number of page frames in the pool.
+	Frames int
+	// HitCost is the virtual CPU time charged for a buffer hit.
+	HitCost simclock.Duration
+	// WALFlush, if set, is called before writing a dirty page whose LSN
+	// exceeds the durable WAL horizon.
+	WALFlush func(at simclock.Time, lsn uint64) (simclock.Time, error)
+}
+
+// DefaultConfig returns a 1024-frame pool (8 MB) with a 1µs hit cost.
+func DefaultConfig() Config {
+	return Config{Frames: 1024, HitCost: simclock.Microsecond}
+}
+
+// Frame is one buffered page. Callers access Data only between Get and
+// Release while holding the pin.
+type Frame struct {
+	devPage int64
+	Data    page.Page
+	dirty   bool
+	pin     int
+	ref     bool
+	valid   bool
+}
+
+// DevPage reports the device page currently held.
+func (f *Frame) DevPage() int64 { return f.devPage }
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	DirtyOut  int64 // dirty pages written (evictions + sweeps + checkpoints)
+}
+
+// HitRatio reports hits/(hits+misses), 0 if no traffic.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Pool is the buffer manager. A single mutex guards the frame table; device
+// I/O is performed while holding it, which is correct (and irrelevant for
+// throughput — time is virtual).
+type Pool struct {
+	cfg Config
+	dev device.BlockDevice
+
+	mu     sync.Mutex
+	frames []Frame
+	index  map[int64]int
+	hand   int
+	stats  Stats
+}
+
+// New creates a pool over dev.
+func New(cfg Config, dev device.BlockDevice) *Pool {
+	if cfg.Frames <= 0 {
+		panic("buffer: pool needs at least one frame")
+	}
+	p := &Pool{cfg: cfg, dev: dev, index: make(map[int64]int, cfg.Frames)}
+	p.frames = make([]Frame, cfg.Frames)
+	for i := range p.frames {
+		p.frames[i].Data = make(page.Page, page.Size)
+		p.frames[i].devPage = -1
+	}
+	return p
+}
+
+// Get pins the frame holding devPage, reading it from the device on a miss.
+// If init is true the page is being created: no device read is issued and
+// the frame contents are zeroed for the caller to format.
+func (p *Pool) Get(at simclock.Time, devPage int64, init bool) (*Frame, simclock.Time, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx, ok := p.index[devPage]; ok {
+		f := &p.frames[idx]
+		f.pin++
+		f.ref = true
+		p.stats.Hits++
+		return f, at.Add(p.cfg.HitCost), nil
+	}
+	p.stats.Misses++
+	idx, t, err := p.evictLocked(at)
+	if err != nil {
+		return nil, t, err
+	}
+	f := &p.frames[idx]
+	f.devPage = devPage
+	f.dirty = false
+	f.pin = 1
+	f.ref = true
+	f.valid = true
+	p.index[devPage] = idx
+	if init {
+		for i := range f.Data {
+			f.Data[i] = 0
+		}
+		return f, t.Add(p.cfg.HitCost), nil
+	}
+	t, err = p.dev.ReadPage(t, devPage, f.Data)
+	if err != nil {
+		f.valid = false
+		f.pin = 0
+		f.devPage = -1
+		delete(p.index, devPage)
+		return nil, t, fmt.Errorf("buffer: read page %d: %w", devPage, err)
+	}
+	return f, t, nil
+}
+
+// evictLocked finds a victim frame via clock sweep, flushing it if dirty.
+func (p *Pool) evictLocked(at simclock.Time) (int, simclock.Time, error) {
+	t := at
+	for spin := 0; spin < 2*len(p.frames)+1; spin++ {
+		f := &p.frames[p.hand]
+		idx := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		if f.pin > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if f.valid {
+			if f.dirty {
+				var err error
+				t, err = p.writeFrameLocked(t, f)
+				if err != nil {
+					return 0, t, err
+				}
+				p.stats.DirtyOut++
+			}
+			delete(p.index, f.devPage)
+			p.stats.Evictions++
+		}
+		f.valid = false
+		f.devPage = -1
+		f.dirty = false
+		return idx, t, nil
+	}
+	return 0, t, fmt.Errorf("buffer: all %d frames pinned", len(p.frames))
+}
+
+func (p *Pool) writeFrameLocked(at simclock.Time, f *Frame) (simclock.Time, error) {
+	t := at
+	if p.cfg.WALFlush != nil {
+		if lsn := f.Data.LSN(); lsn > 0 {
+			var err error
+			t, err = p.cfg.WALFlush(t, lsn)
+			if err != nil {
+				return t, err
+			}
+		}
+	}
+	f.Data.UpdateChecksum()
+	t, err := p.dev.WritePage(t, f.devPage, f.Data)
+	if err != nil {
+		return t, fmt.Errorf("buffer: write page %d: %w", f.devPage, err)
+	}
+	f.dirty = false
+	return t, nil
+}
+
+// Release unpins a frame; dirty marks it modified.
+func (p *Pool) Release(f *Frame, dirty bool) {
+	p.mu.Lock()
+	if f.pin <= 0 {
+		p.mu.Unlock()
+		panic("buffer: release of unpinned frame")
+	}
+	f.pin--
+	if dirty {
+		f.dirty = true
+	}
+	p.mu.Unlock()
+}
+
+// FlushPage writes devPage out if buffered and dirty.
+func (p *Pool) FlushPage(at simclock.Time, devPage int64) (simclock.Time, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, ok := p.index[devPage]
+	if !ok {
+		return at, nil
+	}
+	f := &p.frames[idx]
+	if !f.dirty {
+		return at, nil
+	}
+	t, err := p.writeFrameLocked(at, f)
+	if err == nil {
+		p.stats.DirtyOut++
+	}
+	return t, err
+}
+
+// SweepDirty is the background-writer tick (threshold t1): it writes up to
+// max dirty unpinned pages. max <= 0 means all. Returns pages written.
+func (p *Pool) SweepDirty(at simclock.Time, max int) (int, simclock.Time, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	written := 0
+	t := at
+	for i := range p.frames {
+		if max > 0 && written >= max {
+			break
+		}
+		f := &p.frames[i]
+		if !f.valid || !f.dirty || f.pin > 0 {
+			continue
+		}
+		var err error
+		t, err = p.writeFrameLocked(t, f)
+		if err != nil {
+			return written, t, err
+		}
+		p.stats.DirtyOut++
+		written++
+	}
+	return written, t, nil
+}
+
+// FlushAll writes every dirty page (the checkpoint, threshold t2).
+func (p *Pool) FlushAll(at simclock.Time) (simclock.Time, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := at
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.valid || !f.dirty {
+			continue
+		}
+		if f.pin > 0 {
+			// A pinned page may be mid-modification; checkpoint skips it,
+			// the next checkpoint or eviction will pick it up.
+			continue
+		}
+		var err error
+		t, err = p.writeFrameLocked(t, f)
+		if err != nil {
+			return t, err
+		}
+		p.stats.DirtyOut++
+	}
+	return t, nil
+}
+
+// DirtyCount reports the number of dirty frames (pinned or not).
+func (p *Pool) DirtyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidateAll drops every frame without writing (crash simulation).
+func (p *Pool) InvalidateAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		p.frames[i].valid = false
+		p.frames[i].dirty = false
+		p.frames[i].pin = 0
+		p.frames[i].devPage = -1
+	}
+	p.index = make(map[int64]int, len(p.frames))
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Frames reports the pool size.
+func (p *Pool) Frames() int { return len(p.frames) }

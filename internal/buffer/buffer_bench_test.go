@@ -1,0 +1,66 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+
+	"sias/internal/device"
+	"sias/internal/page"
+	"sias/internal/simclock"
+)
+
+func BenchmarkGetHit(b *testing.B) {
+	p, _ := newBenchPool(1024)
+	f, at, _ := p.Get(0, 1, true)
+	p.Release(f, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, at2, err := p.Get(at, 1, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = at2
+		p.Release(f, false)
+	}
+}
+
+func BenchmarkGetMissEvict(b *testing.B) {
+	p, _ := newBenchPool(64)
+	rng := rand.New(rand.NewSource(1))
+	at := simclock.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, at2, err := p.Get(at, rng.Int63n(4096), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = at2
+		p.Release(f, i%4 == 0)
+	}
+}
+
+func BenchmarkFlushAll(b *testing.B) {
+	p, _ := newBenchPool(1024)
+	at := simclock.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := int64(0); j < 256; j++ {
+			f, at2, _ := p.Get(at, j, true)
+			f.Data.Init(1, 0)
+			at = at2
+			p.Release(f, true)
+		}
+		b.StartTimer()
+		var err error
+		at, err = p.FlushAll(at)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newBenchPool(frames int) (*Pool, *device.Mem) {
+	dev := device.NewMem(page.Size, 1<<16)
+	return New(Config{Frames: frames, HitCost: 0}, dev), dev
+}

@@ -1,0 +1,758 @@
+// Package core implements the paper's contribution: the SIAS-Chains storage
+// engine (Snapshot Isolation Append Storage with singly-linked version
+// chains).
+//
+// Data items are addressed as a whole through a virtual ID (VID). Each tuple
+// version stores its creation timestamp, its VID and a physical back
+// pointer (*ptr) to its predecessor; there is no invalidation timestamp —
+// creating a successor implicitly invalidates the predecessor (Figure 1).
+// The per-relation VIDmap points at the newest version, the *entrypoint*.
+//
+// All modifications are appends into the relation's current append page;
+// the page reaches the device only when it fills up or the configured
+// threshold (background-writer tick for t1, checkpoint for t2) seals it.
+// Once sealed, a page is immutable until garbage collection reclaims it by
+// re-inserting its live entrypoints and discarding dead versions.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sias/internal/buffer"
+	"sias/internal/index"
+	"sias/internal/page"
+	"sias/internal/simclock"
+	"sias/internal/space"
+	"sias/internal/tuple"
+	"sias/internal/txn"
+	"sias/internal/vidmap"
+	"sias/internal/wal"
+)
+
+// Errors returned by the SIAS engine.
+var (
+	// ErrNotFound is returned when no visible version exists.
+	ErrNotFound = errors.New("sias: no visible tuple version")
+)
+
+// SecondaryKey derives a secondary index key from a payload; ok=false means
+// "do not index this row".
+type SecondaryKey func(payload []byte) (int64, bool)
+
+// Stats counts engine-level events, exposing the behaviours the paper
+// argues about.
+type Stats struct {
+	Appends       int64 // tuple versions appended (every modification)
+	PagesSealed   int64 // append pages sealed (full or threshold)
+	SealedTuples  int64 // tuples on sealed pages (fill-degree numerator)
+	Tombstones    int64
+	ChainWalks    int64 // visibility chain traversals started
+	ChainHops     int64 // predecessor fetches during walks
+	IndexInserts  int64
+	GCPages       int64 // append pages reclaimed
+	GCRelocations int64 // live entrypoints re-appended by GC
+	GCDiscarded   int64 // dead versions discarded by GC
+	VMapMisses    int64 // VIDmap bucket residency misses
+	Erases        int64 // DBMS-issued erases (NoFTL mode)
+}
+
+// AvgFill reports the mean fill degree of sealed pages in tuples/page.
+func (s Stats) AvgFill() float64 {
+	if s.PagesSealed == 0 {
+		return 0
+	}
+	return float64(s.SealedTuples) / float64(s.PagesSealed)
+}
+
+// Config wires a Relation to its substrates.
+type Config struct {
+	ID    uint32
+	Name  string
+	Pool  *buffer.Pool
+	Alloc *space.Allocator
+	WAL   *wal.Writer
+	Txns  *txn.Manager
+	// PKRelID is the relation id for the primary index's pages.
+	PKRelID uint32
+	// VMapResidentBuckets bounds the in-memory VIDmap bucket set;
+	// 0 keeps the whole map resident.
+	VMapResidentBuckets int
+	// VMapMissPenalty is the virtual time charged for swapping in a
+	// non-resident VIDmap bucket (one device page read).
+	VMapMissPenalty simclock.Duration
+	// GCDeadFraction is the minimum dead fraction for a victim page
+	// (default 0.5).
+	GCDeadFraction float64
+	// Eraser, when set, puts the relation in NoFTL mode (Section 6 /
+	// Hardock et al. [22]): GC-freed blocks are grouped into erase units
+	// and the engine erases them explicitly before reuse, taking full
+	// control of the flash geometry away from a device-side FTL.
+	Eraser Eraser
+	// IndexPool/IndexAlloc optionally place index pages on different
+	// storage than the heap (required in NoFTL mode: B+ tree pages are
+	// rewritten in place, which raw flash forbids; the paper's NoFTL
+	// design likewise confines in-place structures to conventional
+	// regions). Defaults: Pool/Alloc.
+	IndexPool  *buffer.Pool
+	IndexAlloc *space.Allocator
+}
+
+// Eraser is the direct-flash capability used in NoFTL mode; the flash
+// package's NoFTL device implements it.
+type Eraser interface {
+	Erase(at simclock.Time, block int64) (simclock.Time, error)
+	PagesPerBlock() int
+	BlockOf(pageNo int64) int64
+}
+
+// Relation is one SIAS-managed table.
+type Relation struct {
+	id    uint32
+	name  string
+	pool  *buffer.Pool
+	alloc *space.Allocator
+	walw  *wal.Writer
+	txm   *txn.Manager
+
+	vmap *vidmap.Map
+	resi *vidmap.Residency
+
+	pk       *index.Tree
+	secs     []*index.Tree
+	secFns   []SecondaryKey
+	idxPool  *buffer.Pool
+	idxAlloc *space.Allocator
+
+	mu          sync.Mutex
+	appendBlock uint32
+	appendOpen  bool
+	nextBlock   uint32
+	freeBlocks  []uint32
+	tupleCount  map[uint32]int // per block: versions appended
+	// deadByBlock maps block -> set of dead slots on it; per-block layout
+	// keeps GC victim processing O(page) instead of O(all garbage).
+	deadByBlock map[uint32]map[uint16]struct{}
+	pendingDead []pendingDead
+	gcFraction  float64
+	missPenalty simclock.Duration
+
+	// NoFTL mode: freed blocks wait per erase unit until the whole unit is
+	// reclaimable, then get erased and returned for reuse.
+	eraser     Eraser
+	freeByUnit map[uint32][]uint32
+
+	stats Stats
+}
+
+// pendingDead records a predecessor superseded by a committed transaction;
+// it becomes collectible once that transaction passes the horizon.
+type pendingDead struct {
+	pred page.TID
+	by   txn.ID
+}
+
+// New creates an empty SIAS relation with its VIDmap and primary index.
+func New(at simclock.Time, cfg Config) (*Relation, simclock.Time, error) {
+	if cfg.IndexPool == nil {
+		cfg.IndexPool = cfg.Pool
+	}
+	if cfg.IndexAlloc == nil {
+		cfg.IndexAlloc = cfg.Alloc
+	}
+	pk, t, err := index.New(at, cfg.PKRelID, cfg.IndexPool, cfg.IndexAlloc)
+	if err != nil {
+		return nil, t, err
+	}
+	frac := cfg.GCDeadFraction
+	if frac <= 0 {
+		frac = 0.35
+	}
+	return &Relation{
+		id:          cfg.ID,
+		name:        cfg.Name,
+		pool:        cfg.Pool,
+		alloc:       cfg.Alloc,
+		walw:        cfg.WAL,
+		txm:         cfg.Txns,
+		vmap:        vidmap.New(),
+		resi:        vidmap.NewResidency(cfg.VMapResidentBuckets),
+		pk:          pk,
+		idxPool:     cfg.IndexPool,
+		idxAlloc:    cfg.IndexAlloc,
+		tupleCount:  map[uint32]int{},
+		deadByBlock: map[uint32]map[uint16]struct{}{},
+		gcFraction:  frac,
+		missPenalty: cfg.VMapMissPenalty,
+		eraser:      cfg.Eraser,
+		freeByUnit:  map[uint32][]uint32{},
+	}, t, nil
+}
+
+// AddSecondary attaches a secondary <key, VID> index.
+func (r *Relation) AddSecondary(at simclock.Time, relID uint32, fn SecondaryKey) (simclock.Time, error) {
+	t, tm, err := index.New(at, relID, r.idxPool, r.idxAlloc)
+	if err != nil {
+		return tm, err
+	}
+	r.mu.Lock()
+	r.secs = append(r.secs, t)
+	r.secFns = append(r.secFns, fn)
+	r.mu.Unlock()
+	return tm, nil
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// ID returns the heap relation id.
+func (r *Relation) ID() uint32 { return r.id }
+
+// VIDMap exposes the relation's VIDmap (read-mostly diagnostics and tests).
+func (r *Relation) VIDMap() *vidmap.Map { return r.vmap }
+
+// Stats returns a snapshot of counters.
+func (r *Relation) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Blocks reports the number of heap blocks ever allocated (the append
+// high-water mark).
+func (r *Relation) Blocks() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextBlock
+}
+
+// LiveBlocks reports allocated blocks minus GC-reclaimed free blocks: the
+// relation's occupied space in pages.
+func (r *Relation) LiveBlocks() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int(r.nextBlock) - len(r.freeBlocks)
+}
+
+// vmapTouch charges the residency cost of accessing vid's bucket.
+func (r *Relation) vmapTouch(at simclock.Time, vid uint64) simclock.Time {
+	if !r.resi.Touch(vidmap.BucketOf(vid)) {
+		r.mu.Lock()
+		r.stats.VMapMisses++
+		r.mu.Unlock()
+		return at.Add(r.missPenalty)
+	}
+	return at
+}
+
+func (r *Relation) getPage(at simclock.Time, block uint32, initNew bool) (*buffer.Frame, simclock.Time, error) {
+	dev, err := r.alloc.DevicePage(r.id, block)
+	if err != nil {
+		return nil, at, err
+	}
+	f, t, err := r.pool.Get(at, dev, initNew)
+	if err != nil {
+		return nil, t, err
+	}
+	if initNew || !f.Data.Initialized() {
+		f.Data.Init(r.id, page.FlagAppend)
+	}
+	return f, t, nil
+}
+
+// append places one encoded tuple version onto the current append page,
+// opening a new page when full. Caller holds r.mu.
+func (r *Relation) append(tx txn.ID, at simclock.Time, tupBytes []byte) (page.TID, simclock.Time, error) {
+	t := at
+	for attempt := 0; attempt < 2; attempt++ {
+		if !r.appendOpen {
+			r.openAppendBlockLocked()
+		}
+		isFresh := r.tupleCount[r.appendBlock] == 0
+		f, t2, err := r.getPage(t, r.appendBlock, isFresh)
+		t = t2
+		if err != nil {
+			return page.InvalidTID, t, err
+		}
+		slot, ierr := f.Data.Insert(tupBytes)
+		if ierr != nil {
+			// Page full: seal it and retry on a fresh one.
+			r.pool.Release(f, false)
+			r.sealLocked(false)
+			continue
+		}
+		tid := page.TID{Block: r.appendBlock, Slot: uint16(slot)}
+		lsn := r.walw.Append(&wal.Record{Type: wal.RecHeapInsert, Tx: tx, Rel: r.id, TID: tid, Data: tupBytes})
+		f.Data.SetLSN(uint64(lsn))
+		r.pool.Release(f, true)
+		r.tupleCount[r.appendBlock]++
+		r.stats.Appends++
+		return tid, t, nil
+	}
+	return page.InvalidTID, t, fmt.Errorf("sias: tuple of %d bytes does not fit an empty page", len(tupBytes))
+}
+
+// openAppendBlockLocked starts a new append page, preferring GC-reclaimed
+// blocks (space reuse) and extending the high-water mark otherwise.
+func (r *Relation) openAppendBlockLocked() {
+	if n := len(r.freeBlocks); n > 0 {
+		r.appendBlock = r.freeBlocks[n-1]
+		r.freeBlocks = r.freeBlocks[:n-1]
+	} else {
+		r.appendBlock = r.nextBlock
+		r.nextBlock++
+	}
+	r.appendOpen = true
+	r.tupleCount[r.appendBlock] = 0
+}
+
+// sealLocked closes the current append page. Sealed pages are immutable:
+// the next append opens a fresh page. Counted toward fill-degree stats.
+func (r *Relation) sealLocked(threshold bool) {
+	if !r.appendOpen {
+		return
+	}
+	n := r.tupleCount[r.appendBlock]
+	if n == 0 {
+		return // nothing on it; keep it open
+	}
+	r.stats.PagesSealed++
+	r.stats.SealedTuples += int64(n)
+	r.appendOpen = false
+	_ = threshold
+}
+
+// SealAppend applies the flush threshold (Section 5.2): it seals the open
+// append page if it holds any tuples and flushes it to the device. Under
+// threshold t1 the engine calls this on every background-writer tick; under
+// t2 only at checkpoints (and the checkpoint's FlushAll performs the write).
+func (r *Relation) SealAppend(at simclock.Time, flush bool) (simclock.Time, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.appendOpen || r.tupleCount[r.appendBlock] == 0 {
+		return at, nil
+	}
+	block := r.appendBlock
+	r.sealLocked(true)
+	if !flush {
+		return at, nil
+	}
+	dev, err := r.alloc.DevicePage(r.id, block)
+	if err != nil {
+		return at, err
+	}
+	return r.pool.FlushPage(at, dev)
+}
+
+// fetch reads the version at tid, returning header and payload copy. The
+// page bytes are read under r.mu: the tid may live on the open append page,
+// which concurrent writers mutate while holding the same mutex.
+func (r *Relation) fetch(at simclock.Time, tid page.TID) (tuple.SIASHeader, []byte, simclock.Time, error) {
+	f, t, err := r.getPage(at, tid.Block, false)
+	if err != nil {
+		return tuple.SIASHeader{}, nil, t, err
+	}
+	r.mu.Lock()
+	raw, terr := f.Data.Tuple(int(tid.Slot))
+	if terr != nil {
+		r.mu.Unlock()
+		r.pool.Release(f, false)
+		return tuple.SIASHeader{}, nil, t, fmt.Errorf("sias: fetch %v: %w", tid, terr)
+	}
+	hdr, payload, derr := tuple.DecodeSIAS(raw)
+	if derr != nil {
+		r.mu.Unlock()
+		r.pool.Release(f, false)
+		return tuple.SIASHeader{}, nil, t, derr
+	}
+	out := append([]byte(nil), payload...)
+	r.mu.Unlock()
+	r.pool.Release(f, false)
+	return hdr, out, t, nil
+}
+
+// chainLookup walks vid's chain from the entrypoint and returns the first
+// version visible to tx (Algorithm 1, lines 3-14). found=false when the
+// chain has no visible version or the item does not exist.
+func (r *Relation) chainLookup(tx *txn.Tx, at simclock.Time, vid uint64) (tuple.SIASHeader, []byte, simclock.Time, bool, error) {
+	t := r.vmapTouch(at, vid)
+	tid, ok := r.vmap.Get(vid)
+	if !ok {
+		return tuple.SIASHeader{}, nil, t, false, nil
+	}
+	r.mu.Lock()
+	r.stats.ChainWalks++
+	r.mu.Unlock()
+	for tid.Valid() {
+		hdr, payload, t2, err := r.fetch(t, tid)
+		t = t2
+		if err != nil {
+			return tuple.SIASHeader{}, nil, t, false, err
+		}
+		if tx.Visible(hdr.Create) {
+			return hdr, payload, t, true, nil
+		}
+		tid = hdr.Pred
+		r.mu.Lock()
+		r.stats.ChainHops++
+		r.mu.Unlock()
+	}
+	return tuple.SIASHeader{}, nil, t, false, nil
+}
+
+// Insert creates a new data item (Algorithm 2) and returns its VID.
+func (r *Relation) Insert(tx *txn.Tx, at simclock.Time, key int64, payload []byte) (uint64, simclock.Time, error) {
+	vid := r.vmap.AllocVID()
+	if err := r.txm.Locks().Acquire(tx, txn.LockKey{Rel: r.id, Item: vid}); err != nil {
+		return 0, at, err
+	}
+	tup := tuple.EncodeSIAS(tuple.SIASHeader{Create: tx.ID, VID: vid, Pred: page.InvalidTID}, payload)
+
+	r.mu.Lock()
+	tid, t, err := r.append(tx.ID, at, tup)
+	r.mu.Unlock()
+	if err != nil {
+		return 0, t, err
+	}
+	t = r.vmapTouch(t, vid)
+	r.vmap.Set(vid, tid)
+	tx.OnFinish(func(committed bool) {
+		if !committed {
+			r.vmap.Clear(vid, tid)
+			r.noteDead(tid) // aborted version is immediate garbage
+		}
+	})
+
+	t, err = r.pk.Insert(t, key, vid)
+	if err != nil {
+		return 0, t, err
+	}
+	r.mu.Lock()
+	r.stats.IndexInserts++
+	r.mu.Unlock()
+	for i, sec := range r.secs {
+		if k, ok := r.secFns[i](payload); ok {
+			t, err = sec.Insert(t, k, vid)
+			if err != nil {
+				return 0, t, err
+			}
+			r.mu.Lock()
+			r.stats.IndexInserts++
+			r.mu.Unlock()
+		}
+	}
+	return vid, t, nil
+}
+
+// markDeadLocked adds tid to the per-block dead set. Caller holds r.mu.
+func (r *Relation) markDeadLocked(tid page.TID) {
+	set := r.deadByBlock[tid.Block]
+	if set == nil {
+		set = map[uint16]struct{}{}
+		r.deadByBlock[tid.Block] = set
+	}
+	set[tid.Slot] = struct{}{}
+}
+
+// isDeadLocked reports whether tid is known garbage. Caller holds r.mu.
+func (r *Relation) isDeadLocked(tid page.TID) bool {
+	_, ok := r.deadByBlock[tid.Block][tid.Slot]
+	return ok
+}
+
+// noteDead records a version as immediate garbage (aborted writes).
+func (r *Relation) noteDead(tid page.TID) {
+	r.mu.Lock()
+	r.markDeadLocked(tid)
+	r.mu.Unlock()
+}
+
+// UpdateByVID applies mutate to the item's current version, appending the
+// successor (Algorithm 3). mutate receives the visible payload and returns
+// the new payload plus the new primary-index key (used only when the key
+// changes — non-key updates leave the index untouched, Section 4.3).
+func (r *Relation) UpdateByVID(tx *txn.Tx, at simclock.Time, vid uint64, oldKey int64, mutate func(old []byte) ([]byte, int64, error)) (simclock.Time, error) {
+	// Algorithm 3, line 7: REQUESTXLOCK — blocks behind a concurrent
+	// updater; on wakeup the entrypoint is re-validated below.
+	if err := r.txm.Locks().Acquire(tx, txn.LockKey{Rel: r.id, Item: vid}); err != nil {
+		return at, err
+	}
+	t := r.vmapTouch(at, vid)
+	entryTID, ok := r.vmap.Get(vid)
+	if !ok {
+		return t, ErrNotFound
+	}
+	hdr, payload, t, err := r.fetch(t, entryTID)
+	if err != nil {
+		return t, err
+	}
+	// Algorithm 3, line 4: the entrypoint must be visible to us, otherwise
+	// a concurrent transaction won the update race (first-updater-wins).
+	if !tx.Visible(hdr.Create) {
+		return t, txn.ErrSerialization
+	}
+	if hdr.Tombstone() {
+		return t, ErrNotFound
+	}
+	newPayload, newKey, err := mutate(payload)
+	if err != nil {
+		return t, err
+	}
+
+	newTup := tuple.EncodeSIAS(tuple.SIASHeader{Create: tx.ID, VID: vid, Pred: entryTID}, newPayload)
+	r.mu.Lock()
+	newTID, t, err := r.append(tx.ID, t, newTup)
+	r.mu.Unlock()
+	if err != nil {
+		return t, err
+	}
+	// The VIDmap immediately points at the new (still uncommitted) version:
+	// it is invisible to everyone else, which "locks" the item (Section
+	// 4.2.2). Rollback restores the old entrypoint.
+	t = r.vmapTouch(t, vid)
+	r.vmap.Set(vid, newTID)
+	pred := entryTID
+	tx.OnFinish(func(committed bool) {
+		if committed {
+			r.mu.Lock()
+			r.pendingDead = append(r.pendingDead, pendingDead{pred: pred, by: tx.ID})
+			r.mu.Unlock()
+		} else {
+			r.vmap.CompareAndSwap(vid, newTID, pred)
+			r.noteDead(newTID)
+		}
+	})
+
+	if newKey != oldKey {
+		// Key change: add the new <key, VID> entry; the old entry remains
+		// valid for transactions that still see old versions (Figure 2).
+		t, err = r.pk.Insert(t, newKey, vid)
+		if err != nil {
+			return t, err
+		}
+		r.mu.Lock()
+		r.stats.IndexInserts++
+		r.mu.Unlock()
+	}
+	for i, sec := range r.secs {
+		oldK, oldOk := r.secFns[i](payload)
+		newK, newOk := r.secFns[i](newPayload)
+		if newOk && (!oldOk || newK != oldK) {
+			t, err = sec.Insert(t, newK, vid)
+			if err != nil {
+				return t, err
+			}
+			r.mu.Lock()
+			r.stats.IndexInserts++
+			r.mu.Unlock()
+		}
+	}
+	return t, nil
+}
+
+// DeleteByVID appends a tombstone version (Section 4.2.2): transactions that
+// started before the deleting transaction commits still reach the last
+// committed state through the chain.
+func (r *Relation) DeleteByVID(tx *txn.Tx, at simclock.Time, vid uint64) (simclock.Time, error) {
+	if err := r.txm.Locks().Acquire(tx, txn.LockKey{Rel: r.id, Item: vid}); err != nil {
+		return at, err
+	}
+	t := r.vmapTouch(at, vid)
+	entryTID, ok := r.vmap.Get(vid)
+	if !ok {
+		return t, ErrNotFound
+	}
+	hdr, _, t, err := r.fetch(t, entryTID)
+	if err != nil {
+		return t, err
+	}
+	if !tx.Visible(hdr.Create) {
+		return t, txn.ErrSerialization
+	}
+	if hdr.Tombstone() {
+		return t, ErrNotFound
+	}
+	tomb := tuple.EncodeSIAS(tuple.SIASHeader{Create: tx.ID, VID: vid, Pred: entryTID, Flags: tuple.FlagTombstone}, nil)
+	r.mu.Lock()
+	newTID, t, err := r.append(tx.ID, t, tomb)
+	r.stats.Tombstones++
+	r.mu.Unlock()
+	if err != nil {
+		return t, err
+	}
+	t = r.vmapTouch(t, vid)
+	r.vmap.Set(vid, newTID)
+	pred := entryTID
+	tx.OnFinish(func(committed bool) {
+		if committed {
+			r.mu.Lock()
+			r.pendingDead = append(r.pendingDead, pendingDead{pred: pred, by: tx.ID})
+			r.mu.Unlock()
+		} else {
+			r.vmap.CompareAndSwap(vid, newTID, pred)
+			r.noteDead(newTID)
+		}
+	})
+	return t, nil
+}
+
+// GetByVID returns the payload of vid's version visible to tx.
+func (r *Relation) GetByVID(tx *txn.Tx, at simclock.Time, vid uint64) ([]byte, simclock.Time, error) {
+	hdr, payload, t, found, err := r.chainLookup(tx, at, vid)
+	if err != nil {
+		return nil, t, err
+	}
+	if !found || hdr.Tombstone() {
+		return nil, t, ErrNotFound
+	}
+	return payload, t, nil
+}
+
+// Get resolves key through the primary <key, VID> index, then the VIDmap.
+func (r *Relation) Get(tx *txn.Tx, at simclock.Time, key int64) ([]byte, simclock.Time, error) {
+	vids, t, err := r.pk.Search(at, key)
+	if err != nil {
+		return nil, t, err
+	}
+	for _, vid := range vids {
+		payload, t2, err := r.GetByVID(tx, t, vid)
+		t = t2
+		if err == nil {
+			return payload, t, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return nil, t, err
+		}
+	}
+	return nil, t, ErrNotFound
+}
+
+// VIDsForKey returns every VID the primary index maps key to. Multiple VIDs
+// (or stale key epochs) can match; callers re-check the predicate against
+// the returned versions, as in any index whose entries outlive key changes.
+func (r *Relation) VIDsForKey(at simclock.Time, key int64) ([]uint64, simclock.Time, error) {
+	return r.pk.Search(at, key)
+}
+
+// VIDForKey returns the VID the primary index maps key to (the first entry).
+func (r *Relation) VIDForKey(at simclock.Time, key int64) (uint64, simclock.Time, error) {
+	vids, t, err := r.pk.Search(at, key)
+	if err != nil {
+		return 0, t, err
+	}
+	if len(vids) == 0 {
+		return 0, t, ErrNotFound
+	}
+	return vids[0], t, nil
+}
+
+// Update is the key-based convenience over UpdateByVID.
+func (r *Relation) Update(tx *txn.Tx, at simclock.Time, key int64, mutate func(old []byte) ([]byte, int64, error)) (simclock.Time, error) {
+	vids, t, err := r.pk.Search(at, key)
+	if err != nil {
+		return t, err
+	}
+	for _, vid := range vids {
+		t2, err := r.UpdateByVID(tx, t, vid, key, mutate)
+		t = t2
+		if errors.Is(err, ErrNotFound) {
+			continue // stale index entry for a different key epoch
+		}
+		return t, err
+	}
+	return t, ErrNotFound
+}
+
+// Delete is the key-based convenience over DeleteByVID.
+func (r *Relation) Delete(tx *txn.Tx, at simclock.Time, key int64) (simclock.Time, error) {
+	vids, t, err := r.pk.Search(at, key)
+	if err != nil {
+		return t, err
+	}
+	for _, vid := range vids {
+		t2, err := r.DeleteByVID(tx, t, vid)
+		t = t2
+		if errors.Is(err, ErrNotFound) {
+			continue
+		}
+		return t, err
+	}
+	return t, ErrNotFound
+}
+
+// Scan is Algorithm 1: iterate the VIDmap and resolve each data item to its
+// visible version, rather than reading the whole relation. fn returning
+// false stops the scan.
+func (r *Relation) Scan(tx *txn.Tx, at simclock.Time, fn func(vid uint64, payload []byte) bool) (simclock.Time, error) {
+	t := at
+	var outerErr error
+	r.vmap.Range(func(vid uint64, _ page.TID) bool {
+		hdr, payload, t2, found, err := r.chainLookup(tx, t, vid)
+		t = t2
+		if err != nil {
+			outerErr = err
+			return false
+		}
+		if !found || hdr.Tombstone() {
+			return true
+		}
+		return fn(vid, payload)
+	})
+	return t, outerErr
+}
+
+// RangeByKey resolves the primary-index key range [lo, hi] to visible
+// versions in key order. Because <key,VID> entries survive key changes, fn
+// receives the index key alongside the payload and callers re-check the
+// predicate against the decoded row.
+func (r *Relation) RangeByKey(tx *txn.Tx, at simclock.Time, lo, hi int64, fn func(indexKey int64, vid uint64, payload []byte) bool) (simclock.Time, error) {
+	type ent struct {
+		key int64
+		vid uint64
+	}
+	var ents []ent
+	t, err := r.pk.Range(at, lo, hi, func(k int64, vid uint64) bool {
+		ents = append(ents, ent{k, vid})
+		return true
+	})
+	if err != nil {
+		return t, err
+	}
+	for _, e := range ents {
+		hdr, payload, t2, found, err := r.chainLookup(tx, t, e.vid)
+		t = t2
+		if err != nil {
+			return t, err
+		}
+		if !found || hdr.Tombstone() {
+			continue
+		}
+		if !fn(e.key, e.vid, payload) {
+			return t, nil
+		}
+	}
+	return t, nil
+}
+
+// SearchSecondary resolves a secondary-index key to visible payloads.
+func (r *Relation) SearchSecondary(tx *txn.Tx, at simclock.Time, idx int, key int64) ([][]byte, simclock.Time, error) {
+	if idx < 0 || idx >= len(r.secs) {
+		return nil, at, fmt.Errorf("sias: no secondary index %d", idx)
+	}
+	vids, t, err := r.secs[idx].Search(at, key)
+	if err != nil {
+		return nil, t, err
+	}
+	var out [][]byte
+	for _, vid := range vids {
+		payload, t2, err := r.GetByVID(tx, t, vid)
+		t = t2
+		if err == nil {
+			out = append(out, payload)
+		} else if !errors.Is(err, ErrNotFound) {
+			return nil, t, err
+		}
+	}
+	return out, t, nil
+}

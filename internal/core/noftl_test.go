@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sias/internal/buffer"
+	"sias/internal/device"
+	"sias/internal/flash"
+	"sias/internal/page"
+	"sias/internal/simclock"
+	"sias/internal/space"
+	"sias/internal/txn"
+	"sias/internal/wal"
+)
+
+// newNoFTLEnv builds a SIAS relation whose heap lives on raw flash with
+// DBMS-driven erases, and whose indexes live on conventional storage — the
+// Section 6 / NoFTL configuration.
+func newNoFTLEnv(t *testing.T) (*env, *flash.NoFTL) {
+	t.Helper()
+	fc := flash.DefaultConfig()
+	fc.Blocks = 64
+	fc.PagesPerBlock = 8
+	raw := flash.NewNoFTL(fc, nil)
+
+	idxDev := device.NewMem(page.Size, 1<<16)
+	walDev := device.NewMem(page.Size, 1<<14)
+
+	heapPool := buffer.New(buffer.Config{Frames: 256, HitCost: 0}, raw)
+	idxPool := buffer.New(buffer.Config{Frames: 256, HitCost: 0}, idxDev)
+	// Extent size must equal the erase-unit size so whole units free up.
+	heapAlloc := space.NewAllocator(raw.NumPages(), fc.PagesPerBlock)
+	idxAlloc := space.NewAllocator(idxDev.NumPages(), 64)
+	walw := wal.NewWriter(walDev)
+	txm := txn.NewManager()
+	rel, _, err := New(0, Config{
+		ID: 1, Name: "noftl", Pool: heapPool, Alloc: heapAlloc,
+		WAL: walw, Txns: txm, PKRelID: 2,
+		IndexPool: idxPool, IndexAlloc: idxAlloc,
+		Eraser: raw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{nil, heapPool, heapAlloc, walw, txm, rel}, raw
+}
+
+func TestNoFTLModeUpdatesAndGC(t *testing.T) {
+	e, raw := newNoFTLEnv(t)
+	setup := e.txm.Begin()
+	pl := make([]byte, 1500)
+	vid, at, err := e.rel.Insert(setup, 0, 1, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.txm.Commit(setup)
+
+	// Heavy update churn with periodic seal+flush+GC: must never hit
+	// ErrNotErased — the engine erases freed units before reusing them.
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 20; i++ {
+			tx := e.txm.Begin()
+			at, err = e.rel.UpdateByVID(tx, at, vid, 1, func([]byte) ([]byte, int64, error) {
+				return pl, 1, nil
+			})
+			if err != nil {
+				t.Fatalf("round %d update %d: %v", round, i, err)
+			}
+			e.txm.Commit(tx)
+		}
+		// NoFTL discipline: only sealed (immutable) pages reach the device.
+		// This is exactly the engine's t2 checkpoint order: seal, flush,
+		// then GC — whose relocation appends are sealed at the next round.
+		at, err = e.rel.SealAppend(at, true)
+		if err != nil {
+			t.Fatalf("round %d seal: %v", round, err)
+		}
+		_, at, err = e.rel.GC(at, e.txm.Horizon())
+		if err != nil {
+			t.Fatalf("round %d gc: %v", round, err)
+		}
+		at, err = e.rel.SealAppend(at, true)
+		if err != nil {
+			var ne *flash.ErrNotErased
+			if errors.As(err, &ne) {
+				t.Fatalf("round %d: flushed into non-erased page: %v", round, err)
+			}
+			t.Fatalf("round %d post-gc seal: %v", round, err)
+		}
+	}
+	// Flush everything still dirty (full pages sealed during appends).
+	if _, _, err := e.pool.SweepDirty(at, 0); err != nil {
+		t.Fatalf("final sweep: %v", err)
+	}
+	// DBMS-issued erases must have happened to sustain the churn.
+	st := e.rel.Stats()
+	if st.Erases == 0 {
+		t.Error("no DBMS-issued erases despite churn in NoFTL mode")
+	}
+	if raw.Wear().TotalErases != st.Erases {
+		t.Errorf("device erases %d != engine-issued %d", raw.Wear().TotalErases, st.Erases)
+	}
+	// Data integrity: the current version survived everything.
+	r := e.txm.Begin()
+	got, _, err := e.rel.GetByVID(r, at, vid)
+	if err != nil || len(got) != len(pl) {
+		t.Errorf("entrypoint after churn: len=%d err=%v", len(got), err)
+	}
+	e.txm.Commit(r)
+}
+
+func TestNoFTLNoWriteAmplification(t *testing.T) {
+	e, raw := newNoFTLEnv(t)
+	tx := e.txm.Begin()
+	pl := make([]byte, 1000)
+	at := simclock.Time(0)
+	for i := 0; i < 50; i++ {
+		_, a, err := e.rel.Insert(tx, at, int64(i), pl)
+		at = a
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.txm.Commit(tx)
+	if _, err := e.rel.SealAppend(at, true); err != nil {
+		t.Fatal(err)
+	}
+	st := raw.Stats()
+	if st.PhysWrites != st.Writes {
+		t.Errorf("phys writes %d != host writes %d: NoFTL must not relocate", st.PhysWrites, st.Writes)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sias/internal/page"
+	"sias/internal/simclock"
+	"sias/internal/tuple"
+	"sias/internal/txn"
+)
+
+// RebuildFromHeap reconstructs the relation's volatile state after WAL redo,
+// per Section 6 of the paper: "all information that is required for a
+// reconstruction is stored on each tuple version". It scans every heap block
+// and rebuilds
+//
+//   - the VIDmap: for each VID, the committed version with the greatest
+//     creation timestamp becomes the entrypoint;
+//   - the dead set: committed non-entrypoint versions (superseded) and
+//     versions of losers (uncommitted/aborted transactions) are garbage;
+//   - the primary and secondary indexes, from entrypoint payloads;
+//   - per-block tuple counts and the append high-water mark.
+//
+// blocks is the heap high-water mark observed during redo. keyOf recovers
+// the primary key from a payload.
+func (r *Relation) RebuildFromHeap(at simclock.Time, blocks uint32, keyOf func(payload []byte) int64) (simclock.Time, error) {
+	clog := r.txm.CLOG()
+	type entry struct {
+		tid     page.TID
+		create  txn.ID
+		tomb    bool
+		payload []byte
+	}
+	best := map[uint64]entry{}
+	var committed []struct {
+		tid page.TID
+		vid uint64
+	}
+	var losers []page.TID
+
+	r.mu.Lock()
+	r.nextBlock = blocks
+	r.appendOpen = false
+	r.tupleCount = map[uint32]int{}
+	r.deadByBlock = map[uint32]map[uint16]struct{}{}
+	r.pendingDead = nil
+	r.mu.Unlock()
+
+	t := at
+	var maxVID uint64
+	hasVID := false
+	for b := uint32(0); b < blocks; b++ {
+		f, t2, err := r.getPage(t, b, false)
+		t = t2
+		if err != nil {
+			return t, err
+		}
+		count := 0
+		f.Data.LiveTuples(func(slot int, raw []byte) bool {
+			count++
+			tid := page.TID{Block: b, Slot: uint16(slot)}
+			hdr, payload, derr := tuple.DecodeSIAS(raw)
+			if derr != nil {
+				return true
+			}
+			if hdr.VID > maxVID || !hasVID {
+				if hdr.VID > maxVID {
+					maxVID = hdr.VID
+				}
+				hasVID = true
+			}
+			if clog.Get(hdr.Create) != txn.StatusCommitted {
+				losers = append(losers, tid)
+				return true
+			}
+			committed = append(committed, struct {
+				tid page.TID
+				vid uint64
+			}{tid, hdr.VID})
+			if cur, ok := best[hdr.VID]; !ok || hdr.Create > cur.create ||
+				(hdr.Create == cur.create && !hdr.Pred.Valid()) {
+				best[hdr.VID] = entry{tid, hdr.Create, hdr.Tombstone(), append([]byte(nil), payload...)}
+			}
+			return true
+		})
+		r.mu.Lock()
+		r.tupleCount[b] = count
+		r.mu.Unlock()
+		r.pool.Release(f, false)
+	}
+
+	// Entrypoints into the VIDmap.
+	for vid, e := range best {
+		r.vmap.Set(vid, e.tid)
+	}
+	if hasVID {
+		r.vmap.SetNextVID(maxVID + 1)
+	}
+
+	// Everything committed that is not the entrypoint is superseded (no
+	// active snapshots survive a restart); losers are garbage outright.
+	r.mu.Lock()
+	for _, c := range committed {
+		if best[c.vid].tid != c.tid {
+			r.markDeadLocked(c.tid)
+		}
+	}
+	for _, l := range losers {
+		r.markDeadLocked(l)
+	}
+	r.mu.Unlock()
+
+	// Rebuild indexes from entrypoints (tombstoned items stay unindexed).
+	for vid, e := range best {
+		if e.tomb {
+			continue
+		}
+		var err error
+		t, err = r.pk.Insert(t, keyOf(e.payload), vid)
+		if err != nil {
+			return t, err
+		}
+		for i, sec := range r.secs {
+			if k, ok := r.secFns[i](e.payload); ok {
+				t, err = sec.Insert(t, k, vid)
+				if err != nil {
+					return t, err
+				}
+			}
+		}
+	}
+	return t, nil
+}

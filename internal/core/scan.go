@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sync"
+
+	"sias/internal/page"
+	"sias/internal/simclock"
+	"sias/internal/txn"
+)
+
+// ScanVIDRange resolves the data items with lo <= VID < hi to their visible
+// versions, exploiting the VIDmap's sequential bucket layout (Section 4.1.3:
+// "queries on VID ranges are also facilitated"). fn returning false stops
+// the scan.
+func (r *Relation) ScanVIDRange(tx *txn.Tx, at simclock.Time, lo, hi uint64, fn func(vid uint64, payload []byte) bool) (simclock.Time, error) {
+	if max := r.vmap.MaxVID(); hi > max {
+		hi = max
+	}
+	t := at
+	for vid := lo; vid < hi; vid++ {
+		if _, ok := r.vmap.Get(vid); !ok {
+			continue
+		}
+		hdr, payload, t2, found, err := r.chainLookup(tx, t, vid)
+		t = t2
+		if err != nil {
+			return t, err
+		}
+		if !found || hdr.Tombstone() {
+			continue
+		}
+		if !fn(vid, payload) {
+			return t, nil
+		}
+	}
+	return t, nil
+}
+
+// ParallelScan is the parallel variant of Algorithm 1. The paper notes the
+// VIDmap access path "is parallelizable and therefore complements the
+// parallelism of the Flash storage": the VID space is partitioned across
+// `parallelism` workers that resolve chains concurrently. Results are
+// delivered to fn from multiple goroutines; fn must be safe for concurrent
+// use. The returned virtual time is the max over the workers' partitions —
+// the wall-clock of a parallel scan.
+func (r *Relation) ParallelScan(tx *txn.Tx, at simclock.Time, parallelism int, fn func(vid uint64, payload []byte)) (simclock.Time, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	max := r.vmap.MaxVID()
+	if max == 0 {
+		return at, nil
+	}
+	chunk := (max + uint64(parallelism) - 1) / uint64(parallelism)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		latest   = at
+		firstErr error
+	)
+	for w := 0; w < parallelism; w++ {
+		lo := uint64(w) * chunk
+		hi := lo + chunk
+		if hi > max {
+			hi = max
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			t := at
+			for vid := lo; vid < hi; vid++ {
+				if _, ok := r.vmap.Get(vid); !ok {
+					continue
+				}
+				hdr, payload, t2, found, err := r.chainLookup(tx, t, vid)
+				t = t2
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if !found || hdr.Tombstone() {
+					continue
+				}
+				fn(vid, payload)
+			}
+			mu.Lock()
+			if t > latest {
+				latest = t
+			}
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return latest, firstErr
+}
+
+// ChainLength walks vid's full physical chain and reports its length
+// (diagnostics and the chain-length ablation benchmark).
+func (r *Relation) ChainLength(at simclock.Time, vid uint64) (int, simclock.Time, error) {
+	tid, ok := r.vmap.Get(vid)
+	if !ok {
+		return 0, at, nil
+	}
+	n := 0
+	t := at
+	for tid.Valid() {
+		hdr, _, t2, err := r.fetch(t, tid)
+		t = t2
+		if err != nil {
+			return n, t, err
+		}
+		n++
+		tid = hdr.Pred
+	}
+	return n, t, nil
+}
+
+var _ = page.InvalidTID

@@ -1,0 +1,89 @@
+package device
+
+import "sias/internal/simclock"
+
+// RAID0 stripes pages round-robin over a set of member devices, mirroring the
+// software stripe RAIDs used in the paper's evaluation (two- and six-SSD
+// RAID-0, Figures 5 and 6). Page p lives on member p%n at local page p/n.
+//
+// RAID0 exposes the union capacity and aggregates member statistics. Member
+// devices must share a page size.
+type RAID0 struct {
+	members []BlockDevice
+	pages   int64
+	pageSz  int
+}
+
+// NewRAID0 composes the given members into a stripe set. It panics if the
+// members are empty or disagree on page size, which are configuration errors.
+func NewRAID0(members ...BlockDevice) *RAID0 {
+	if len(members) == 0 {
+		panic("device: RAID0 needs at least one member")
+	}
+	ps := members[0].PageSize()
+	minPages := members[0].NumPages()
+	for _, m := range members[1:] {
+		if m.PageSize() != ps {
+			panic("device: RAID0 members must share a page size")
+		}
+		if m.NumPages() < minPages {
+			minPages = m.NumPages()
+		}
+	}
+	return &RAID0{members: members, pages: minPages * int64(len(members)), pageSz: ps}
+}
+
+func (r *RAID0) locate(pageNo int64) (BlockDevice, int64) {
+	n := int64(len(r.members))
+	return r.members[pageNo%n], pageNo / n
+}
+
+// ReadPage implements BlockDevice.
+func (r *RAID0) ReadPage(at simclock.Time, pageNo int64, p []byte) (simclock.Time, error) {
+	if pageNo < 0 || pageNo >= r.pages {
+		return at, ErrOutOfRange
+	}
+	m, local := r.locate(pageNo)
+	return m.ReadPage(at, local, p)
+}
+
+// WritePage implements BlockDevice.
+func (r *RAID0) WritePage(at simclock.Time, pageNo int64, p []byte) (simclock.Time, error) {
+	if pageNo < 0 || pageNo >= r.pages {
+		return at, ErrOutOfRange
+	}
+	m, local := r.locate(pageNo)
+	return m.WritePage(at, local, p)
+}
+
+// PageSize implements BlockDevice.
+func (r *RAID0) PageSize() int { return r.pageSz }
+
+// NumPages implements BlockDevice.
+func (r *RAID0) NumPages() int64 { return r.pages }
+
+// Stats aggregates the members' statistics.
+func (r *RAID0) Stats() Stats {
+	var total Stats
+	for _, m := range r.members {
+		s := m.Stats()
+		total.Reads += s.Reads
+		total.Writes += s.Writes
+		total.BytesRead += s.BytesRead
+		total.BytesWritten += s.BytesWritten
+		total.ReadTime += s.ReadTime
+		total.WriteTime += s.WriteTime
+		total.PhysWrites += s.PhysWrites
+		total.Erases += s.Erases
+	}
+	return total
+}
+
+// ResetStats resets every member.
+func (r *RAID0) ResetStats() {
+	for _, m := range r.members {
+		m.ResetStats()
+	}
+}
+
+var _ BlockDevice = (*RAID0)(nil)

@@ -1,0 +1,70 @@
+package device
+
+import (
+	"testing"
+
+	"sias/internal/simclock"
+)
+
+func TestSinkDiscardsButAccounts(t *testing.T) {
+	s := NewSink(4096, 0, 10*simclock.Microsecond, 100*simclock.Microsecond, 2)
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	done, err := s.WritePage(0, 12345, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != simclock.Time(100*simclock.Microsecond) {
+		t.Errorf("write done = %v", done)
+	}
+	// Read back: zeros (content discarded), latency charged.
+	got := make([]byte, 4096)
+	done2, err := s.ReadPage(done, 12345, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Error("sink must not retain content")
+	}
+	if done2.Sub(done) != 10*simclock.Microsecond {
+		t.Errorf("read latency = %v", done2.Sub(done))
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Reads != 1 || st.BytesWritten != 4096 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSinkChannelQueueing(t *testing.T) {
+	s := NewSink(4096, 0, 0, 100*simclock.Microsecond, 2)
+	buf := make([]byte, 4096)
+	var last simclock.Time
+	for i := int64(0); i < 4; i++ {
+		last, _ = s.WritePage(0, i, buf)
+	}
+	// 4 writes on 2 channels at t=0: the last completes at 200µs.
+	if last != simclock.Time(200*simclock.Microsecond) {
+		t.Errorf("4th write done = %v, want 200µs", last)
+	}
+}
+
+func TestSinkBounds(t *testing.T) {
+	s := NewSink(4096, 10, 0, 0, 1)
+	buf := make([]byte, 4096)
+	if _, err := s.WritePage(0, 10, buf); err != ErrOutOfRange {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := s.ReadPage(0, -1, buf); err != ErrOutOfRange {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := s.WritePage(0, 0, buf[:10]); err == nil {
+		t.Error("short buffer should fail")
+	}
+	// Unbounded sink accepts huge page numbers.
+	u := NewSink(4096, 0, 0, 0, 1)
+	if _, err := u.WritePage(0, 1<<50, buf); err != nil {
+		t.Errorf("unbounded sink rejected page: %v", err)
+	}
+}

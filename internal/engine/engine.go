@@ -1,0 +1,402 @@
+// Package engine assembles the substrates into a database: transaction
+// manager, WAL, buffer pool, space allocator and per-table storage managers
+// of either kind (SI baseline or SIAS), plus the maintenance machinery that
+// implements the paper's flush thresholds, checkpoints, vacuum and GC.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sias/internal/buffer"
+	"sias/internal/device"
+	"sias/internal/simclock"
+	"sias/internal/space"
+	"sias/internal/txn"
+	"sias/internal/wal"
+)
+
+// Kind selects the storage engine.
+type Kind int
+
+// Engine kinds.
+const (
+	// KindSI is the baseline: classical snapshot isolation with in-place
+	// invalidation.
+	KindSI Kind = iota
+	// KindSIAS is the paper's engine: append storage with version chains.
+	KindSIAS
+)
+
+func (k Kind) String() string {
+	if k == KindSIAS {
+		return "SIAS"
+	}
+	return "SI"
+}
+
+// FlushPolicy selects the paper's append-flush threshold (Section 5.2).
+type FlushPolicy int
+
+// Flush policies.
+const (
+	// PolicyT1 persists dirty pages on every background-writer tick —
+	// the PostgreSQL bgwriter default. Under SIAS this seals sparsely
+	// filled append pages.
+	PolicyT1 FlushPolicy = iota
+	// PolicyT2 piggybacks persistence on checkpoints, so SIAS append pages
+	// are nearly always full when first written.
+	PolicyT2
+)
+
+func (p FlushPolicy) String() string {
+	if p == PolicyT2 {
+		return "t2"
+	}
+	return "t1"
+}
+
+// Options configures Open.
+type Options struct {
+	Kind   Kind
+	Policy FlushPolicy
+
+	// DataDevice stores heap and index pages; WALDevice stores the log.
+	DataDevice device.BlockDevice
+	WALDevice  device.BlockDevice
+
+	// PoolFrames sizes the buffer pool (pages).
+	PoolFrames int
+	// BufferHitCost is the virtual CPU cost of a buffer hit.
+	BufferHitCost simclock.Duration
+
+	// BgWriterInterval paces the background writer (policy t1).
+	BgWriterInterval simclock.Duration
+	// CheckpointInterval paces checkpoints (and policy t2 flushes).
+	CheckpointInterval simclock.Duration
+	// MaintenanceInterval paces GC (SIAS) / vacuum (SI).
+	MaintenanceInterval simclock.Duration
+
+	// VMapResidentBuckets bounds resident VIDmap buckets (0 = unlimited).
+	VMapResidentBuckets int
+
+	// Recover scans the WAL device and replays it; use when reopening
+	// existing devices after a crash.
+	Recover bool
+}
+
+// DefaultOptions returns a SIAS/t2 configuration with a 2048-frame pool and
+// PostgreSQL-like maintenance pacing (200 ms bgwriter, 30 s checkpoints).
+func DefaultOptions(data, walDev device.BlockDevice) Options {
+	return Options{
+		Kind:               KindSIAS,
+		Policy:             PolicyT2,
+		DataDevice:         data,
+		WALDevice:          walDev,
+		PoolFrames:         2048,
+		BufferHitCost:      simclock.Microsecond,
+		BgWriterInterval:   200 * simclock.Millisecond,
+		CheckpointInterval: 30 * simclock.Second,
+	}
+}
+
+// DB is an open database instance.
+type DB struct {
+	opts  Options
+	txm   *txn.Manager
+	walw  *wal.Writer
+	pool  *buffer.Pool
+	alloc *space.Allocator
+
+	mu        sync.Mutex
+	tables    map[string]*Table
+	order     []*Table
+	nextRelID uint32
+
+	lastBg    simclock.Time
+	lastCkpt  simclock.Time
+	lastMaint simclock.Time
+
+	recovered   []recRecord // WAL records pre-scanned for recovery
+	maxBlockRel map[uint32]uint32
+
+	commits int64
+	aborts  int64
+}
+
+type recRecord struct {
+	lsn wal.LSN
+	rec wal.Record
+}
+
+// Open creates a database over the given devices.
+func Open(opts Options) (*DB, error) {
+	if opts.DataDevice == nil || opts.WALDevice == nil {
+		return nil, errors.New("engine: data and WAL devices are required")
+	}
+	if opts.PoolFrames <= 0 {
+		opts.PoolFrames = 2048
+	}
+	if opts.BgWriterInterval <= 0 {
+		opts.BgWriterInterval = 200 * simclock.Millisecond
+	}
+	if opts.CheckpointInterval <= 0 {
+		opts.CheckpointInterval = 30 * simclock.Second
+	}
+	if opts.MaintenanceInterval <= 0 {
+		if opts.Kind == KindSIAS {
+			// The paper integrates GC into the DBMS and runs it eagerly.
+			opts.MaintenanceInterval = 5 * simclock.Second
+		} else {
+			// PostgreSQL autovacuum_naptime default.
+			opts.MaintenanceInterval = 60 * simclock.Second
+		}
+	}
+
+	db := &DB{
+		opts:        opts,
+		txm:         txn.NewManager(),
+		tables:      map[string]*Table{},
+		nextRelID:   1,
+		maxBlockRel: map[uint32]uint32{},
+	}
+
+	startLSN := wal.LSN(0)
+	if opts.Recover {
+		// Pre-scan the existing log before creating the writer, so the new
+		// generation appends after the old records.
+		end, err := wal.Scan(opts.WALDevice, func(lsn wal.LSN, rec wal.Record) error {
+			db.recovered = append(db.recovered, recRecord{lsn, rec})
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: WAL pre-scan: %w", err)
+		}
+		// Start the new generation at the next page boundary past the data.
+		ps := wal.LSN(opts.WALDevice.PageSize())
+		startLSN = (end + ps - 1) / ps * ps
+	}
+	db.walw = wal.NewWriterAt(opts.WALDevice, startLSN)
+
+	db.pool = buffer.New(buffer.Config{
+		Frames:  opts.PoolFrames,
+		HitCost: opts.BufferHitCost,
+		WALFlush: func(at simclock.Time, lsn uint64) (simclock.Time, error) {
+			return db.walw.Flush(at, wal.LSN(lsn))
+		},
+	}, opts.DataDevice)
+
+	db.alloc = space.NewAllocator(opts.DataDevice.NumPages(), space.DefaultExtentSize)
+	db.alloc.OnAlloc = func(rel uint32, ext uint32, base int64) {
+		db.walw.Append(&wal.Record{Type: wal.RecAllocExtent, Rel: rel, Aux: uint64(base)<<32 | uint64(ext)})
+	}
+	return db, nil
+}
+
+// Txns exposes the transaction manager.
+func (db *DB) Txns() *txn.Manager { return db.txm }
+
+// Pool exposes the buffer pool (stats, tests).
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// WAL exposes the log writer (stats, tests).
+func (db *DB) WAL() *wal.Writer { return db.walw }
+
+// Alloc exposes the space allocator (stats, tests).
+func (db *DB) Alloc() *space.Allocator { return db.alloc }
+
+// Kind reports the configured engine kind.
+func (db *DB) Kind() Kind { return db.opts.Kind }
+
+// Policy reports the configured flush policy.
+func (db *DB) Policy() FlushPolicy { return db.opts.Policy }
+
+// Begin starts a transaction.
+func (db *DB) Begin() *txn.Tx { return db.txm.Begin() }
+
+// Commit makes tx durable: the commit record is forced to the log before
+// the CLOG flips (group commit batches whatever else is pending).
+func (db *DB) Commit(tx *txn.Tx, at simclock.Time) (simclock.Time, error) {
+	lsn := db.walw.Append(&wal.Record{Type: wal.RecCommit, Tx: tx.ID})
+	t, err := db.walw.Flush(at, lsn)
+	if err != nil {
+		return t, err
+	}
+	if err := db.txm.Commit(tx); err != nil {
+		return t, err
+	}
+	db.mu.Lock()
+	db.commits++
+	db.mu.Unlock()
+	return t, nil
+}
+
+// Abort rolls tx back. The abort record needs no flush.
+func (db *DB) Abort(tx *txn.Tx, at simclock.Time) (simclock.Time, error) {
+	db.walw.Append(&wal.Record{Type: wal.RecAbort, Tx: tx.ID})
+	if err := db.txm.Abort(tx); err != nil {
+		return at, err
+	}
+	db.mu.Lock()
+	db.aborts++
+	db.mu.Unlock()
+	return at, nil
+}
+
+// Tick drives time-based maintenance; callers invoke it as their virtual
+// clock advances (the TPC-C driver does so between transactions).
+func (db *DB) Tick(at simclock.Time) (simclock.Time, error) {
+	t := at
+	db.mu.Lock()
+	runBg := db.opts.Policy == PolicyT1 && t.Sub(db.lastBg) >= db.opts.BgWriterInterval
+	if runBg {
+		db.lastBg = t
+	}
+	runCkpt := t.Sub(db.lastCkpt) >= db.opts.CheckpointInterval
+	if runCkpt {
+		db.lastCkpt = t
+	}
+	runMaint := t.Sub(db.lastMaint) >= db.opts.MaintenanceInterval
+	if runMaint {
+		db.lastMaint = t
+	}
+	tabs := append([]*Table(nil), db.order...)
+	db.mu.Unlock()
+
+	var err error
+	if runBg {
+		// Background writer (threshold t1): seal + flush append pages,
+		// then sweep other dirty pages.
+		for _, tab := range tabs {
+			if tab.sias != nil {
+				t, err = tab.sias.SealAppend(t, true)
+				if err != nil {
+					return t, err
+				}
+			}
+		}
+		// PostgreSQL's bgwriter_lru_maxpages default caps each round.
+		_, t, err = db.pool.SweepDirty(t, 100)
+		if err != nil {
+			return t, err
+		}
+	}
+	if runCkpt {
+		t, err = db.Checkpoint(t)
+		if err != nil {
+			return t, err
+		}
+	}
+	if runMaint {
+		t, err = db.RunMaintenance(t)
+		if err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// Checkpoint seals append pages (threshold t2) and flushes every dirty page
+// after forcing the WAL.
+func (db *DB) Checkpoint(at simclock.Time) (simclock.Time, error) {
+	db.mu.Lock()
+	tabs := append([]*Table(nil), db.order...)
+	db.mu.Unlock()
+	t := at
+	var err error
+	for _, tab := range tabs {
+		if tab.sias != nil {
+			t, err = tab.sias.SealAppend(t, false)
+			if err != nil {
+				return t, err
+			}
+		}
+	}
+	// Everything logged so far will be on disk once FlushAll returns, so
+	// recovery may start heap redo at this LSN — unless a pinned page
+	// stayed dirty, in which case the checkpoint conservatively keeps the
+	// full-replay redo point.
+	redoLSN := db.walw.NextLSN()
+	t, err = db.walw.Flush(t, redoLSN)
+	if err != nil {
+		return t, err
+	}
+	t, err = db.pool.FlushAll(t)
+	if err != nil {
+		return t, err
+	}
+	if db.pool.DirtyCount() > 0 {
+		redoLSN = 0
+	}
+	db.walw.Append(&wal.Record{Type: wal.RecCheckpoint, Aux: uint64(redoLSN)})
+	return t, nil
+}
+
+// RunMaintenance runs GC (SIAS) or vacuum (SI) on every table.
+func (db *DB) RunMaintenance(at simclock.Time) (simclock.Time, error) {
+	db.mu.Lock()
+	tabs := append([]*Table(nil), db.order...)
+	db.mu.Unlock()
+	horizon := db.txm.Horizon()
+	t := at
+	var err error
+	for _, tab := range tabs {
+		if tab.sias != nil {
+			_, t, err = tab.sias.GC(t, horizon)
+		} else {
+			_, t, err = tab.si.Vacuum(t, horizon, tab.keyOfPayload)
+		}
+		if err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// Stats aggregates engine-wide counters.
+type Stats struct {
+	Commits, Aborts int64
+	Data            device.Stats
+	WALDevice       device.Stats
+	Pool            buffer.Stats
+	WALPageWrites   int64
+	AllocatedPages  int64
+}
+
+// Stats returns a snapshot.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	c, a := db.commits, db.aborts
+	db.mu.Unlock()
+	return Stats{
+		Commits:        c,
+		Aborts:         a,
+		Data:           db.opts.DataDevice.Stats(),
+		WALDevice:      db.opts.WALDevice.Stats(),
+		Pool:           db.pool.Stats(),
+		WALPageWrites:  db.walw.PageWrites(),
+		AllocatedPages: db.alloc.AllocatedPages(),
+	}
+}
+
+// Tables returns the tables in creation order.
+func (db *DB) Tables() []*Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return append([]*Table(nil), db.order...)
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tables[name]
+}
+
+// Close checkpoints the database (Section 6: SIAS structures are persisted
+// at shutdown; here the durable truth is heap + WAL, from which everything
+// is rebuilt, so Close only needs the checkpoint).
+func (db *DB) Close(at simclock.Time) (simclock.Time, error) {
+	return db.Checkpoint(at)
+}

@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sias/internal/device"
+	"sias/internal/page"
+	"sias/internal/simclock"
+	"sias/internal/tuple"
+	"sias/internal/txn"
+)
+
+func testSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "name", Type: tuple.TypeString},
+		tuple.Column{Name: "balance", Type: tuple.TypeInt64},
+	)
+}
+
+func openTestDB(t *testing.T, kind Kind) (*DB, *Table) {
+	t.Helper()
+	data := device.NewMem(page.Size, 1<<16)
+	walDev := device.NewMem(page.Size, 1<<14)
+	opts := DefaultOptions(data, walDev)
+	opts.Kind = kind
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _, err := db.CreateTable(0, "accounts", testSchema(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tab
+}
+
+func kinds() []Kind { return []Kind{KindSI, KindSIAS} }
+
+func TestInsertGetBothEngines(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			db, tab := openTestDB(t, k)
+			tx := db.Begin()
+			at, err := tab.Insert(tx, 0, tuple.Row{int64(1), "alice", int64(100)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Own write visible before commit.
+			row, at, err := tab.Get(tx, at, 1)
+			if err != nil {
+				t.Fatalf("own write not visible: %v", err)
+			}
+			if row[1] != "alice" {
+				t.Errorf("row = %v", row)
+			}
+			db.Commit(tx, at)
+
+			tx2 := db.Begin()
+			row, _, err = tab.Get(tx2, at, 1)
+			if err != nil || row[2] != int64(100) {
+				t.Fatalf("committed row: %v %v", row, err)
+			}
+			if _, _, err := tab.Get(tx2, at, 999); !errors.Is(err, ErrNotFound) {
+				t.Errorf("missing key err = %v", err)
+			}
+			db.Commit(tx2, at)
+		})
+	}
+}
+
+func TestSnapshotIsolationReadersSeeOldVersion(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			db, tab := openTestDB(t, k)
+			setup := db.Begin()
+			at, _ := tab.Insert(setup, 0, tuple.Row{int64(1), "x", int64(10)})
+			at, _ = db.Commit(setup, at)
+
+			reader := db.Begin() // snapshot taken before the update commits
+			writer := db.Begin()
+			at, err := tab.Update(writer, at, 1, func(r tuple.Row) (tuple.Row, error) {
+				r[2] = int64(20)
+				return r, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Writer sees its own new version.
+			row, at, _ := tab.Get(writer, at, 1)
+			if row[2] != int64(20) {
+				t.Errorf("writer sees %v", row[2])
+			}
+			// Reader still sees the old version (uncommitted writer).
+			row, at, err = tab.Get(reader, at, 1)
+			if err != nil || row[2] != int64(10) {
+				t.Errorf("reader sees %v, %v; want 10", row, err)
+			}
+			at, _ = db.Commit(writer, at)
+			// Reader STILL sees the old version: snapshot isolation.
+			row, at, err = tab.Get(reader, at, 1)
+			if err != nil || row[2] != int64(10) {
+				t.Errorf("reader after writer-commit sees %v, %v; want 10", row, err)
+			}
+			db.Commit(reader, at)
+			// A fresh transaction sees the new version.
+			fresh := db.Begin()
+			row, _, err = tab.Get(fresh, at, 1)
+			if err != nil || row[2] != int64(20) {
+				t.Errorf("fresh tx sees %v, %v; want 20", row, err)
+			}
+			db.Commit(fresh, at)
+		})
+	}
+}
+
+func TestFirstUpdaterWins(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			db, tab := openTestDB(t, k)
+			setup := db.Begin()
+			at, _ := tab.Insert(setup, 0, tuple.Row{int64(1), "x", int64(0)})
+			at, _ = db.Commit(setup, at)
+
+			t1 := db.Begin()
+			t2 := db.Begin() // concurrent
+			at, err := tab.Update(t1, at, 1, func(r tuple.Row) (tuple.Row, error) {
+				r[2] = int64(1)
+				return r, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			at, _ = db.Commit(t1, at)
+			// t2 was concurrent with t1 and t1 committed first: t2 must get
+			// a serialization failure.
+			_, err = tab.Update(t2, at, 1, func(r tuple.Row) (tuple.Row, error) {
+				r[2] = int64(2)
+				return r, nil
+			})
+			if !errors.Is(err, txn.ErrSerialization) {
+				t.Errorf("second updater err = %v, want ErrSerialization", err)
+			}
+			db.Abort(t2, at)
+
+			final := db.Begin()
+			row, _, _ := tab.Get(final, at, 1)
+			if row[2] != int64(1) {
+				t.Errorf("final balance = %v, want 1 (first updater)", row[2])
+			}
+			db.Commit(final, at)
+		})
+	}
+}
+
+func TestAbortRollsBackUpdate(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			db, tab := openTestDB(t, k)
+			setup := db.Begin()
+			at, _ := tab.Insert(setup, 0, tuple.Row{int64(1), "x", int64(5)})
+			at, _ = db.Commit(setup, at)
+
+			tx := db.Begin()
+			at, _ = tab.Update(tx, at, 1, func(r tuple.Row) (tuple.Row, error) {
+				r[2] = int64(99)
+				return r, nil
+			})
+			at, _ = db.Abort(tx, at)
+
+			after := db.Begin()
+			row, _, err := tab.Get(after, at, 1)
+			if err != nil || row[2] != int64(5) {
+				t.Errorf("after abort: %v %v, want 5", row, err)
+			}
+			// The item must be updatable again (entrypoint restored / lock
+			// released).
+			at, err = tab.Update(after, at, 1, func(r tuple.Row) (tuple.Row, error) {
+				r[2] = int64(6)
+				return r, nil
+			})
+			if err != nil {
+				t.Errorf("update after abort: %v", err)
+			}
+			db.Commit(after, at)
+		})
+	}
+}
+
+func TestAbortRollsBackInsert(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			db, tab := openTestDB(t, k)
+			tx := db.Begin()
+			at, _ := tab.Insert(tx, 0, tuple.Row{int64(7), "ghost", int64(0)})
+			at, _ = db.Abort(tx, at)
+			after := db.Begin()
+			if _, _, err := tab.Get(after, at, 7); !errors.Is(err, ErrNotFound) {
+				t.Errorf("aborted insert visible: %v", err)
+			}
+			db.Commit(after, at)
+		})
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			db, tab := openTestDB(t, k)
+			setup := db.Begin()
+			at, _ := tab.Insert(setup, 0, tuple.Row{int64(1), "x", int64(5)})
+			at, _ = db.Commit(setup, at)
+
+			older := db.Begin() // starts before the delete
+			deleter := db.Begin()
+			at, err := tab.Delete(deleter, at, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Deleter no longer sees it.
+			if _, _, err := tab.Get(deleter, at, 1); !errors.Is(err, ErrNotFound) {
+				t.Errorf("deleter still sees row: %v", err)
+			}
+			at, _ = db.Commit(deleter, at)
+			// The older transaction still sees the last committed state
+			// (the paper's tombstone rationale).
+			row, at, err := tab.Get(older, at, 1)
+			if err != nil || row[2] != int64(5) {
+				t.Errorf("older tx after delete: %v %v, want visible 5", row, err)
+			}
+			db.Commit(older, at)
+			// New transactions do not see it.
+			fresh := db.Begin()
+			if _, _, err := tab.Get(fresh, at, 1); !errors.Is(err, ErrNotFound) {
+				t.Errorf("fresh tx sees deleted row: %v", err)
+			}
+			db.Commit(fresh, at)
+		})
+	}
+}
+
+func TestScanVisibleOnly(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			db, tab := openTestDB(t, k)
+			setup := db.Begin()
+			at := simclock.Time(0)
+			for i := int64(1); i <= 10; i++ {
+				at, _ = tab.Insert(setup, at, tuple.Row{i, fmt.Sprintf("r%d", i), i * 10})
+			}
+			at, _ = db.Commit(setup, at)
+			// Update half, delete two, in a committed txn.
+			mod := db.Begin()
+			for i := int64(1); i <= 5; i++ {
+				at, _ = tab.Update(mod, at, i, func(r tuple.Row) (tuple.Row, error) {
+					r[2] = r[2].(int64) + 1
+					return r, nil
+				})
+			}
+			at, _ = tab.Delete(mod, at, 9)
+			at, _ = tab.Delete(mod, at, 10)
+			at, _ = db.Commit(mod, at)
+
+			reader := db.Begin()
+			sum := int64(0)
+			count := 0
+			at, err := tab.Scan(reader, at, func(r tuple.Row) bool {
+				sum += r[2].(int64)
+				count++
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// rows 1..5 updated (10+20+..+50, +1 each = 155), rows 6..8
+			// untouched (60+70+80 = 210), 9 and 10 deleted.
+			if count != 8 || sum != 155+210 {
+				t.Errorf("scan count=%d sum=%d, want 8, %d", count, sum, 155+210)
+			}
+			db.Commit(reader, at)
+		})
+	}
+}
+
+func TestUpdateManyVersionsChain(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			db, tab := openTestDB(t, k)
+			setup := db.Begin()
+			at, _ := tab.Insert(setup, 0, tuple.Row{int64(1), "v", int64(0)})
+			at, _ = db.Commit(setup, at)
+			// 50 sequential committed updates.
+			for i := 1; i <= 50; i++ {
+				tx := db.Begin()
+				var err error
+				at, err = tab.Update(tx, at, 1, func(r tuple.Row) (tuple.Row, error) {
+					r[2] = r[2].(int64) + 1
+					return r, nil
+				})
+				if err != nil {
+					t.Fatalf("update %d: %v", i, err)
+				}
+				at, _ = db.Commit(tx, at)
+			}
+			final := db.Begin()
+			row, _, err := tab.Get(final, at, 1)
+			if err != nil || row[2] != int64(50) {
+				t.Errorf("final = %v %v, want 50", row, err)
+			}
+			db.Commit(final, at)
+		})
+	}
+}
+
+func TestSecondaryIndexLookup(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			db, tab := openTestDB(t, k)
+			idx, at, err := tab.AddSecondaryIndex(0, "by_balance", func(r tuple.Row) (int64, bool) {
+				return r[2].(int64), true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx := db.Begin()
+			for i := int64(1); i <= 6; i++ {
+				at, _ = tab.Insert(tx, at, tuple.Row{i, "n", i % 2})
+			}
+			at, _ = db.Commit(tx, at)
+			r := db.Begin()
+			rows, at, err := tab.LookupSecondary(r, at, idx, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != 3 {
+				t.Errorf("secondary lookup returned %d rows, want 3", len(rows))
+			}
+			// After an update that changes the secondary key, lookups follow.
+			u := db.Begin()
+			at, err = tab.Update(u, at, 1, func(r tuple.Row) (tuple.Row, error) {
+				r[2] = int64(0)
+				return r, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			at, _ = db.Commit(u, at)
+			r2 := db.Begin()
+			rows, at, _ = tab.LookupSecondary(r2, at, idx, 1)
+			if len(rows) != 2 {
+				t.Errorf("after key change, lookup(1) = %d rows, want 2", len(rows))
+			}
+			rows, at, _ = tab.LookupSecondary(r2, at, idx, 0)
+			if len(rows) != 4 {
+				t.Errorf("after key change, lookup(0) = %d rows, want 4", len(rows))
+			}
+			db.Commit(r2, at)
+			db.Commit(r, at)
+		})
+	}
+}
+
+func TestCommitDurabilityOrdering(t *testing.T) {
+	db, tab := openTestDB(t, KindSIAS)
+	tx := db.Begin()
+	at, _ := tab.Insert(tx, 0, tuple.Row{int64(1), "d", int64(1)})
+	durableBefore := db.WAL().Durable()
+	at, err := db.Commit(tx, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.WAL().Durable() <= durableBefore {
+		t.Error("commit must force the WAL")
+	}
+}
+
+func TestEngineStatsShape(t *testing.T) {
+	db, tab := openTestDB(t, KindSIAS)
+	tx := db.Begin()
+	at, _ := tab.Insert(tx, 0, tuple.Row{int64(1), "s", int64(1)})
+	at, _ = db.Commit(tx, at)
+	st := db.Stats()
+	if st.Commits != 1 {
+		t.Errorf("commits = %d", st.Commits)
+	}
+	if st.WALDevice.Writes == 0 {
+		t.Error("commit should have written the WAL device")
+	}
+	sst := tab.SIAS().Stats()
+	if sst.Appends != 1 {
+		t.Errorf("appends = %d, want 1", sst.Appends)
+	}
+	_ = at
+}

@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sias/internal/device"
+	"sias/internal/page"
+	"sias/internal/simclock"
+	"sias/internal/tuple"
+)
+
+// crashAndRecover simulates a crash (buffered pages lost, WAL survives) and
+// reopens the database on the same devices.
+func crashAndRecover(t *testing.T, kind Kind, data, walDev device.BlockDevice) (*DB, *Table) {
+	t.Helper()
+	opts := DefaultOptions(data, walDev)
+	opts.Kind = kind
+	opts.Recover = true
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _, err := db.CreateTable(0, "accounts", testSchema(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	return db, tab
+}
+
+func TestRecoveryCommittedSurvivesCrash(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			data := device.NewMem(page.Size, 1<<16)
+			walDev := device.NewMem(page.Size, 1<<14)
+			opts := DefaultOptions(data, walDev)
+			opts.Kind = k
+			db, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, at, err := db.CreateTable(0, "accounts", testSchema(), "id")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Commit 20 inserts and 10 updates; NO checkpoint: data pages
+			// never reach the device, only the WAL does.
+			for i := int64(1); i <= 20; i++ {
+				tx := db.Begin()
+				at, err = tab.Insert(tx, at, tuple.Row{i, fmt.Sprintf("u%d", i), i})
+				if err != nil {
+					t.Fatal(err)
+				}
+				at, _ = db.Commit(tx, at)
+			}
+			for i := int64(1); i <= 10; i++ {
+				tx := db.Begin()
+				at, err = tab.Update(tx, at, i, func(r tuple.Row) (tuple.Row, error) {
+					r[2] = r[2].(int64) * 100
+					return r, nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				at, _ = db.Commit(tx, at)
+			}
+			// Loser: uncommitted at crash.
+			loser := db.Begin()
+			at, _ = tab.Update(loser, at, 15, func(r tuple.Row) (tuple.Row, error) {
+				r[2] = int64(-1)
+				return r, nil
+			})
+			// CRASH: drop the buffer pool, reopen from devices.
+			db.Pool().InvalidateAll()
+
+			db2, tab2 := crashAndRecover(t, k, data, walDev)
+			check := db2.Begin()
+			at2 := simclock.Time(0)
+			for i := int64(1); i <= 20; i++ {
+				row, a, err := tab2.Get(check, at2, i)
+				at2 = a
+				if err != nil {
+					t.Fatalf("key %d lost after crash: %v", i, err)
+				}
+				want := i
+				if i <= 10 {
+					want = i * 100
+				}
+				if row[2] != want {
+					t.Errorf("key %d balance = %v, want %d", i, row[2], want)
+				}
+			}
+			db2.Commit(check, at2)
+		})
+	}
+}
+
+func TestRecoveryAfterCheckpointAndMoreWork(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			data := device.NewMem(page.Size, 1<<16)
+			walDev := device.NewMem(page.Size, 1<<14)
+			opts := DefaultOptions(data, walDev)
+			opts.Kind = k
+			db, _ := Open(opts)
+			tab, at, _ := db.CreateTable(0, "accounts", testSchema(), "id")
+			for i := int64(1); i <= 10; i++ {
+				tx := db.Begin()
+				at, _ = tab.Insert(tx, at, tuple.Row{i, "pre", i})
+				at, _ = db.Commit(tx, at)
+			}
+			var err error
+			at, err = db.Checkpoint(at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Post-checkpoint work, unflushed.
+			for i := int64(11); i <= 15; i++ {
+				tx := db.Begin()
+				at, _ = tab.Insert(tx, at, tuple.Row{i, "post", i})
+				at, _ = db.Commit(tx, at)
+			}
+			db.Pool().InvalidateAll()
+
+			db2, tab2 := crashAndRecover(t, k, data, walDev)
+			check := db2.Begin()
+			at2 := simclock.Time(0)
+			for i := int64(1); i <= 15; i++ {
+				if _, a, err := tab2.Get(check, at2, i); err != nil {
+					t.Errorf("key %d lost: %v", i, err)
+				} else {
+					at2 = a
+				}
+			}
+			db2.Commit(check, at2)
+		})
+	}
+}
+
+func TestRecoveryUncommittedInvisible(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			data := device.NewMem(page.Size, 1<<16)
+			walDev := device.NewMem(page.Size, 1<<14)
+			opts := DefaultOptions(data, walDev)
+			opts.Kind = k
+			db, _ := Open(opts)
+			tab, at, _ := db.CreateTable(0, "accounts", testSchema(), "id")
+
+			committed := db.Begin()
+			at, _ = tab.Insert(committed, at, tuple.Row{int64(1), "keep", int64(1)})
+			at, _ = db.Commit(committed, at)
+
+			// Uncommitted insert whose heap pages DO hit the device (forced
+			// checkpoint) but whose commit record never does.
+			loser := db.Begin()
+			at, _ = tab.Insert(loser, at, tuple.Row{int64(2), "lose", int64(2)})
+			at, _ = db.Checkpoint(at)
+			db.Pool().InvalidateAll()
+
+			db2, tab2 := crashAndRecover(t, k, data, walDev)
+			check := db2.Begin()
+			if _, _, err := tab2.Get(check, 0, 1); err != nil {
+				t.Errorf("committed row lost: %v", err)
+			}
+			if _, _, err := tab2.Get(check, 0, 2); !errors.Is(err, ErrNotFound) {
+				t.Errorf("uncommitted row visible after recovery: %v", err)
+			}
+			db2.Commit(check, 0)
+		})
+	}
+}
+
+func TestRecoveryDeleteSurvives(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			data := device.NewMem(page.Size, 1<<16)
+			walDev := device.NewMem(page.Size, 1<<14)
+			opts := DefaultOptions(data, walDev)
+			opts.Kind = k
+			db, _ := Open(opts)
+			tab, at, _ := db.CreateTable(0, "accounts", testSchema(), "id")
+			tx := db.Begin()
+			at, _ = tab.Insert(tx, at, tuple.Row{int64(1), "x", int64(1)})
+			at, _ = db.Commit(tx, at)
+			del := db.Begin()
+			at, _ = tab.Delete(del, at, 1)
+			at, _ = db.Commit(del, at)
+			db.Pool().InvalidateAll()
+
+			db2, tab2 := crashAndRecover(t, k, data, walDev)
+			check := db2.Begin()
+			if _, _, err := tab2.Get(check, 0, 1); !errors.Is(err, ErrNotFound) {
+				t.Errorf("deleted row resurrected: %v", err)
+			}
+			db2.Commit(check, 0)
+		})
+	}
+}
+
+func TestRecoveryTxnIDsAdvance(t *testing.T) {
+	data := device.NewMem(page.Size, 1<<16)
+	walDev := device.NewMem(page.Size, 1<<14)
+	opts := DefaultOptions(data, walDev)
+	db, _ := Open(opts)
+	tab, at, _ := db.CreateTable(0, "accounts", testSchema(), "id")
+	var maxID uint64
+	for i := int64(1); i <= 5; i++ {
+		tx := db.Begin()
+		maxID = uint64(tx.ID)
+		at, _ = tab.Insert(tx, at, tuple.Row{i, "x", i})
+		at, _ = db.Commit(tx, at)
+	}
+	db.Pool().InvalidateAll()
+	db2, _ := crashAndRecover(t, KindSIAS, data, walDev)
+	tx := db2.Begin()
+	if uint64(tx.ID) <= maxID {
+		t.Errorf("post-recovery txid %d not past pre-crash max %d", tx.ID, maxID)
+	}
+	db2.Commit(tx, 0)
+}
+
+func TestDoubleCrashRecovery(t *testing.T) {
+	// Recover, do more work, crash again, recover again: the second
+	// generation of WAL records must replay after the first.
+	data := device.NewMem(page.Size, 1<<16)
+	walDev := device.NewMem(page.Size, 1<<14)
+	opts := DefaultOptions(data, walDev)
+	db, _ := Open(opts)
+	tab, at, _ := db.CreateTable(0, "accounts", testSchema(), "id")
+	tx := db.Begin()
+	at, _ = tab.Insert(tx, at, tuple.Row{int64(1), "gen1", int64(1)})
+	at, _ = db.Commit(tx, at)
+	db.Pool().InvalidateAll()
+
+	db2, tab2 := crashAndRecover(t, KindSIAS, data, walDev)
+	tx2 := db2.Begin()
+	at2, _ := tab2.Insert(tx2, 0, tuple.Row{int64(2), "gen2", int64(2)})
+	at2, _ = db2.Commit(tx2, at2)
+	db2.Pool().InvalidateAll()
+
+	db3, tab3 := crashAndRecover(t, KindSIAS, data, walDev)
+	check := db3.Begin()
+	for i := int64(1); i <= 2; i++ {
+		if _, _, err := tab3.Get(check, 0, i); err != nil {
+			t.Errorf("key %d lost after double crash: %v", i, err)
+		}
+	}
+	db3.Commit(check, 0)
+}

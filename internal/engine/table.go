@@ -1,0 +1,364 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"sias/internal/core"
+	"sias/internal/si"
+	"sias/internal/simclock"
+	"sias/internal/tuple"
+	"sias/internal/txn"
+)
+
+// ErrNotFound is returned when a key has no visible row.
+var ErrNotFound = errors.New("engine: no visible row for key")
+
+// Table is a schema-typed view over one relation of either engine kind. The
+// primary key is a single int64 column (composite keys are bit-packed by the
+// workload layer).
+type Table struct {
+	db     *DB
+	name   string
+	schema *tuple.Schema
+	pkCol  int
+
+	sias *core.Relation
+	si   *si.Relation
+
+	secNames []string
+	secFns   []func(tuple.Row) (int64, bool)
+}
+
+// CreateTable registers a new table with the configured engine kind.
+func (db *DB) CreateTable(at simclock.Time, name string, schema *tuple.Schema, pkCol string) (*Table, simclock.Time, error) {
+	pi := schema.Col(pkCol)
+	if pi < 0 {
+		return nil, at, fmt.Errorf("engine: table %s: no column %q", name, pkCol)
+	}
+	if schema.Cols[pi].Type != tuple.TypeInt64 {
+		return nil, at, fmt.Errorf("engine: table %s: primary key %q must be int64", name, pkCol)
+	}
+	db.mu.Lock()
+	if _, dup := db.tables[name]; dup {
+		db.mu.Unlock()
+		return nil, at, fmt.Errorf("engine: table %s already exists", name)
+	}
+	heapID := db.nextRelID
+	pkID := db.nextRelID + 1
+	db.nextRelID += 2
+	db.mu.Unlock()
+
+	tab := &Table{db: db, name: name, schema: schema, pkCol: pi}
+	var t simclock.Time
+	var err error
+	switch db.opts.Kind {
+	case KindSIAS:
+		tab.sias, t, err = core.New(at, core.Config{
+			ID:                  heapID,
+			Name:                name,
+			Pool:                db.pool,
+			Alloc:               db.alloc,
+			WAL:                 db.walw,
+			Txns:                db.txm,
+			PKRelID:             pkID,
+			VMapResidentBuckets: db.opts.VMapResidentBuckets,
+			VMapMissPenalty:     100 * simclock.Microsecond,
+		})
+	case KindSI:
+		tab.si, t, err = si.New(at, si.Config{
+			ID:      heapID,
+			Name:    name,
+			Pool:    db.pool,
+			Alloc:   db.alloc,
+			WAL:     db.walw,
+			Txns:    db.txm,
+			PKRelID: pkID,
+		})
+	default:
+		err = fmt.Errorf("engine: unknown kind %v", db.opts.Kind)
+	}
+	if err != nil {
+		return nil, t, err
+	}
+	db.mu.Lock()
+	db.tables[name] = tab
+	db.order = append(db.order, tab)
+	db.mu.Unlock()
+	return tab, t, nil
+}
+
+// AddSecondaryIndex attaches a secondary index computed by keyFn over rows.
+// Returns the index id to pass to LookupSecondary.
+func (t *Table) AddSecondaryIndex(at simclock.Time, name string, keyFn func(tuple.Row) (int64, bool)) (int, simclock.Time, error) {
+	t.db.mu.Lock()
+	relID := t.db.nextRelID
+	t.db.nextRelID++
+	t.db.mu.Unlock()
+	payloadFn := func(payload []byte) (int64, bool) {
+		row, err := t.schema.DecodeRow(payload)
+		if err != nil {
+			return 0, false
+		}
+		return keyFn(row)
+	}
+	var tm simclock.Time
+	var err error
+	if t.sias != nil {
+		tm, err = t.sias.AddSecondary(at, relID, payloadFn)
+	} else {
+		tm, err = t.si.AddSecondary(at, relID, payloadFn)
+	}
+	if err != nil {
+		return 0, tm, err
+	}
+	t.secNames = append(t.secNames, name)
+	t.secFns = append(t.secFns, keyFn)
+	return len(t.secNames) - 1, tm, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *tuple.Schema { return t.schema }
+
+// SIAS exposes the underlying SIAS relation (nil for SI tables).
+func (t *Table) SIAS() *core.Relation { return t.sias }
+
+// SI exposes the underlying SI relation (nil for SIAS tables).
+func (t *Table) SI() *si.Relation { return t.si }
+
+// Key extracts the primary key of a row.
+func (t *Table) Key(row tuple.Row) int64 {
+	v, _ := row[t.pkCol].(int64)
+	return v
+}
+
+func (t *Table) keyOfPayload(payload []byte) int64 {
+	row, err := t.schema.DecodeRow(payload)
+	if err != nil {
+		return 0
+	}
+	return t.Key(row)
+}
+
+// Insert stores row under its primary key.
+func (t *Table) Insert(tx *txn.Tx, at simclock.Time, row tuple.Row) (simclock.Time, error) {
+	payload, err := t.schema.EncodeRow(row)
+	if err != nil {
+		return at, err
+	}
+	key := t.Key(row)
+	if t.sias != nil {
+		_, tm, err := t.sias.Insert(tx, at, key, payload)
+		return tm, err
+	}
+	return t.si.Insert(tx, at, key, payload)
+}
+
+// Get returns the row of key visible to tx.
+func (t *Table) Get(tx *txn.Tx, at simclock.Time, key int64) (tuple.Row, simclock.Time, error) {
+	if t.sias != nil {
+		// <key, VID> entries survive key changes: re-check the key of the
+		// returned version (Section 4.3, Example 1).
+		vids, tm, err := t.sias.VIDsForKey(at, key)
+		if err != nil {
+			return nil, tm, err
+		}
+		for _, vid := range vids {
+			payload, tm2, err := t.sias.GetByVID(tx, tm, vid)
+			tm = tm2
+			if errors.Is(err, core.ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				return nil, tm, err
+			}
+			row, derr := t.schema.DecodeRow(payload)
+			if derr != nil {
+				return nil, tm, derr
+			}
+			if t.Key(row) == key {
+				return row, tm, nil
+			}
+		}
+		return nil, tm, ErrNotFound
+	}
+	payload, tm, err := t.si.Get(tx, at, key)
+	if errors.Is(err, si.ErrNotFound) {
+		return nil, tm, ErrNotFound
+	}
+	if err != nil {
+		return nil, tm, err
+	}
+	row, derr := t.schema.DecodeRow(payload)
+	return row, tm, derr
+}
+
+// errWrongKeyEpoch signals that a visible version matched a stale index
+// entry for a different key; the caller tries the next candidate.
+var errWrongKeyEpoch = errors.New("engine: stale index entry")
+
+// Update applies mutate to the visible row of key. The mutated row may
+// change the primary key; index maintenance follows the engine's rules
+// (SIAS leaves the index untouched for non-key updates).
+func (t *Table) Update(tx *txn.Tx, at simclock.Time, key int64, mutate func(tuple.Row) (tuple.Row, error)) (simclock.Time, error) {
+	wrap := func(old []byte) ([]byte, int64, error) {
+		row, err := t.schema.DecodeRow(old)
+		if err != nil {
+			return nil, 0, err
+		}
+		if t.Key(row) != key {
+			return nil, 0, errWrongKeyEpoch
+		}
+		newRow, err := mutate(row)
+		if err != nil {
+			return nil, 0, err
+		}
+		payload, err := t.schema.EncodeRow(newRow)
+		if err != nil {
+			return nil, 0, err
+		}
+		return payload, t.Key(newRow), nil
+	}
+	if t.sias != nil {
+		vids, tm, err := t.sias.VIDsForKey(at, key)
+		if err != nil {
+			return tm, err
+		}
+		for _, vid := range vids {
+			tm2, err := t.sias.UpdateByVID(tx, tm, vid, key, wrap)
+			tm = tm2
+			if errors.Is(err, core.ErrNotFound) || errors.Is(err, errWrongKeyEpoch) {
+				continue
+			}
+			return tm, err
+		}
+		return tm, ErrNotFound
+	}
+	tm, err := t.si.Update(tx, at, key, wrap)
+	if errors.Is(err, si.ErrNotFound) {
+		return tm, ErrNotFound
+	}
+	return tm, err
+}
+
+// Delete removes the row of key (tombstone under SIAS, in-place xmax under
+// SI).
+func (t *Table) Delete(tx *txn.Tx, at simclock.Time, key int64) (simclock.Time, error) {
+	if t.sias != nil {
+		tm, err := t.sias.Delete(tx, at, key)
+		if errors.Is(err, core.ErrNotFound) {
+			return tm, ErrNotFound
+		}
+		return tm, err
+	}
+	tm, err := t.si.Delete(tx, at, key)
+	if errors.Is(err, si.ErrNotFound) {
+		return tm, ErrNotFound
+	}
+	return tm, err
+}
+
+// Scan visits every visible row. Under SIAS this is the paper's Algorithm 1
+// (VIDmap-first); under SI the traditional full relation scan.
+func (t *Table) Scan(tx *txn.Tx, at simclock.Time, fn func(tuple.Row) bool) (simclock.Time, error) {
+	if t.sias != nil {
+		return t.sias.Scan(tx, at, func(_ uint64, payload []byte) bool {
+			row, err := t.schema.DecodeRow(payload)
+			if err != nil {
+				return true
+			}
+			return fn(row)
+		})
+	}
+	return t.si.Scan(tx, at, func(payload []byte) bool {
+		row, err := t.schema.DecodeRow(payload)
+		if err != nil {
+			return true
+		}
+		return fn(row)
+	})
+}
+
+// RangeByKey visits visible rows with lo <= primary key <= hi in key order.
+func (t *Table) RangeByKey(tx *txn.Tx, at simclock.Time, lo, hi int64, fn func(tuple.Row) bool) (simclock.Time, error) {
+	if t.sias != nil {
+		return t.sias.RangeByKey(tx, at, lo, hi, func(indexKey int64, _ uint64, payload []byte) bool {
+			row, err := t.schema.DecodeRow(payload)
+			if err != nil {
+				return true
+			}
+			// Stale key-epoch entries resolve to rows whose current key
+			// differs; skip them (the row is also reachable via its
+			// current-key entry).
+			if t.Key(row) != indexKey {
+				return true
+			}
+			return fn(row)
+		})
+	}
+	return t.si.RangeByKey(tx, at, lo, hi, func(_ int64, payload []byte) bool {
+		row, err := t.schema.DecodeRow(payload)
+		if err != nil {
+			return true
+		}
+		return fn(row)
+	})
+}
+
+// ParallelScan visits every visible row using the parallelizable VIDmap
+// access path under SIAS (fn may be called from multiple goroutines and must
+// be safe for concurrent use). The SI baseline has no equivalent parallel
+// path — its traditional relation scan runs sequentially, as the paper
+// contrasts — so SI falls back to Scan.
+func (t *Table) ParallelScan(tx *txn.Tx, at simclock.Time, parallelism int, fn func(tuple.Row)) (simclock.Time, error) {
+	if t.sias != nil {
+		return t.sias.ParallelScan(tx, at, parallelism, func(_ uint64, payload []byte) {
+			row, err := t.schema.DecodeRow(payload)
+			if err != nil {
+				return
+			}
+			fn(row)
+		})
+	}
+	return t.si.Scan(tx, at, func(payload []byte) bool {
+		row, err := t.schema.DecodeRow(payload)
+		if err != nil {
+			return true
+		}
+		fn(row)
+		return true
+	})
+}
+
+// LookupSecondary returns visible rows matching key in the secondary index.
+func (t *Table) LookupSecondary(tx *txn.Tx, at simclock.Time, idx int, key int64) ([]tuple.Row, simclock.Time, error) {
+	var payloads [][]byte
+	var tm simclock.Time
+	var err error
+	if t.sias != nil {
+		payloads, tm, err = t.sias.SearchSecondary(tx, at, idx, key)
+	} else {
+		payloads, tm, err = t.si.SearchSecondary(tx, at, idx, key)
+	}
+	if err != nil {
+		return nil, tm, err
+	}
+	rows := make([]tuple.Row, 0, len(payloads))
+	for _, p := range payloads {
+		row, derr := t.schema.DecodeRow(p)
+		if derr != nil {
+			return nil, tm, derr
+		}
+		// Secondary entries can also be stale after updates; re-check.
+		if i := idx; i < len(t.secFns) {
+			if k, ok := t.secFns[i](row); !ok || k != key {
+				continue
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, tm, nil
+}

@@ -1,0 +1,61 @@
+package flash
+
+import (
+	"math/rand"
+	"testing"
+
+	"sias/internal/simclock"
+)
+
+func BenchmarkSequentialWrite(b *testing.B) {
+	s := New(DefaultConfig(), nil)
+	buf := make([]byte, s.PageSize())
+	at := simclock.Time(0)
+	n := s.NumPages()
+	b.SetBytes(int64(s.PageSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		at, err = s.WritePage(at, int64(i)%n, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomOverwrite(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Blocks = 256
+	cfg.OverProvision = 32
+	s := New(cfg, nil)
+	buf := make([]byte, s.PageSize())
+	rng := rand.New(rand.NewSource(1))
+	at := simclock.Time(0)
+	for p := int64(0); p < s.NumPages(); p++ {
+		at, _ = s.WritePage(at, p, buf)
+	}
+	b.SetBytes(int64(s.PageSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		at, err = s.WritePage(at, rng.Int63n(s.NumPages()), buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	s := New(DefaultConfig(), nil)
+	buf := make([]byte, s.PageSize())
+	at, _ := s.WritePage(0, 0, buf)
+	b.SetBytes(int64(s.PageSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		at, err = s.ReadPage(at, 0, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package flash
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sias/internal/simclock"
+	"sias/internal/trace"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Blocks = 32
+	cfg.PagesPerBlock = 8
+	cfg.OverProvision = 8
+	cfg.Channels = 2
+	return cfg
+}
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	s := New(smallConfig(), nil)
+	buf := make([]byte, s.PageSize())
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if _, err := s.WritePage(0, 5, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, s.PageSize())
+	if _, err := s.ReadPage(0, 5, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Error("read back != written")
+	}
+}
+
+func TestUnwrittenPageReadsZero(t *testing.T) {
+	s := New(smallConfig(), nil)
+	got := make([]byte, s.PageSize())
+	got[0] = 0xFF
+	if _, err := s.ReadPage(0, 3, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := New(smallConfig(), nil)
+	buf := make([]byte, s.PageSize())
+	if _, err := s.ReadPage(0, s.NumPages(), buf); err == nil {
+		t.Error("read past capacity should fail")
+	}
+	if _, err := s.WritePage(0, -1, buf); err == nil {
+		t.Error("negative page should fail")
+	}
+}
+
+func TestAsymmetry(t *testing.T) {
+	cfg := smallConfig()
+	s := New(cfg, nil)
+	buf := make([]byte, s.PageSize())
+	wDone, _ := s.WritePage(0, 0, buf)
+	r := New(cfg, nil)
+	rDone, _ := r.ReadPage(0, 0, buf)
+	if wDone <= rDone {
+		t.Errorf("write (%v) should be slower than read (%v)", wDone, rDone)
+	}
+	ratio := float64(wDone) / float64(rDone)
+	if ratio < 5 {
+		t.Errorf("read/write asymmetry ratio %.1f, want >= 5", ratio)
+	}
+}
+
+func TestOverwriteTriggersGCEventually(t *testing.T) {
+	cfg := smallConfig()
+	s := New(cfg, nil)
+	buf := make([]byte, s.PageSize())
+	at := simclock.Time(0)
+	// Hammer one logical page until the device must erase.
+	for i := 0; i < cfg.Blocks*cfg.PagesPerBlock*2; i++ {
+		var err error
+		at, err = s.WritePage(at, 0, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Erases == 0 {
+		t.Error("repeated overwrites must trigger erases")
+	}
+	if s.Err() != nil {
+		t.Errorf("device errored: %v", s.Err())
+	}
+	w := s.Wear()
+	if w.TotalErases != st.Erases {
+		t.Errorf("wear erases %d != stats erases %d", w.TotalErases, st.Erases)
+	}
+}
+
+func TestWriteAmplificationUnderRandomOverwrite(t *testing.T) {
+	cfg := smallConfig()
+	s := New(cfg, nil)
+	buf := make([]byte, s.PageSize())
+	rng := rand.New(rand.NewSource(1))
+	at := simclock.Time(0)
+	// Fill the device, then overwrite randomly: GC must relocate and WA > 1.
+	for p := int64(0); p < s.NumPages(); p++ {
+		at, _ = s.WritePage(at, p, buf)
+	}
+	for i := 0; i < 2000; i++ {
+		at, _ = s.WritePage(at, rng.Int63n(s.NumPages()), buf)
+	}
+	st := s.Stats()
+	if wa := st.WriteAmplification(); wa <= 1.0 {
+		t.Errorf("write amplification = %.2f, want > 1 under random overwrite", wa)
+	}
+}
+
+// Property: after any sequence of writes, the FTL maps each written logical
+// page to a unique physical page.
+func TestFTLUniqueMappingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := smallConfig()
+		s := New(cfg, nil)
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, s.PageSize())
+		at := simclock.Time(0)
+		for i := 0; i < 300; i++ {
+			at, _ = s.WritePage(at, rng.Int63n(s.NumPages()), buf)
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		seen := map[int64]int64{}
+		for lpn, ppn := range s.l2p {
+			if ppn == invalidPPN {
+				continue
+			}
+			if prev, dup := seen[ppn]; dup {
+				t.Logf("ppn %d claimed by lpn %d and %d", ppn, prev, lpn)
+				return false
+			}
+			seen[ppn] = int64(lpn)
+			if s.p2l[ppn] != int64(lpn) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: contents survive arbitrary overwrite patterns (the FTL is a
+// placement model; data integrity must be absolute).
+func TestContentIntegrityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := smallConfig()
+		s := New(cfg, nil)
+		rng := rand.New(rand.NewSource(seed))
+		want := map[int64]byte{}
+		buf := make([]byte, s.PageSize())
+		at := simclock.Time(0)
+		for i := 0; i < 200; i++ {
+			p := rng.Int63n(s.NumPages())
+			v := byte(rng.Intn(256))
+			for j := range buf {
+				buf[j] = v
+			}
+			at, _ = s.WritePage(at, p, buf)
+			want[p] = v
+		}
+		got := make([]byte, s.PageSize())
+		for p, v := range want {
+			at, _ = s.ReadPage(at, p, got)
+			if got[0] != v || got[len(got)-1] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceRecorded(t *testing.T) {
+	rec := trace.New()
+	s := New(smallConfig(), rec)
+	buf := make([]byte, s.PageSize())
+	at, _ := s.WritePage(0, 1, buf)
+	s.ReadPage(at, 1, buf)
+	sum := rec.Summarize()
+	if sum.Writes != 1 || sum.Reads != 1 {
+		t.Errorf("trace = %+v, want 1 read 1 write", sum)
+	}
+	if sum.WriteBytes != int64(s.PageSize()) {
+		t.Errorf("WriteBytes = %d", sum.WriteBytes)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Channels = 4
+	s := New(cfg, nil)
+	buf := make([]byte, s.PageSize())
+	// 4 reads issued at t=0 on 4 channels all complete at ReadLatency.
+	var last simclock.Time
+	for i := int64(0); i < 4; i++ {
+		done, _ := s.ReadPage(0, i, buf)
+		last = done
+	}
+	if last != simclock.Time(cfg.ReadLatency) {
+		t.Errorf("4 parallel reads finished at %v, want %v", last, cfg.ReadLatency)
+	}
+	done, _ := s.ReadPage(0, 4, buf)
+	if done != simclock.Time(2*cfg.ReadLatency) {
+		t.Errorf("5th read should queue: %v", done)
+	}
+}

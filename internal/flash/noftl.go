@@ -1,0 +1,184 @@
+package flash
+
+import (
+	"fmt"
+	"sync"
+
+	"sias/internal/device"
+	"sias/internal/simclock"
+	"sias/internal/trace"
+)
+
+// NoFTL is the FTL-less flash device of the paper's discussion section
+// (Section 6, citing the authors' NoFTL line of work [22]): the DBMS gets
+// direct access to flash pages and *owns* erase decisions, instead of hiding
+// them behind a translation layer.
+//
+// Semantics:
+//
+//   - logical page == physical page (no mapping, no device-side GC, no
+//     device-side write amplification);
+//   - a page can only be programmed if its erase block has been erased since
+//     the page was last written — writing a dirty page returns
+//     ErrNotErased, surfacing the flash constraint to the caller;
+//   - Erase(block) erases one block explicitly, charging the erase latency
+//     and wear.
+//
+// SIAS is a natural fit: its storage manager already writes append-only and
+// reclaims whole pages, so the engine's GC can simply erase the reclaimed
+// region — deterministic, with no background outliers. The in-place SI
+// baseline cannot run on NoFTL at all (its invalidation writes would need a
+// read-modify-erase-rewrite cycle), which is the point of the comparison.
+type NoFTL struct {
+	device.StatCounter
+	cfg      Config
+	channels *simclock.Resource
+	tracer   *trace.Recorder
+
+	mu     sync.Mutex
+	data   [][]byte
+	dirty  []bool // page programmed since last erase of its block
+	erases []int64
+}
+
+// ErrNotErased is returned when programming a page whose block has not been
+// erased since the page was last written.
+type ErrNotErased struct {
+	Page  int64
+	Block int64
+}
+
+func (e *ErrNotErased) Error() string {
+	return fmt.Sprintf("flash: page %d (block %d) not erased before rewrite", e.Page, e.Block)
+}
+
+// NewNoFTL creates an FTL-less device with the given geometry.
+func NewNoFTL(cfg Config, tracer *trace.Recorder) *NoFTL {
+	if cfg.PageSize <= 0 || cfg.PagesPerBlock <= 0 || cfg.Blocks <= 0 || cfg.Channels <= 0 {
+		panic("flash: invalid NoFTL config")
+	}
+	n := int64(cfg.Blocks) * int64(cfg.PagesPerBlock)
+	return &NoFTL{
+		cfg:      cfg,
+		channels: simclock.NewResource(cfg.Channels),
+		tracer:   tracer,
+		data:     make([][]byte, n),
+		dirty:    make([]bool, n),
+		erases:   make([]int64, cfg.Blocks),
+	}
+}
+
+// PageSize implements device.BlockDevice.
+func (s *NoFTL) PageSize() int { return s.cfg.PageSize }
+
+// NumPages implements device.BlockDevice.
+func (s *NoFTL) NumPages() int64 { return int64(s.cfg.Blocks) * int64(s.cfg.PagesPerBlock) }
+
+// PagesPerBlock reports the erase-unit size in pages.
+func (s *NoFTL) PagesPerBlock() int { return s.cfg.PagesPerBlock }
+
+// BlockOf reports the erase block containing pageNo.
+func (s *NoFTL) BlockOf(pageNo int64) int64 { return pageNo / int64(s.cfg.PagesPerBlock) }
+
+// ReadPage implements device.BlockDevice.
+func (s *NoFTL) ReadPage(at simclock.Time, pageNo int64, p []byte) (simclock.Time, error) {
+	if pageNo < 0 || pageNo >= s.NumPages() {
+		return at, device.ErrOutOfRange
+	}
+	if len(p) < s.cfg.PageSize {
+		return at, fmt.Errorf("flash: read buffer %d < page size %d", len(p), s.cfg.PageSize)
+	}
+	s.mu.Lock()
+	src := s.data[pageNo]
+	s.mu.Unlock()
+	if src == nil {
+		for i := 0; i < s.cfg.PageSize; i++ {
+			p[i] = 0
+		}
+	} else {
+		copy(p, src)
+	}
+	done := s.channels.Acquire(at, s.cfg.ReadLatency)
+	s.CountRead(s.cfg.PageSize, done.Sub(at))
+	s.tracer.Record(done, trace.Read, pageNo, s.cfg.PageSize)
+	return done, nil
+}
+
+// WritePage implements device.BlockDevice. Unlike the FTL device, rewriting
+// a non-erased page is an error: the flash constraint is the caller's to
+// manage.
+func (s *NoFTL) WritePage(at simclock.Time, pageNo int64, p []byte) (simclock.Time, error) {
+	if pageNo < 0 || pageNo >= s.NumPages() {
+		return at, device.ErrOutOfRange
+	}
+	if len(p) < s.cfg.PageSize {
+		return at, fmt.Errorf("flash: write buffer %d < page size %d", len(p), s.cfg.PageSize)
+	}
+	s.mu.Lock()
+	if s.dirty[pageNo] {
+		s.mu.Unlock()
+		return at, &ErrNotErased{Page: pageNo, Block: s.BlockOf(pageNo)}
+	}
+	buf := s.data[pageNo]
+	if buf == nil {
+		buf = make([]byte, s.cfg.PageSize)
+		s.data[pageNo] = buf
+	}
+	copy(buf, p[:s.cfg.PageSize])
+	s.dirty[pageNo] = true
+	s.mu.Unlock()
+	done := s.channels.Acquire(at, s.cfg.WriteLatency)
+	s.CountWrite(s.cfg.PageSize, done.Sub(at))
+	s.CountPhysWrite(1)
+	s.tracer.Record(done, trace.Write, pageNo, s.cfg.PageSize)
+	return done, nil
+}
+
+// Erase erases one block: all its pages become writable (and read as zero).
+// This is the paper's "deterministic process, triggered by the MV-DBMS".
+func (s *NoFTL) Erase(at simclock.Time, block int64) (simclock.Time, error) {
+	if block < 0 || block >= int64(s.cfg.Blocks) {
+		return at, device.ErrOutOfRange
+	}
+	s.mu.Lock()
+	base := block * int64(s.cfg.PagesPerBlock)
+	for i := int64(0); i < int64(s.cfg.PagesPerBlock); i++ {
+		s.dirty[base+i] = false
+		s.data[base+i] = nil
+	}
+	s.erases[block]++
+	s.mu.Unlock()
+	done := s.channels.Acquire(at, s.cfg.EraseLatency)
+	s.CountErase(1)
+	s.tracer.Record(done, trace.Erase, base, 0)
+	return done, nil
+}
+
+// Wear reports erase counts.
+func (s *NoFTL) Wear() Wear {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var w Wear
+	for _, e := range s.erases {
+		w.TotalErases += e
+		if e > w.MaxErases {
+			w.MaxErases = e
+		}
+	}
+	if len(s.erases) > 0 {
+		w.MeanErases = float64(w.TotalErases) / float64(len(s.erases))
+	}
+	return w
+}
+
+var _ device.BlockDevice = (*NoFTL)(nil)
+
+// Eraser is the capability the SIAS engine looks for to issue DBMS-driven
+// erases when its garbage collector frees an append region.
+type Eraser interface {
+	Erase(at simclock.Time, block int64) (simclock.Time, error)
+	PagesPerBlock() int
+	BlockOf(pageNo int64) int64
+}
+
+var _ Eraser = (*NoFTL)(nil)

@@ -1,0 +1,111 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sias/internal/simclock"
+)
+
+func noftlConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Blocks = 8
+	cfg.PagesPerBlock = 4
+	cfg.Channels = 2
+	return cfg
+}
+
+func TestNoFTLWriteReadRoundtrip(t *testing.T) {
+	d := NewNoFTL(noftlConfig(), nil)
+	buf := make([]byte, d.PageSize())
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	at, err := d.WritePage(0, 5, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, d.PageSize())
+	if _, err := d.ReadPage(at, 5, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Error("roundtrip mismatch")
+	}
+}
+
+func TestNoFTLRewriteRequiresErase(t *testing.T) {
+	d := NewNoFTL(noftlConfig(), nil)
+	buf := make([]byte, d.PageSize())
+	at, _ := d.WritePage(0, 0, buf)
+	_, err := d.WritePage(at, 0, buf)
+	var ne *ErrNotErased
+	if !errors.As(err, &ne) {
+		t.Fatalf("rewrite err = %v, want ErrNotErased", err)
+	}
+	if ne.Page != 0 || ne.Block != 0 {
+		t.Errorf("error details: %+v", ne)
+	}
+	// Erase the block; rewrite succeeds.
+	at, err = d.Erase(at, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WritePage(at, 0, buf); err != nil {
+		t.Fatalf("write after erase: %v", err)
+	}
+	if d.Wear().TotalErases != 1 {
+		t.Errorf("erases = %d", d.Wear().TotalErases)
+	}
+}
+
+func TestNoFTLEraseClearsWholeBlock(t *testing.T) {
+	d := NewNoFTL(noftlConfig(), nil)
+	buf := make([]byte, d.PageSize())
+	buf[0] = 0xEE
+	at := simclock.Time(0)
+	// Write all 4 pages of block 1 (pages 4..7).
+	for p := int64(4); p < 8; p++ {
+		at, _ = d.WritePage(at, p, buf)
+	}
+	at, _ = d.Erase(at, 1)
+	got := make([]byte, d.PageSize())
+	for p := int64(4); p < 8; p++ {
+		at, _ = d.ReadPage(at, p, got)
+		if got[0] != 0 {
+			t.Errorf("page %d not cleared by erase", p)
+		}
+		if _, err := d.WritePage(at, p, buf); err != nil {
+			t.Errorf("page %d not writable after erase: %v", p, err)
+		}
+	}
+	// Pages outside the block are untouched.
+	at, _ = d.WritePage(at, 9, buf)
+	if _, err := d.WritePage(at, 9, buf); err == nil {
+		t.Error("page 9 should still require erase")
+	}
+}
+
+func TestNoFTLNoDeviceWriteAmplification(t *testing.T) {
+	d := NewNoFTL(noftlConfig(), nil)
+	buf := make([]byte, d.PageSize())
+	at := simclock.Time(0)
+	for p := int64(0); p < d.NumPages(); p++ {
+		at, _ = d.WritePage(at, p, buf)
+	}
+	st := d.Stats()
+	if st.WriteAmplification() != 1.0 {
+		t.Errorf("WA = %.2f, want exactly 1.0 (no FTL, no relocation)", st.WriteAmplification())
+	}
+}
+
+func TestNoFTLBlockOf(t *testing.T) {
+	d := NewNoFTL(noftlConfig(), nil)
+	if d.BlockOf(0) != 0 || d.BlockOf(3) != 0 || d.BlockOf(4) != 1 {
+		t.Error("BlockOf mapping wrong")
+	}
+	if d.PagesPerBlock() != 4 {
+		t.Error("PagesPerBlock wrong")
+	}
+}

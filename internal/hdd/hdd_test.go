@@ -1,0 +1,110 @@
+package hdd
+
+import (
+	"bytes"
+	"testing"
+
+	"sias/internal/simclock"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumPages = 1 << 16
+	return cfg
+}
+
+func TestRoundtrip(t *testing.T) {
+	d := New(smallConfig(), nil)
+	buf := make([]byte, d.PageSize())
+	for i := range buf {
+		buf[i] = byte(i * 3)
+	}
+	at, err := d.WritePage(0, 100, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, d.PageSize())
+	if _, err := d.ReadPage(at, 100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Error("read back != written")
+	}
+}
+
+func TestSequentialVsRandomCost(t *testing.T) {
+	cfg := smallConfig()
+	buf := make([]byte, cfg.PageSize)
+
+	seq := New(cfg, nil)
+	at := simclock.Time(0)
+	for p := int64(0); p < 100; p++ {
+		at, _ = seq.WritePage(at, p, buf)
+	}
+	seqTime := at
+
+	rnd := New(cfg, nil)
+	at = 0
+	for i := 0; i < 100; i++ {
+		// Jump far across the disk each time.
+		p := int64((i * 7919) % int(cfg.NumPages))
+		at, _ = rnd.WritePage(at, p, buf)
+	}
+	rndTime := at
+
+	if ratio := float64(rndTime) / float64(seqTime); ratio < 10 {
+		t.Errorf("random/sequential cost ratio %.1f, want >= 10", ratio)
+	}
+}
+
+func TestSymmetricReadWrite(t *testing.T) {
+	// Unlike flash, HDD random reads and writes cost the same (the paper
+	// notes "random access costs are symmetric").
+	cfg := smallConfig()
+	buf := make([]byte, cfg.PageSize)
+
+	w := New(cfg, nil)
+	wT, _ := w.WritePage(0, 40000, buf)
+	r := New(cfg, nil)
+	rT, _ := r.ReadPage(0, 40000, buf)
+	if wT != rT {
+		t.Errorf("random write %v != random read %v", wT, rT)
+	}
+}
+
+func TestHeadPositionAdvances(t *testing.T) {
+	d := New(smallConfig(), nil)
+	buf := make([]byte, d.PageSize())
+	t0, _ := d.WritePage(0, 40000, buf)  // far seek
+	t1, _ := d.WritePage(t0, 40001, buf) // next page: sequential, cheap
+	if cost0, cost1 := t0.Sub(0), t1.Sub(t0); cost1 >= cost0 {
+		t.Errorf("sequential follow-up (%v) should be cheaper than the seek (%v)", cost1, cost0)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := New(smallConfig(), nil)
+	buf := make([]byte, d.PageSize())
+	at, _ := d.WritePage(0, 1, buf)
+	at, _ = d.WritePage(at, 2, buf)
+	d.ReadPage(at, 1, buf)
+	st := d.Stats()
+	if st.Writes != 2 || st.Reads != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BytesWritten != int64(2*d.PageSize()) {
+		t.Errorf("BytesWritten = %d", st.BytesWritten)
+	}
+	d.ResetStats()
+	if d.Stats().Writes != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := New(smallConfig(), nil)
+	buf := make([]byte, d.PageSize())
+	if _, err := d.ReadPage(0, d.NumPages(), buf); err == nil {
+		t.Error("read past capacity should fail")
+	}
+}

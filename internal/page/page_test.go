@@ -1,0 +1,254 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInitEmptyPage(t *testing.T) {
+	p := New(7, FlagAppend)
+	if !p.Initialized() {
+		t.Fatal("new page not initialized")
+	}
+	if p.RelID() != 7 {
+		t.Errorf("RelID = %d, want 7", p.RelID())
+	}
+	if p.Flags() != FlagAppend {
+		t.Errorf("Flags = %d, want %d", p.Flags(), FlagAppend)
+	}
+	if p.NumSlots() != 0 {
+		t.Errorf("NumSlots = %d, want 0", p.NumSlots())
+	}
+	if got, want := p.FreeSpace(), Size-HeaderSize-lpSize; got != want {
+		t.Errorf("FreeSpace = %d, want %d", got, want)
+	}
+}
+
+func TestInsertAndTuple(t *testing.T) {
+	p := New(1, 0)
+	data := [][]byte{
+		[]byte("alpha"),
+		[]byte(""),
+		bytes.Repeat([]byte{0xAB}, 300),
+	}
+	for i, d := range data {
+		slot, err := p.Insert(d)
+		if err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+		if slot != i {
+			t.Errorf("Insert %d: slot = %d", i, slot)
+		}
+	}
+	for i, d := range data {
+		got, err := p.Tuple(i)
+		if err != nil {
+			t.Fatalf("Tuple %d: %v", i, err)
+		}
+		if !bytes.Equal(got, d) {
+			t.Errorf("Tuple %d = %q, want %q", i, got, d)
+		}
+	}
+}
+
+func TestInsertUntilFull(t *testing.T) {
+	p := New(1, 0)
+	tup := bytes.Repeat([]byte{1}, 100)
+	n := 0
+	for {
+		_, err := p.Insert(tup)
+		if err == ErrPageFull {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		n++
+		if n > Size {
+			t.Fatal("page never filled")
+		}
+	}
+	// 104 bytes per tuple (100 + 4 line pointer) in 8168 usable bytes.
+	if want := (Size - HeaderSize) / (100 + lpSize); n != want {
+		t.Errorf("inserted %d tuples, want %d", n, want)
+	}
+	if p.FreeSpace() >= 100+lpSize {
+		t.Errorf("FreeSpace %d should not fit another tuple", p.FreeSpace())
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	p := New(1, 0)
+	slot, _ := p.Insert([]byte("hello world"))
+	if err := p.Overwrite(slot, []byte("HELLO WORLD")); err != nil {
+		t.Fatalf("Overwrite same size: %v", err)
+	}
+	got, _ := p.Tuple(slot)
+	if string(got) != "HELLO WORLD" {
+		t.Errorf("Tuple = %q", got)
+	}
+	if err := p.Overwrite(slot, bytes.Repeat([]byte{1}, 200)); err == nil {
+		t.Error("Overwrite larger should fail")
+	}
+}
+
+func TestMarkDeadAndCompact(t *testing.T) {
+	p := New(1, 0)
+	s0, _ := p.Insert([]byte("keep0"))
+	s1, _ := p.Insert(bytes.Repeat([]byte{2}, 500))
+	s2, _ := p.Insert([]byte("keep2"))
+	before := p.FreeSpace()
+	if err := p.MarkDead(s1); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Dead(s1) {
+		t.Error("slot 1 should be dead")
+	}
+	if _, err := p.Tuple(s1); err != ErrDeadSlot {
+		t.Errorf("Tuple(dead) err = %v, want ErrDeadSlot", err)
+	}
+	p.Compact()
+	if p.FreeSpace() < before+500 {
+		t.Errorf("Compact reclaimed too little: %d -> %d", before, p.FreeSpace())
+	}
+	// Live tuples survive with stable slot numbers.
+	for _, s := range []int{s0, s2} {
+		got, err := p.Tuple(s)
+		if err != nil {
+			t.Fatalf("Tuple(%d) after compact: %v", s, err)
+		}
+		want := "keep0"
+		if s == s2 {
+			want = "keep2"
+		}
+		if string(got) != want {
+			t.Errorf("Tuple(%d) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	p := New(1, 0)
+	p.Insert([]byte("payload"))
+	p.UpdateChecksum()
+	if err := p.VerifyChecksum(); err != nil {
+		t.Fatalf("VerifyChecksum: %v", err)
+	}
+	p[5000] ^= 0xFF
+	if err := p.VerifyChecksum(); err != ErrBadChecksum {
+		t.Errorf("corrupted page verify = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestLiveTuples(t *testing.T) {
+	p := New(1, 0)
+	p.Insert([]byte("a"))
+	s1, _ := p.Insert([]byte("b"))
+	p.Insert([]byte("c"))
+	p.MarkDead(s1)
+	var got []string
+	p.LiveTuples(func(slot int, data []byte) bool {
+		got = append(got, string(data))
+		return true
+	})
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("LiveTuples = %v", got)
+	}
+}
+
+func TestTIDEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(block uint32, slot uint16) bool {
+		var b [TIDSize]byte
+		tid := TID{Block: block, Slot: slot}
+		EncodeTID(b[:], tid)
+		return DecodeTID(b[:]) == tid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidTID(t *testing.T) {
+	if InvalidTID.Valid() {
+		t.Error("InvalidTID should not be valid")
+	}
+	if !(TID{Block: 0, Slot: 0}).Valid() {
+		t.Error("(0,0) is a legal TID and must be valid")
+	}
+}
+
+// Property: any sequence of inserts below capacity roundtrips all tuples.
+func TestInsertRoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(1, 0)
+		var want [][]byte
+		for i := 0; i < 50; i++ {
+			n := rng.Intn(120)
+			d := make([]byte, n)
+			rng.Read(d)
+			if _, err := p.Insert(d); err != nil {
+				return false
+			}
+			want = append(want, d)
+		}
+		for i, d := range want {
+			got, err := p.Tuple(i)
+			if err != nil || !bytes.Equal(got, d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compact after random deaths preserves exactly the live set.
+func TestCompactPreservesLiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(1, 0)
+		type tup struct {
+			slot int
+			data []byte
+			dead bool
+		}
+		var tups []tup
+		for i := 0; i < 40; i++ {
+			d := make([]byte, 10+rng.Intn(80))
+			rng.Read(d)
+			s, err := p.Insert(d)
+			if err != nil {
+				return false
+			}
+			tups = append(tups, tup{s, d, false})
+		}
+		for i := range tups {
+			if rng.Intn(2) == 0 {
+				p.MarkDead(tups[i].slot)
+				tups[i].dead = true
+			}
+		}
+		p.Compact()
+		for _, tp := range tups {
+			got, err := p.Tuple(tp.slot)
+			if tp.dead {
+				if err == nil {
+					return false
+				}
+				continue
+			}
+			if err != nil || !bytes.Equal(got, tp.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

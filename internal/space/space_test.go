@@ -1,0 +1,130 @@
+package space
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExtentAllocationContiguity(t *testing.T) {
+	a := NewAllocator(10000, 64)
+	// Blocks within one extent are contiguous device pages.
+	p0, err := a.DevicePage(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p63, _ := a.DevicePage(1, 63)
+	if p63 != p0+63 {
+		t.Errorf("extent not contiguous: %d vs %d", p0, p63)
+	}
+	// Next extent of the same relation is a fresh grant.
+	p64, _ := a.DevicePage(1, 64)
+	if p64 == p0+64 {
+		// May or may not be adjacent depending on interleaving; with no
+		// other relation it IS adjacent.
+	}
+	if a.ExtentsOf(1) != 2 {
+		t.Errorf("ExtentsOf = %d, want 2", a.ExtentsOf(1))
+	}
+}
+
+func TestRelationsSeparated(t *testing.T) {
+	a := NewAllocator(10000, 64)
+	p1, _ := a.DevicePage(1, 0)
+	p2, _ := a.DevicePage(2, 0)
+	if p1 == p2 {
+		t.Error("two relations share a device page")
+	}
+	// The paper: pages of different relations at different locations —
+	// extents must not overlap.
+	if p2 < p1+64 && p2 >= p1 {
+		t.Errorf("extents overlap: rel1@%d rel2@%d", p1, p2)
+	}
+}
+
+func TestPeekDoesNotAllocate(t *testing.T) {
+	a := NewAllocator(1000, 64)
+	if _, ok := a.Peek(1, 0); ok {
+		t.Error("Peek should miss before allocation")
+	}
+	if a.AllocatedPages() != 0 {
+		t.Error("Peek must not allocate")
+	}
+	a.DevicePage(1, 0)
+	if _, ok := a.Peek(1, 5); !ok {
+		t.Error("Peek should hit within the granted extent")
+	}
+}
+
+func TestOnAllocHookFiresOncePerExtent(t *testing.T) {
+	a := NewAllocator(10000, 64)
+	var grants []uint32
+	a.OnAlloc = func(rel uint32, ext uint32, base int64) {
+		grants = append(grants, ext)
+	}
+	for b := uint32(0); b < 200; b++ {
+		if _, err := a.DevicePage(3, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 200 blocks / 64 per extent = 4 extents (0..3).
+	if len(grants) != 4 {
+		t.Errorf("grants = %v, want 4 extents", grants)
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	a := NewAllocator(128, 64)
+	if _, err := a.DevicePage(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.DevicePage(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.DevicePage(3, 0); err == nil {
+		t.Error("third extent should exceed capacity")
+	}
+}
+
+func TestRestoreIdempotent(t *testing.T) {
+	a := NewAllocator(10000, 64)
+	a.Restore(1, 0, 128)
+	a.Restore(1, 0, 128)
+	p, ok := a.Peek(1, 10)
+	if !ok || p != 138 {
+		t.Errorf("Peek after restore = %d,%v; want 138,true", p, ok)
+	}
+	if a.AllocatedPages() != 192 {
+		t.Errorf("AllocatedPages = %d, want 192 (high-water past restored extent)", a.AllocatedPages())
+	}
+	// New grants go past the restored region.
+	p2, _ := a.DevicePage(2, 0)
+	if p2 < 192 {
+		t.Errorf("new grant %d overlaps restored extent", p2)
+	}
+}
+
+// Property: distinct (rel, block) pairs never map to the same device page.
+func TestNoAliasingProperty(t *testing.T) {
+	f := func(pairsRaw []uint16) bool {
+		a := NewAllocator(1<<20, 16)
+		seen := map[int64][2]uint32{}
+		for _, pr := range pairsRaw {
+			rel := uint32(pr >> 8)
+			block := uint32(pr & 0xFF)
+			p, err := a.DevicePage(rel, block)
+			if err != nil {
+				return true // capacity; fine
+			}
+			if prev, ok := seen[p]; ok {
+				if prev != [2]uint32{rel, block} {
+					return false
+				}
+			}
+			seen[p] = [2]uint32{rel, block}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

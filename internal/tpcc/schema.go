@@ -1,0 +1,199 @@
+// Package tpcc implements a TPC-C-style workload (the paper evaluates with
+// DBT-2, the open-source TPC-C implementation) against either storage
+// engine, driven entirely in virtual time.
+//
+// Scaling note: real TPC-C populates 100 000 items, 3 000 customers per
+// district and ~10 MB-scale rows per warehouse (~100 MB/WH with indexes).
+// To keep simulated runs laptop-fast we scale cardinalities down by 10x
+// (1 000 items, 300 customers/district, 300 initial orders/district) while
+// keeping the *relative* growth per warehouse, the transaction mix, and the
+// access skew. The buffer pool is scaled in the same proportion by the
+// benchmark harness, so cache-pressure crossover points appear at warehouse
+// counts comparable to the paper's.
+package tpcc
+
+import "sias/internal/tuple"
+
+// Default scaled cardinalities (see package comment).
+const (
+	Items                = 1000
+	CustomersPerDistrict = 300
+	DistrictsPerWH       = 10
+	InitialOrders        = 300
+	StockPerWH           = Items
+)
+
+// Scale holds the per-warehouse population cardinalities. DefaultScale is
+// the package's 10x-reduced TPC-C population; warehouse sweeps may reduce it
+// further (keeping the pool proportional) to keep simulations fast.
+type Scale struct {
+	Items                int
+	CustomersPerDistrict int
+	InitialOrders        int
+}
+
+// DefaultScale returns the standard scaled-down population.
+func DefaultScale() Scale {
+	return Scale{Items: Items, CustomersPerDistrict: CustomersPerDistrict, InitialOrders: InitialOrders}
+}
+
+// SmallScale returns a further-reduced population for wide warehouse sweeps.
+func SmallScale() Scale {
+	return Scale{Items: 200, CustomersPerDistrict: 60, InitialOrders: 60}
+}
+
+// RowsPerWarehouse estimates the loaded row count for capacity planning.
+func (s Scale) RowsPerWarehouse() int {
+	perDistrict := s.CustomersPerDistrict + s.InitialOrders + s.InitialOrders*10 + s.InitialOrders/3
+	return s.Items /* stock */ + 1 + DistrictsPerWH*(1+perDistrict)
+}
+
+// Key packing: every table's composite key packs into an int64.
+//
+//	warehouse: w
+//	district:  w<<8 | d                     (d in 1..10)
+//	customer:  (w<<8|d)<<16 | c             (c in 1..CustomersPerDistrict)
+//	order:     (w<<8|d)<<24 | o
+//	new-order: same as order
+//	orderline: ((w<<8|d)<<24|o)<<4 | line   (line in 1..15)
+//	item:      i
+//	stock:     w<<16 | i
+//	history:   monotonically increasing sequence
+func KeyWarehouse(w int64) int64 { return w }
+
+// KeyDistrict packs (w, d).
+func KeyDistrict(w, d int64) int64 { return w<<8 | d }
+
+// KeyCustomer packs (w, d, c).
+func KeyCustomer(w, d, c int64) int64 { return KeyDistrict(w, d)<<16 | c }
+
+// KeyOrder packs (w, d, o).
+func KeyOrder(w, d, o int64) int64 { return KeyDistrict(w, d)<<24 | o }
+
+// KeyOrderLine packs (w, d, o, line).
+func KeyOrderLine(w, d, o, line int64) int64 { return KeyOrder(w, d, o)<<4 | line }
+
+// KeyItem is the item id.
+func KeyItem(i int64) int64 { return i }
+
+// KeyStock packs (w, i).
+func KeyStock(w, i int64) int64 { return w<<16 | i }
+
+// Table schemas. Pad columns bring row sizes to realistic proportions
+// (scaled ~1:3 from TPC-C's spec sizes).
+func WarehouseSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "w_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "w_name", Type: tuple.TypeString},
+		tuple.Column{Name: "w_tax", Type: tuple.TypeFloat64},
+		tuple.Column{Name: "w_ytd", Type: tuple.TypeFloat64},
+		tuple.Column{Name: "w_pad", Type: tuple.TypeString},
+	)
+}
+
+// DistrictSchema includes d_next_o_id, the hottest update target.
+func DistrictSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "d_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "d_name", Type: tuple.TypeString},
+		tuple.Column{Name: "d_tax", Type: tuple.TypeFloat64},
+		tuple.Column{Name: "d_ytd", Type: tuple.TypeFloat64},
+		tuple.Column{Name: "d_next_o_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "d_pad", Type: tuple.TypeString},
+	)
+}
+
+// CustomerSchema carries balance/payment counters and the last-name key.
+func CustomerSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "c_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "c_last", Type: tuple.TypeString},
+		tuple.Column{Name: "c_credit", Type: tuple.TypeString},
+		tuple.Column{Name: "c_balance", Type: tuple.TypeFloat64},
+		tuple.Column{Name: "c_ytd_payment", Type: tuple.TypeFloat64},
+		tuple.Column{Name: "c_payment_cnt", Type: tuple.TypeInt64},
+		tuple.Column{Name: "c_delivery_cnt", Type: tuple.TypeInt64},
+		tuple.Column{Name: "c_data", Type: tuple.TypeString}, // miscellaneous info, updated on bad credit
+	)
+}
+
+// OrderSchema holds the order header.
+func OrderSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "o_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "o_c_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "o_carrier_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "o_ol_cnt", Type: tuple.TypeInt64},
+		tuple.Column{Name: "o_entry_d", Type: tuple.TypeInt64},
+	)
+}
+
+// NewOrderSchema marks undelivered orders.
+func NewOrderSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "no_o_id", Type: tuple.TypeInt64},
+	)
+}
+
+// OrderLineSchema is the highest-volume insert target.
+func OrderLineSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "ol_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "ol_i_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "ol_qty", Type: tuple.TypeInt64},
+		tuple.Column{Name: "ol_amount", Type: tuple.TypeFloat64},
+		tuple.Column{Name: "ol_dist_info", Type: tuple.TypeString},
+	)
+}
+
+// ItemSchema is read-only after load.
+func ItemSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "i_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "i_name", Type: tuple.TypeString},
+		tuple.Column{Name: "i_price", Type: tuple.TypeFloat64},
+		tuple.Column{Name: "i_data", Type: tuple.TypeString},
+	)
+}
+
+// StockSchema is the highest-volume update target.
+func StockSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "s_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "s_qty", Type: tuple.TypeInt64},
+		tuple.Column{Name: "s_ytd", Type: tuple.TypeInt64},
+		tuple.Column{Name: "s_order_cnt", Type: tuple.TypeInt64},
+		tuple.Column{Name: "s_remote_cnt", Type: tuple.TypeInt64},
+		tuple.Column{Name: "s_data", Type: tuple.TypeString},
+	)
+}
+
+// HistorySchema is insert-only.
+func HistorySchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "h_id", Type: tuple.TypeInt64},
+		tuple.Column{Name: "h_c_key", Type: tuple.TypeInt64},
+		tuple.Column{Name: "h_amount", Type: tuple.TypeFloat64},
+		tuple.Column{Name: "h_data", Type: tuple.TypeString},
+	)
+}
+
+// lastNames are the TPC-C syllables; c_last is built from three of them.
+var lastSyllables = []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// LastName builds the TPC-C customer last name for a number in 0..999.
+func LastName(num int) string {
+	return lastSyllables[num/100] + lastSyllables[(num/10)%10] + lastSyllables[num%10]
+}
+
+// LastNameIndex inverts LastName construction input (the 0..999 number used
+// as the secondary index key component).
+func LastNameIndex(c int64) int64 {
+	// Customers cycle through the 1000 names.
+	return c % 1000
+}
+
+// KeyCustomerByName packs the by-last-name secondary key for (w, d, name#).
+func KeyCustomerByName(w, d, nameNum int64) int64 {
+	return KeyDistrict(w, d)<<10 | nameNum
+}

@@ -1,0 +1,203 @@
+// Package trace implements a blktrace-style I/O recorder for the simulated
+// device layer, plus a blkparse-like aggregator and an ASCII scatter renderer.
+//
+// The paper visualizes device behaviour with blktrace (Figures 3 and 4: block
+// number over time, reads vs writes) and quantifies write volume with
+// blkparse (Table 1). The device simulators feed every page operation through
+// a Recorder; the aggregation and rendering here regenerate both artifacts.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sias/internal/simclock"
+)
+
+// Op is the kind of device operation recorded.
+type Op uint8
+
+const (
+	// Read is a device page read.
+	Read Op = iota
+	// Write is a device page write (host-issued).
+	Write
+	// Erase is a flash block erase (device-internal).
+	Erase
+)
+
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	case Erase:
+		return "E"
+	}
+	return "?"
+}
+
+// Event is one recorded device operation, analogous to a blktrace record.
+type Event struct {
+	At    simclock.Time
+	Op    Op
+	Block int64 // device page number (the paper's "block number" axis)
+	Bytes int
+}
+
+// Recorder collects events. A nil *Recorder is valid and records nothing, so
+// devices can be run untraced without branching at every call site.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends one event. Safe for concurrent use; no-op on nil receiver.
+func (r *Recorder) Record(at simclock.Time, op Op, block int64, bytes int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{At: at, Op: op, Block: block, Bytes: bytes})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events sorted by time.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.mu.Unlock()
+}
+
+// Summary is the blkparse-like aggregate of a trace.
+type Summary struct {
+	Reads      int
+	Writes     int
+	Erases     int
+	ReadBytes  int64
+	WriteBytes int64
+	Span       simclock.Duration // time between first and last event
+}
+
+// ReadMB reports total read volume in megabytes (1 MB = 2^20 bytes).
+func (s Summary) ReadMB() float64 { return float64(s.ReadBytes) / (1 << 20) }
+
+// WriteMB reports total write volume in megabytes.
+func (s Summary) WriteMB() float64 { return float64(s.WriteBytes) / (1 << 20) }
+
+// Summarize aggregates a trace the way blkparse totals do.
+func (r *Recorder) Summarize() Summary {
+	var s Summary
+	evs := r.Events()
+	if len(evs) == 0 {
+		return s
+	}
+	for _, e := range evs {
+		switch e.Op {
+		case Read:
+			s.Reads++
+			s.ReadBytes += int64(e.Bytes)
+		case Write:
+			s.Writes++
+			s.WriteBytes += int64(e.Bytes)
+		case Erase:
+			s.Erases++
+		}
+	}
+	s.Span = evs[len(evs)-1].At.Sub(evs[0].At)
+	return s
+}
+
+// Scatter renders the trace as an ASCII scatter plot in the style of the
+// paper's blocktrace figures: x axis is virtual time, y axis is block number,
+// 'r' marks reads, 'W' marks writes (writes drawn on top, as they are the
+// scarcer, more interesting signal under SIAS).
+func (r *Recorder) Scatter(width, height int) string {
+	evs := r.Events()
+	if len(evs) == 0 {
+		return "(empty trace)\n"
+	}
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	minT, maxT := evs[0].At, evs[len(evs)-1].At
+	var minB, maxB int64 = evs[0].Block, evs[0].Block
+	for _, e := range evs {
+		if e.Block < minB {
+			minB = e.Block
+		}
+		if e.Block > maxB {
+			maxB = e.Block
+		}
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	if maxB == minB {
+		maxB = minB + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(e Event, ch byte) {
+		x := int(int64(e.At-minT) * int64(width-1) / int64(maxT-minT))
+		y := int((e.Block - minB) * int64(height-1) / (maxB - minB))
+		row := height - 1 - y // block numbers grow upward
+		grid[row][x] = ch
+	}
+	for _, e := range evs {
+		if e.Op == Read {
+			plot(e, 'r')
+		}
+	}
+	for _, e := range evs {
+		if e.Op == Write {
+			plot(e, 'W')
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "block %d..%d over %s  (r=read W=write)\n", minB, maxB, (maxT - minT).String())
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sias/internal/simclock"
+)
+
+func TestRecordAndSummarize(t *testing.T) {
+	r := New()
+	r.Record(0, Write, 10, 8192)
+	r.Record(simclock.Time(simclock.Second), Read, 20, 8192)
+	r.Record(simclock.Time(2*simclock.Second), Erase, 0, 0)
+	s := r.Summarize()
+	if s.Reads != 1 || s.Writes != 1 || s.Erases != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.WriteMB() != 8192.0/(1<<20) {
+		t.Errorf("WriteMB = %v", s.WriteMB())
+	}
+	if s.Span != 2*simclock.Second {
+		t.Errorf("Span = %v", s.Span)
+	}
+}
+
+func TestEventsSortedByTime(t *testing.T) {
+	r := New()
+	r.Record(simclock.Time(5), Read, 1, 10)
+	r.Record(simclock.Time(1), Write, 2, 10)
+	r.Record(simclock.Time(3), Read, 3, 10)
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events not sorted: %v", evs)
+		}
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Record(0, Read, 1, 1) // must not panic
+	if r.Len() != 0 {
+		t.Error("nil recorder should be empty")
+	}
+	if r.Events() != nil {
+		t.Error("nil recorder events should be nil")
+	}
+	if s := r.Summarize(); s.Reads != 0 {
+		t.Error("nil recorder summary should be zero")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Record(0, Read, 1, 1)
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+func TestScatterRendering(t *testing.T) {
+	r := New()
+	r.Record(0, Read, 0, 8192)
+	r.Record(simclock.Time(simclock.Second), Write, 100, 8192)
+	out := r.Scatter(40, 10)
+	if !strings.Contains(out, "r") {
+		t.Error("scatter missing read marks")
+	}
+	if !strings.Contains(out, "W") {
+		t.Error("scatter missing write marks")
+	}
+	if !strings.Contains(out, "block 0..100") {
+		t.Errorf("scatter header wrong:\n%s", out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	r := New()
+	if out := r.Scatter(10, 5); !strings.Contains(out, "empty") {
+		t.Errorf("empty scatter = %q", out)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Record(simclock.Time(j), Op(i%2), int64(j), 8192)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 4000 {
+		t.Errorf("Len = %d, want 4000", r.Len())
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" || Erase.String() != "E" {
+		t.Error("Op strings wrong")
+	}
+}

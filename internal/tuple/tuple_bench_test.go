@@ -1,0 +1,58 @@
+package tuple
+
+import (
+	"testing"
+
+	"sias/internal/page"
+)
+
+func BenchmarkEncodeSIAS(b *testing.B) {
+	payload := make([]byte, 120)
+	hdr := SIASHeader{Create: 42, VID: 7, Pred: page.TID{Block: 3, Slot: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeSIAS(hdr, payload)
+	}
+}
+
+func BenchmarkDecodeSIAS(b *testing.B) {
+	enc := EncodeSIAS(SIASHeader{Create: 42, VID: 7}, make([]byte, 120))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeSIAS(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRowEncode(b *testing.B) {
+	s := NewSchema(
+		Column{"id", TypeInt64},
+		Column{"name", TypeString},
+		Column{"balance", TypeFloat64},
+		Column{"pad", TypeString},
+	)
+	row := Row{int64(123456), "customer name", 99.5, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EncodeRow(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRowDecode(b *testing.B) {
+	s := NewSchema(
+		Column{"id", TypeInt64},
+		Column{"name", TypeString},
+		Column{"balance", TypeFloat64},
+		Column{"pad", TypeString},
+	)
+	enc, _ := s.EncodeRow(Row{int64(123456), "customer name", 99.5, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.DecodeRow(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

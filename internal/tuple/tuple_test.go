@@ -1,0 +1,179 @@
+package tuple
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sias/internal/page"
+	"sias/internal/txn"
+)
+
+func TestSIASHeaderRoundtrip(t *testing.T) {
+	f := func(create uint64, vid uint64, block uint32, slot uint16, flags uint8, payload []byte) bool {
+		hdr := SIASHeader{
+			Create: txn.ID(create),
+			VID:    vid,
+			Pred:   page.TID{Block: block, Slot: slot},
+			Flags:  flags,
+		}
+		enc := EncodeSIAS(hdr, payload)
+		got, pl, err := DecodeSIAS(enc)
+		return err == nil && got == hdr && bytes.Equal(pl, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSIHeaderRoundtrip(t *testing.T) {
+	f := func(xmin, xmax uint64, block uint32, slot uint16, flags uint8, payload []byte) bool {
+		hdr := SIHeader{
+			Xmin:  txn.ID(xmin),
+			Xmax:  txn.ID(xmax),
+			CTID:  page.TID{Block: block, Slot: slot},
+			Flags: flags,
+		}
+		enc := EncodeSI(hdr, payload)
+		got, pl, err := DecodeSI(enc)
+		return err == nil && got == hdr && bytes.Equal(pl, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetSIXmaxInPlace(t *testing.T) {
+	hdr := SIHeader{Xmin: 10, CTID: page.InvalidTID}
+	enc := EncodeSI(hdr, []byte("row"))
+	if err := SetSIXmax(enc, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, payload, err := DecodeSI(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Xmax != 42 {
+		t.Errorf("Xmax = %d, want 42", got.Xmax)
+	}
+	if got.Xmin != 10 {
+		t.Errorf("Xmin changed: %d", got.Xmin)
+	}
+	if string(payload) != "row" {
+		t.Errorf("payload changed: %q", payload)
+	}
+}
+
+func TestSetSICTIDInPlace(t *testing.T) {
+	enc := EncodeSI(SIHeader{Xmin: 1, CTID: page.InvalidTID}, nil)
+	want := page.TID{Block: 9, Slot: 3}
+	if err := SetSICTID(enc, want); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := DecodeSI(enc)
+	if got.CTID != want {
+		t.Errorf("CTID = %v, want %v", got.CTID, want)
+	}
+}
+
+func TestDecodeTooShort(t *testing.T) {
+	if _, _, err := DecodeSIAS(make([]byte, SIASHeaderSize-1)); err == nil {
+		t.Error("DecodeSIAS should reject short input")
+	}
+	if _, _, err := DecodeSI(make([]byte, SIHeaderSize-1)); err == nil {
+		t.Error("DecodeSI should reject short input")
+	}
+	if err := SetSIXmax(make([]byte, 4), 1); err == nil {
+		t.Error("SetSIXmax should reject short input")
+	}
+}
+
+func TestTombstoneFlag(t *testing.T) {
+	h := SIASHeader{Flags: FlagTombstone}
+	if !h.Tombstone() {
+		t.Error("tombstone flag not detected")
+	}
+	if (SIASHeader{}).Tombstone() {
+		t.Error("zero header should not be a tombstone")
+	}
+}
+
+func TestRowRoundtrip(t *testing.T) {
+	s := NewSchema(
+		Column{"id", TypeInt64},
+		Column{"name", TypeString},
+		Column{"balance", TypeFloat64},
+		Column{"data", TypeBytes},
+		Column{"active", TypeBool},
+	)
+	rows := []Row{
+		{int64(1), "alice", 3.14, []byte{1, 2, 3}, true},
+		{int64(-99), "", 0.0, []byte{}, false},
+		{int64(1 << 40), "üñïçødé", -2.5e300, nil, true},
+		{nil, nil, nil, nil, nil},
+	}
+	for i, r := range rows {
+		enc, err := s.EncodeRow(r)
+		if err != nil {
+			t.Fatalf("row %d encode: %v", i, err)
+		}
+		got, err := s.DecodeRow(enc)
+		if err != nil {
+			t.Fatalf("row %d decode: %v", i, err)
+		}
+		for c := range s.Cols {
+			switch want := r[c].(type) {
+			case []byte:
+				gb, ok := got[c].([]byte)
+				if !ok || !bytes.Equal(gb, want) {
+					t.Errorf("row %d col %d = %v, want %v", i, c, got[c], want)
+				}
+			default:
+				if got[c] != r[c] {
+					t.Errorf("row %d col %d = %v, want %v", i, c, got[c], r[c])
+				}
+			}
+		}
+	}
+}
+
+func TestRowTypeMismatch(t *testing.T) {
+	s := NewSchema(Column{"id", TypeInt64})
+	if _, err := s.EncodeRow(Row{"not an int"}); err == nil {
+		t.Error("EncodeRow should reject wrong dynamic type")
+	}
+	if _, err := s.EncodeRow(Row{int64(1), int64(2)}); err == nil {
+		t.Error("EncodeRow should reject arity mismatch")
+	}
+}
+
+func TestRowRoundtripProperty(t *testing.T) {
+	s := NewSchema(
+		Column{"a", TypeInt64},
+		Column{"b", TypeString},
+		Column{"c", TypeFloat64},
+	)
+	f := func(a int64, b string, c float64) bool {
+		enc, err := s.EncodeRow(Row{a, b, c})
+		if err != nil {
+			return false
+		}
+		got, err := s.DecodeRow(enc)
+		if err != nil {
+			return false
+		}
+		return got[0] == a && got[1] == b && (got[2] == c || c != c /* NaN */)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRowTrailingGarbage(t *testing.T) {
+	s := NewSchema(Column{"a", TypeInt64})
+	enc, _ := s.EncodeRow(Row{int64(5)})
+	enc = append(enc, 0xFF)
+	if _, err := s.DecodeRow(enc); err == nil {
+		t.Error("DecodeRow should reject trailing bytes")
+	}
+}

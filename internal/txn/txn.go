@@ -1,0 +1,427 @@
+// Package txn implements the transactional substrate shared by the SI
+// baseline and the SIAS engine: transaction id allocation, snapshots,
+// a commit log (CLOG), and transaction locks with first-updater-wins
+// semantics.
+//
+// Snapshot isolation follows Berenson et al.: a transaction sees exactly the
+// versions committed before it started. Per the paper's Algorithm 1, a tuple
+// version X is visible to transaction tx iff
+//
+//	X.create <= tx.id  AND  X.create not in tx.concurrent
+//
+// augmented (as in any real system) with the requirement that X.create
+// actually committed — versions of aborted transactions are never visible.
+// The "concurrent" set is captured at Begin time; a transaction always sees
+// its own writes.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ID is a transaction identifier. IDs are assigned in Begin order and double
+// as the creation "timestamp" on tuple versions, exactly as in the paper.
+type ID uint64
+
+// InvalidID is the zero, never-assigned transaction id.
+const InvalidID ID = 0
+
+// Status is the lifecycle state of a transaction recorded in the CLOG.
+type Status uint8
+
+// Transaction states.
+const (
+	StatusInProgress Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusInProgress:
+		return "in-progress"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// Errors returned by the transaction layer.
+var (
+	// ErrSerialization is the first-updater-wins failure: a concurrent
+	// transaction already updated (and committed) the data item.
+	ErrSerialization = errors.New("txn: could not serialize access due to concurrent update")
+	// ErrLockTimeout is returned when a lock wait exceeds its deadline,
+	// which subsumes deadlock handling.
+	ErrLockTimeout = errors.New("txn: lock wait timeout (possible deadlock)")
+	// ErrFinished is returned when operating on a committed/aborted tx.
+	ErrFinished = errors.New("txn: transaction already finished")
+)
+
+// Snapshot captures the visibility horizon of a transaction at Begin.
+type Snapshot struct {
+	// XMin is the smallest transaction id that was still running at Begin;
+	// everything below it is decided (committed or aborted).
+	XMin ID
+	// XMax is the first transaction id NOT assigned at Begin time; ids at or
+	// above it belong to transactions that started later.
+	XMax ID
+	// Concurrent holds the ids that were in progress at Begin, sorted.
+	Concurrent []ID
+}
+
+// InConcurrent reports whether id was running when the snapshot was taken.
+func (s *Snapshot) InConcurrent(id ID) bool {
+	i := sort.Search(len(s.Concurrent), func(i int) bool { return s.Concurrent[i] >= id })
+	return i < len(s.Concurrent) && s.Concurrent[i] == id
+}
+
+// Tx is a running (or finished) transaction.
+type Tx struct {
+	ID       ID
+	Snap     Snapshot
+	mgr      *Manager
+	mu       sync.Mutex
+	status   Status
+	locks    []LockKey
+	onFinish []func(committed bool)
+}
+
+// Status returns the transaction's current state.
+func (t *Tx) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// OnFinish registers fn to run when the transaction commits or aborts,
+// after the CLOG is updated but before locks are released. Storage managers
+// use this to flip their in-memory entrypoint state atomically with commit.
+func (t *Tx) OnFinish(fn func(committed bool)) {
+	t.mu.Lock()
+	t.onFinish = append(t.onFinish, fn)
+	t.mu.Unlock()
+}
+
+// Visible implements the paper's isVisible check for this transaction:
+// the version created by `create` is visible iff it is the transaction's own
+// write, or it committed before this transaction began.
+func (t *Tx) Visible(create ID) bool {
+	if create == t.ID {
+		return true
+	}
+	if create >= t.Snap.XMax {
+		return false // started after us
+	}
+	if t.Snap.InConcurrent(create) {
+		return false // running while we started
+	}
+	return t.mgr.clog.Get(create) == StatusCommitted
+}
+
+// Manager allocates transaction ids, tracks the active set, owns the CLOG
+// and the lock table.
+type Manager struct {
+	mu     sync.Mutex
+	nextID ID
+	active map[ID]*Tx
+
+	clog  *CLOG
+	locks *LockTable
+
+	// WaitBudget bounds a lock wait; it subsumes deadlock detection.
+	WaitBudget time.Duration
+}
+
+// NewManager returns a manager whose first transaction gets id 1.
+func NewManager() *Manager {
+	m := &Manager{
+		nextID:     1,
+		active:     map[ID]*Tx{},
+		clog:       NewCLOG(),
+		WaitBudget: 2 * time.Second,
+	}
+	m.locks = NewLockTable(m)
+	return m
+}
+
+// CLOG exposes the commit log (recovery rebuilds it from WAL records).
+func (m *Manager) CLOG() *CLOG { return m.clog }
+
+// Begin starts a transaction, capturing its snapshot atomically with id
+// assignment.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	snap := Snapshot{XMax: id, XMin: id}
+	for aid := range m.active {
+		snap.Concurrent = append(snap.Concurrent, aid)
+		if aid < snap.XMin {
+			snap.XMin = aid
+		}
+	}
+	sort.Slice(snap.Concurrent, func(i, j int) bool { return snap.Concurrent[i] < snap.Concurrent[j] })
+	t := &Tx{ID: id, Snap: snap, mgr: m, status: StatusInProgress}
+	m.active[id] = t
+	m.mu.Unlock()
+	m.clog.Set(id, StatusInProgress)
+	return t
+}
+
+// finish transitions a transaction to its final state.
+func (m *Manager) finish(t *Tx, st Status) error {
+	t.mu.Lock()
+	if t.status != StatusInProgress {
+		t.mu.Unlock()
+		return ErrFinished
+	}
+	t.status = st
+	hooks := t.onFinish
+	t.onFinish = nil
+	locks := t.locks
+	t.locks = nil
+	t.mu.Unlock()
+
+	m.clog.Set(t.ID, st)
+	// LIFO, like defer: when one transaction updated the same item several
+	// times, rollback must unwind the entrypoint swings newest-first so the
+	// VIDmap lands back on the pre-transaction version.
+	for i := len(hooks) - 1; i >= 0; i-- {
+		hooks[i](st == StatusCommitted)
+	}
+	m.mu.Lock()
+	delete(m.active, t.ID)
+	m.mu.Unlock()
+	for _, k := range locks {
+		m.locks.release(t, k)
+	}
+	return nil
+}
+
+// Commit commits t: CLOG update, finish hooks, lock release, waiter wakeup.
+func (m *Manager) Commit(t *Tx) error { return m.finish(t, StatusCommitted) }
+
+// Abort rolls t back.
+func (m *Manager) Abort(t *Tx) error { return m.finish(t, StatusAborted) }
+
+// SetNextID fast-forwards the id allocator; used by recovery so new
+// transactions sort after everything in the replayed log.
+func (m *Manager) SetNextID(id ID) {
+	m.mu.Lock()
+	if id > m.nextID {
+		m.nextID = id
+	}
+	m.mu.Unlock()
+}
+
+// Horizon returns the oldest transaction id that could still be relevant to
+// any active snapshot: versions created before every active snapshot's XMin
+// and superseded by equally-old successors are garbage.
+func (m *Manager) Horizon() ID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.nextID
+	for _, t := range m.active {
+		if t.Snap.XMin < h {
+			h = t.Snap.XMin
+		}
+	}
+	return h
+}
+
+// ActiveCount reports the number of in-progress transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Locks exposes the lock table.
+func (m *Manager) Locks() *LockTable { return m.locks }
+
+// CLOG records the final status of every transaction. It is a growable,
+// mutex-protected array indexed by transaction id — the moral equivalent of
+// PostgreSQL's pg_clog.
+type CLOG struct {
+	mu sync.RWMutex
+	s  []Status
+}
+
+// NewCLOG returns an empty commit log.
+func NewCLOG() *CLOG { return &CLOG{} }
+
+// Set records the status of id.
+func (c *CLOG) Set(id ID, st Status) {
+	c.mu.Lock()
+	for int(id) >= len(c.s) {
+		c.s = append(c.s, StatusInProgress)
+	}
+	c.s[id] = st
+	c.mu.Unlock()
+}
+
+// Get reports the status of id; unknown ids are in-progress (never assigned
+// means never committed — recovery relies on this default for loser txns).
+func (c *CLOG) Get(id ID) Status {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if int(id) >= len(c.s) {
+		return StatusInProgress
+	}
+	return c.s[id]
+}
+
+// LockKey names a lockable data item: a relation and the item's stable
+// identity within it (the VID under SIAS, the root TID's packed form under
+// the SI baseline).
+type LockKey struct {
+	Rel  uint32
+	Item uint64
+}
+
+func (k LockKey) String() string { return fmt.Sprintf("rel %d item %d", k.Rel, k.Item) }
+
+type lockEntry struct {
+	holder  *Tx
+	waiters int
+	cond    *sync.Cond
+}
+
+// LockTable provides exclusive per-data-item transaction locks. The paper
+// uses PostgreSQL transaction locks to implement first-updater-wins: an
+// updater takes the item's lock for the remainder of its transaction; a
+// second updater blocks until the first finishes (Algorithm 3, lines 7/15),
+// then the caller re-validates the entrypoint and aborts if the first
+// updater committed.
+type LockTable struct {
+	mgr *Manager
+	mu  sync.Mutex
+	tab map[LockKey]*lockEntry
+}
+
+// NewLockTable returns an empty table.
+func NewLockTable(m *Manager) *LockTable {
+	return &LockTable{mgr: m, tab: map[LockKey]*lockEntry{}}
+}
+
+// Acquire takes the exclusive lock on key for t, blocking while another
+// transaction holds it. Re-entrant for the same transaction. Returns
+// ErrLockTimeout if the manager's WaitBudget elapses (deadlock escape).
+func (lt *LockTable) Acquire(t *Tx, key LockKey) error {
+	if t.Status() != StatusInProgress {
+		return ErrFinished
+	}
+	lt.mu.Lock()
+	e := lt.tab[key]
+	if e == nil {
+		e = &lockEntry{}
+		e.cond = sync.NewCond(&lt.mu)
+		lt.tab[key] = e
+	}
+	if e.holder == t {
+		lt.mu.Unlock()
+		return nil
+	}
+	deadline := time.Now().Add(lt.mgr.WaitBudget)
+	for e.holder != nil {
+		e.waiters++
+		waitDone := make(chan struct{})
+		go func() {
+			// Timeout watchdog: wake the cond var when the deadline passes
+			// so the waiter can observe it. Broadcast is spurious-wakeup
+			// safe by construction of the loop.
+			timer := time.NewTimer(time.Until(deadline))
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+				lt.mu.Lock()
+				e.cond.Broadcast()
+				lt.mu.Unlock()
+			case <-waitDone:
+			}
+		}()
+		e.cond.Wait()
+		close(waitDone)
+		e.waiters--
+		if e.holder == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			if e.waiters == 0 && e.holder == nil {
+				delete(lt.tab, key)
+			}
+			lt.mu.Unlock()
+			return ErrLockTimeout
+		}
+	}
+	e.holder = t
+	lt.mu.Unlock()
+
+	t.mu.Lock()
+	if t.status != StatusInProgress {
+		// Lost a race with finish(); release immediately.
+		t.mu.Unlock()
+		lt.release(t, key)
+		return ErrFinished
+	}
+	t.locks = append(t.locks, key)
+	t.mu.Unlock()
+	return nil
+}
+
+// TryAcquire takes the lock if free, without blocking. Reports success.
+func (lt *LockTable) TryAcquire(t *Tx, key LockKey) bool {
+	lt.mu.Lock()
+	e := lt.tab[key]
+	if e == nil {
+		e = &lockEntry{}
+		e.cond = sync.NewCond(&lt.mu)
+		lt.tab[key] = e
+	}
+	if e.holder != nil && e.holder != t {
+		lt.mu.Unlock()
+		return false
+	}
+	already := e.holder == t
+	e.holder = t
+	lt.mu.Unlock()
+	if !already {
+		t.mu.Lock()
+		t.locks = append(t.locks, key)
+		t.mu.Unlock()
+	}
+	return true
+}
+
+// Holder returns the transaction currently holding key, or nil.
+func (lt *LockTable) Holder(key LockKey) *Tx {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if e := lt.tab[key]; e != nil {
+		return e.holder
+	}
+	return nil
+}
+
+// release drops t's lock on key and wakes waiters ("WakeUp waiting
+// transactions" in Algorithms 2 and 3).
+func (lt *LockTable) release(t *Tx, key LockKey) {
+	lt.mu.Lock()
+	e := lt.tab[key]
+	if e != nil && e.holder == t {
+		e.holder = nil
+		if e.waiters > 0 {
+			e.cond.Broadcast()
+		} else {
+			delete(lt.tab, key)
+		}
+	}
+	lt.mu.Unlock()
+}

@@ -1,0 +1,59 @@
+package vidmap
+
+import (
+	"testing"
+
+	"sias/internal/page"
+)
+
+// BenchmarkGet measures the paper's C_R: one slot load plus position math.
+func BenchmarkGet(b *testing.B) {
+	m := New()
+	for i := uint64(0); i < 1<<16; i++ {
+		m.Set(i, page.TID{Block: uint32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(uint64(i) & (1<<16 - 1))
+	}
+}
+
+// BenchmarkSet measures the paper's C_W ≈ 2×C_R.
+func BenchmarkSet(b *testing.B) {
+	m := New()
+	m.SetNextVID(1 << 16)
+	tid := page.TID{Block: 7, Slot: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(uint64(i)&(1<<16-1), tid)
+	}
+}
+
+// BenchmarkCAS measures the latch-free entrypoint swing.
+func BenchmarkCAS(b *testing.B) {
+	m := New()
+	a := page.TID{Block: 1}
+	c := page.TID{Block: 2}
+	m.Set(0, a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			m.CompareAndSwap(0, a, c)
+		} else {
+			m.CompareAndSwap(0, c, a)
+		}
+	}
+}
+
+// BenchmarkRange measures the VIDmap-order scan access path.
+func BenchmarkRange(b *testing.B) {
+	m := New()
+	for i := uint64(0); i < 1<<14; i++ {
+		m.Set(m.AllocVID(), page.TID{Block: uint32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		m.Range(func(uint64, page.TID) bool { n++; return true })
+	}
+}

@@ -1,0 +1,335 @@
+// Package wal implements a physiological write-ahead log with group commit
+// and a sequential recovery scanner.
+//
+// The paper notes (Section 6, Recovery) that SIAS does not impinge on the
+// MV-DBMS's inherent WAL-based recovery: the append threshold only delays
+// when data pages reach stable storage, while the WAL continues to guarantee
+// durability. Both engines here share this WAL. Records are length-prefixed
+// and CRC-framed in a byte stream that is buffered into device pages; the
+// tail page is rewritten as it fills, exactly like a real WAL segment.
+//
+// SIAS data structures (the VIDmap and per-relation append state) are NOT
+// logged: as in the paper, everything needed to reconstruct them is stored
+// on the tuple versions themselves, and recovery rebuilds the VIDmap by
+// scanning relations.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"sias/internal/device"
+	"sias/internal/page"
+	"sias/internal/simclock"
+	"sias/internal/txn"
+)
+
+// RecType enumerates WAL record kinds.
+type RecType uint8
+
+// WAL record kinds.
+const (
+	// RecCommit marks a transaction committed; its presence decides winners
+	// during recovery.
+	RecCommit RecType = iota + 1
+	// RecAbort marks a transaction rolled back.
+	RecAbort
+	// RecHeapInsert carries the after-image of a newly stored tuple version
+	// (an append under SIAS, an insert-into-free-space under SI).
+	RecHeapInsert
+	// RecHeapOverwrite carries the after-image of an in-place tuple
+	// overwrite (SI's invalidation of xmax / ctid).
+	RecHeapOverwrite
+	// RecHeapDead records a slot marked dead by vacuum/GC.
+	RecHeapDead
+	// RecAllocExtent records a space-manager extent grant so recovery can
+	// rebuild the relation-block-to-device-page mapping deterministically.
+	RecAllocExtent
+	// RecCheckpoint marks a checkpoint (all dirty pages flushed up to LSN).
+	RecCheckpoint
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	case RecHeapInsert:
+		return "heap-insert"
+	case RecHeapOverwrite:
+		return "heap-overwrite"
+	case RecHeapDead:
+		return "heap-dead"
+	case RecAllocExtent:
+		return "alloc-extent"
+	case RecCheckpoint:
+		return "checkpoint"
+	}
+	return "unknown"
+}
+
+// LSN is a byte offset into the log stream.
+type LSN uint64
+
+// Record is one WAL entry.
+type Record struct {
+	Type RecType
+	Tx   txn.ID
+	Rel  uint32
+	TID  page.TID
+	Aux  uint64 // record-specific: extent base page, checkpoint redo LSN, ...
+	Data []byte // tuple after-image for heap records
+}
+
+// header: crc(4) len(4) type(1) tx(8) rel(4) tid(6) aux(8) = 35 bytes
+const recHeaderSize = 4 + 4 + 1 + 8 + 4 + page.TIDSize + 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func encodeRecord(r *Record) []byte {
+	b := make([]byte, recHeaderSize+len(r.Data))
+	binary.LittleEndian.PutUint32(b[4:], uint32(recHeaderSize+len(r.Data)))
+	b[8] = byte(r.Type)
+	binary.LittleEndian.PutUint64(b[9:], uint64(r.Tx))
+	binary.LittleEndian.PutUint32(b[17:], r.Rel)
+	page.EncodeTID(b[21:], r.TID)
+	binary.LittleEndian.PutUint64(b[27:], r.Aux)
+	copy(b[recHeaderSize:], r.Data)
+	binary.LittleEndian.PutUint32(b[0:], crc32.Checksum(b[4:], castagnoli))
+	return b
+}
+
+// ErrEndOfLog is returned by the scanner at the end of valid records.
+var ErrEndOfLog = errors.New("wal: end of log")
+
+func allZeros(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func decodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recHeaderSize {
+		return Record{}, 0, ErrEndOfLog
+	}
+	length := int(binary.LittleEndian.Uint32(b[4:]))
+	if length < recHeaderSize || length > len(b) {
+		return Record{}, 0, ErrEndOfLog
+	}
+	crc := binary.LittleEndian.Uint32(b[0:])
+	if crc == 0 && length == recHeaderSize && b[8] == 0 {
+		return Record{}, 0, ErrEndOfLog // zeroed space
+	}
+	if crc32.Checksum(b[4:length], castagnoli) != crc {
+		return Record{}, 0, ErrEndOfLog // torn tail
+	}
+	r := Record{
+		Type: RecType(b[8]),
+		Tx:   txn.ID(binary.LittleEndian.Uint64(b[9:])),
+		Rel:  binary.LittleEndian.Uint32(b[17:]),
+		TID:  page.DecodeTID(b[21:]),
+		Aux:  binary.LittleEndian.Uint64(b[27:]),
+	}
+	if length > recHeaderSize {
+		r.Data = make([]byte, length-recHeaderSize)
+		copy(r.Data, b[recHeaderSize:length])
+	}
+	return r, length, nil
+}
+
+// Writer appends records to an in-memory tail and flushes complete and
+// partial pages to the log device. Safe for concurrent use.
+type Writer struct {
+	mu       sync.Mutex
+	dev      device.BlockDevice
+	pageSize int
+
+	pending    []byte // bytes not yet written to the device
+	pendingOff LSN    // stream offset of pending[0]
+	nextLSN    LSN
+	durable    LSN
+	fullSynced int64 // count of page writes issued
+}
+
+// NewWriter returns a writer logging to dev starting at stream offset 0.
+func NewWriter(dev device.BlockDevice) *Writer {
+	return NewWriterAt(dev, 0)
+}
+
+// NewWriterAt returns a writer whose log generation begins at start, which
+// must be page-aligned. Used after recovery to append past the old records.
+func NewWriterAt(dev device.BlockDevice, start LSN) *Writer {
+	if int(start)%dev.PageSize() != 0 {
+		panic("wal: start LSN must be page-aligned")
+	}
+	return &Writer{
+		dev:        dev,
+		pageSize:   dev.PageSize(),
+		pendingOff: start,
+		nextLSN:    start,
+		durable:    start,
+	}
+}
+
+// Append buffers a record and returns the LSN just past it. The record is
+// not durable until Flush reaches that LSN.
+func (w *Writer) Append(r *Record) LSN {
+	b := encodeRecord(r)
+	w.mu.Lock()
+	w.pending = append(w.pending, b...)
+	w.nextLSN += LSN(len(b))
+	lsn := w.nextLSN
+	w.mu.Unlock()
+	return lsn
+}
+
+// Flush makes the log durable up to at least lsn, writing whole pages to the
+// device (the tail page is padded and will be rewritten as it fills —
+// the usual WAL tail behaviour). Returns the virtual completion time.
+func (w *Writer) Flush(at simclock.Time, lsn LSN) (simclock.Time, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn <= w.durable {
+		return at, nil
+	}
+	// Write every page overlapping [pendingOff, nextLSN).
+	firstPage := int64(w.pendingOff) / int64(w.pageSize)
+	lastPage := int64(w.nextLSN-1) / int64(w.pageSize)
+	buf := make([]byte, w.pageSize)
+	t := at
+	for p := firstPage; p <= lastPage; p++ {
+		pageStart := LSN(p * int64(w.pageSize))
+		for i := range buf {
+			buf[i] = 0
+		}
+		// Slice of pending covering this page.
+		from := 0
+		if pageStart > w.pendingOff {
+			from = int(pageStart - w.pendingOff)
+		}
+		dstOff := 0
+		if w.pendingOff > pageStart {
+			dstOff = int(w.pendingOff - pageStart)
+		}
+		to := int(pageStart) + w.pageSize - int(w.pendingOff)
+		if to > len(w.pending) {
+			to = len(w.pending)
+		}
+		copy(buf[dstOff:], w.pending[from:to])
+		var err error
+		t, err = w.dev.WritePage(t, p, buf)
+		if err != nil {
+			return t, fmt.Errorf("wal: flush page %d: %w", p, err)
+		}
+		w.fullSynced++
+	}
+	// Retain only the partial tail page in pending.
+	tailStart := LSN(lastPage * int64(w.pageSize))
+	if tailStart < w.pendingOff {
+		tailStart = w.pendingOff
+	}
+	keepFrom := int(tailStart - w.pendingOff)
+	if int(w.nextLSN)%w.pageSize == 0 {
+		keepFrom = len(w.pending) // tail page is complete; drop everything
+		tailStart = w.nextLSN
+	}
+	w.pending = append([]byte(nil), w.pending[keepFrom:]...)
+	w.pendingOff = tailStart
+	w.durable = w.nextLSN
+	return t, nil
+}
+
+// Durable reports the durable LSN.
+func (w *Writer) Durable() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+// NextLSN reports the LSN that the next appended byte will receive.
+func (w *Writer) NextLSN() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// PageWrites reports the number of page writes issued by Flush.
+func (w *Writer) PageWrites() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fullSynced
+}
+
+// Scan replays the log on dev from offset 0, invoking fn for every intact
+// record in order. Page-tail padding (zero bytes — no valid record starts
+// with a zero length) is skipped, so multiple log generations separated by
+// page boundaries replay seamlessly. Scanning ends at a torn record or after
+// two consecutive all-zero pages. Returns the stream offset just past the
+// last intact record.
+func Scan(dev device.BlockDevice, fn func(lsn LSN, rec Record) error) (LSN, error) {
+	pageSize := dev.PageSize()
+	var stream []byte
+	buf := make([]byte, pageSize)
+	at := simclock.Time(0)
+	var base LSN // absolute offset of stream[0]
+	var end LSN  // offset past the last decoded record
+	zeroRun := 0
+	for p := int64(0); p < dev.NumPages(); p++ {
+		var err error
+		at, err = dev.ReadPage(at, p, buf)
+		if err != nil {
+			return end, fmt.Errorf("wal: scan read page %d: %w", p, err)
+		}
+		allZero := true
+		for _, b := range buf {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			zeroRun++
+			if zeroRun >= 2 {
+				return end, nil
+			}
+		} else {
+			zeroRun = 0
+		}
+		stream = append(stream, buf...)
+		for {
+			rec, n, derr := decodeRecord(stream)
+			if derr == nil {
+				if err := fn(base, rec); err != nil {
+					return end, err
+				}
+				stream = stream[n:]
+				base += LSN(n)
+				end = base
+				continue
+			}
+			// Decode failed. Within a generation the stream is contiguous,
+			// so this is either (a) an incomplete record awaiting the next
+			// page, (b) the torn tail, or (c) inter-generation padding:
+			// zeros up to the next page boundary where a new generation
+			// begins. Skip case (c) only.
+			pad := (pageSize - int(base)%pageSize) % pageSize
+			if pad == 0 {
+				pad = pageSize // at a boundary: a fully zero page may gap generations
+			}
+			if len(stream) >= pad && allZeros(stream[:pad]) {
+				stream = stream[pad:]
+				base += LSN(pad)
+				continue
+			}
+			break // need more bytes, or torn tail
+		}
+	}
+	return end, nil
+}
