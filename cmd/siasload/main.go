@@ -1,0 +1,234 @@
+// Command siasload is a closed-loop load generator for siasserver: N
+// workers each run begin → (reads|update mix) → commit in a loop over a
+// pooled client, then the tool prints throughput, transaction latency
+// percentiles and the engine/server counter deltas (including how well
+// group commit coalesced WAL flushes).
+//
+// Usage:
+//
+//	siasload [-addr :4544] [-workers 8] [-txns 2000] [-keys 1024]
+//	         [-value 64] [-read-frac 0.5] [-ops-per-txn 2]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sias/internal/client"
+	"sias/internal/server"
+	"sias/internal/txn"
+	"sias/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4544", "server address")
+	workers := flag.Int("workers", 8, "concurrent closed-loop workers")
+	txns := flag.Int("txns", 2000, "transactions per worker")
+	keys := flag.Int64("keys", 1024, "keyspace size")
+	valueSize := flag.Int("value", 64, "value size in bytes")
+	readFrac := flag.Float64("read-frac", 0.5, "fraction of ops that are reads")
+	opsPerTxn := flag.Int("ops-per-txn", 2, "data ops per transaction")
+	poolSize := flag.Int("pool", 0, "client connection pool size (default workers)")
+	flag.Parse()
+	if *poolSize <= 0 {
+		*poolSize = *workers
+	}
+
+	if err := run(*addr, *workers, *txns, *keys, *valueSize, *readFrac, *opsPerTxn, *poolSize); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, workers, txns int, keys int64, valueSize int, readFrac float64, opsPerTxn, poolSize int) error {
+	c, err := client.Dial(addr, client.Options{PoolSize: poolSize})
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer c.Close()
+
+	// Preload the keyspace (idempotent across runs: existing keys are
+	// updated instead of inserted).
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	preStart := time.Now()
+	const batch = 256
+	for lo := int64(0); lo < keys; lo += batch {
+		hi := lo + batch
+		if hi > keys {
+			hi = keys
+		}
+		tx, err := c.Begin()
+		if err != nil {
+			return fmt.Errorf("preload begin: %w", err)
+		}
+		for k := lo; k < hi; k++ {
+			if err := tx.Insert(k, val); err != nil {
+				if uerr := tx.Update(k, val); uerr != nil {
+					tx.Abort()
+					return fmt.Errorf("preload key %d: %w", k, err)
+				}
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return fmt.Errorf("preload commit: %w", err)
+		}
+	}
+	fmt.Printf("preloaded %d keys in %.2fs\n", keys, time.Since(preStart).Seconds())
+
+	before, err := c.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+
+	var (
+		committed atomic.Int64
+		conflicts atomic.Int64
+		drained   atomic.Int64
+		failures  atomic.Int64
+	)
+	latencies := make([][]time.Duration, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			lats := make([]time.Duration, 0, txns)
+			myVal := make([]byte, valueSize)
+			copy(myVal, val)
+			for i := 0; i < txns; i++ {
+				t0 := time.Now()
+				err := runTxn(c, rng, keys, readFrac, opsPerTxn, myVal)
+				switch {
+				case err == nil:
+					committed.Add(1)
+					lats = append(lats, time.Since(t0))
+				case errors.Is(err, txn.ErrSerialization) || errors.Is(err, txn.ErrLockTimeout):
+					conflicts.Add(1)
+				case errors.Is(err, wire.ErrShuttingDown):
+					drained.Add(1)
+				default:
+					if failures.Add(1) <= 5 {
+						fmt.Fprintf(os.Stderr, "worker %d txn %d: %v\n", w, i, err)
+					}
+				}
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := c.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	fmt.Printf("\n%d workers x %d txns (%d ops/txn, %.0f%% reads, %d keys, %dB values)\n",
+		workers, txns, opsPerTxn, readFrac*100, keys, valueSize)
+	fmt.Printf("elapsed            %.2fs\n", elapsed.Seconds())
+	fmt.Printf("committed          %d (%.0f txn/s)\n", committed.Load(), float64(committed.Load())/elapsed.Seconds())
+	fmt.Printf("conflicts          %d\n", conflicts.Load())
+	if n := drained.Load(); n > 0 {
+		fmt.Printf("drain-rejected     %d\n", n)
+	}
+	if n := failures.Load(); n > 0 {
+		fmt.Printf("failures           %d\n", n)
+	}
+	if len(all) > 0 {
+		fmt.Printf("latency p50/p95/p99/max  %.2f / %.2f / %.2f / %.2f ms\n",
+			ms(pct(all, 50)), ms(pct(all, 95)), ms(pct(all, 99)), ms(all[len(all)-1]))
+	}
+
+	d := delta(before, after)
+	fmt.Printf("\nengine deltas over the run:\n")
+	fmt.Printf("  commits          %d\n", d.Engine.Commits)
+	fmt.Printf("  aborts           %d\n", d.Engine.Aborts)
+	fmt.Printf("  commit flushes   %d (group commit saved %.1f%% of flushes)\n",
+		d.Engine.CommitFlushes, saved(d.Engine.Commits, d.Engine.CommitFlushes))
+	fmt.Printf("  multi-tx batches %d\n", d.Engine.CommitBatches)
+	fmt.Printf("  WAL page writes  %d\n", d.Engine.WALPageWrites)
+	fmt.Printf("  data dev         %s\n", d.Engine.Data)
+	fmt.Printf("server deltas: requests=%d overloaded=%d connections=%d\n",
+		d.Server.Requests, d.Server.Overloaded, d.Server.Connections)
+	return nil
+}
+
+// runTxn executes one closed-loop transaction; client-level retry already
+// absorbs overload rejections.
+func runTxn(c *client.Client, rng *rand.Rand, keys int64, readFrac float64, ops int, val []byte) error {
+	tx, err := c.Begin()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ops; i++ {
+		key := rng.Int63n(keys)
+		if rng.Float64() < readFrac {
+			if _, err := tx.Get(key); err != nil {
+				tx.Abort()
+				return err
+			}
+		} else {
+			if err := tx.Update(key, val); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+	}
+	return tx.Commit()
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func saved(commits, flushes int64) float64 {
+	if commits <= 0 {
+		return 0
+	}
+	return 100 * float64(commits-flushes) / float64(commits)
+}
+
+// delta subtracts the monotonic counters of two stats snapshots.
+func delta(a, b server.StatsReply) server.StatsReply {
+	var d server.StatsReply
+	d.Engine.Commits = b.Engine.Commits - a.Engine.Commits
+	d.Engine.Aborts = b.Engine.Aborts - a.Engine.Aborts
+	d.Engine.CommitFlushes = b.Engine.CommitFlushes - a.Engine.CommitFlushes
+	d.Engine.CommitBatches = b.Engine.CommitBatches - a.Engine.CommitBatches
+	d.Engine.WALPageWrites = b.Engine.WALPageWrites - a.Engine.WALPageWrites
+	d.Engine.Data.Reads = b.Engine.Data.Reads - a.Engine.Data.Reads
+	d.Engine.Data.Writes = b.Engine.Data.Writes - a.Engine.Data.Writes
+	d.Engine.Data.BytesRead = b.Engine.Data.BytesRead - a.Engine.Data.BytesRead
+	d.Engine.Data.BytesWritten = b.Engine.Data.BytesWritten - a.Engine.Data.BytesWritten
+	d.Server.Requests = b.Server.Requests - a.Server.Requests
+	d.Server.Overloaded = b.Server.Overloaded - a.Server.Overloaded
+	d.Server.Connections = b.Server.Connections - a.Server.Connections
+	return d
+}

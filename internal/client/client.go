@@ -1,0 +1,323 @@
+// Package client is the Go client for the SIAS wire protocol
+// (internal/wire, served by internal/server).
+//
+// A Client owns a pool of TCP connections. Transactions are pinned to one
+// pooled connection for their lifetime — wire handles are scoped to the
+// connection that issued them — and the connection returns to the pool on
+// Commit/Abort. Admission-control rejections (wire.ErrOverloaded) are
+// retried transparently with exponential backoff and full jitter: the
+// server rejects before executing, so retrying any op is safe.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"sias/internal/server"
+	"sias/internal/wire"
+)
+
+// Options configures Dial. The zero value gets sensible defaults.
+type Options struct {
+	// PoolSize caps idle pooled connections (default 4).
+	PoolSize int
+	// DialTimeout bounds connection establishment (default 3s).
+	DialTimeout time.Duration
+	// MaxRetries bounds retry-on-overload attempts per op (default 6).
+	MaxRetries int
+	// RetryBase is the first backoff delay; it doubles per attempt with
+	// full jitter, capped at 64x (default 2ms).
+	RetryBase time.Duration
+}
+
+// Client is a pooled connection to one server.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	idle   []*conn
+	closed bool
+}
+
+type conn struct {
+	nc     net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	broken bool
+}
+
+// Dial connects to addr, verifying reachability with one eager connection.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 4
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 3 * time.Second
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 6
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 2 * time.Millisecond
+	}
+	c := &Client{addr: addr, opts: opts}
+	cn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.put(cn)
+	return c, nil
+}
+
+// Close tears down the idle pool. In-flight transactions keep their pinned
+// connections until they finish.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, cn := range idle {
+		cn.nc.Close()
+	}
+	return nil
+}
+
+func (c *Client) dial() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
+}
+
+// get pops an idle connection or dials a new one.
+func (c *Client) get() (*conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("client: closed")
+	}
+	if n := len(c.idle); n > 0 {
+		cn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+	return c.dial()
+}
+
+// put returns a healthy connection to the pool (or closes it).
+func (c *Client) put(cn *conn) {
+	if cn == nil {
+		return
+	}
+	c.mu.Lock()
+	if !cn.broken && !c.closed && len(c.idle) < c.opts.PoolSize {
+		c.idle = append(c.idle, cn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cn.nc.Close()
+}
+
+// call performs one request/response round trip. Transport failures mark
+// the connection broken and are returned as-is; protocol errors are
+// rehydrated into typed sentinels via wire.ErrOf.
+func (cn *conn) call(op wire.Op, payload []byte) ([]byte, error) {
+	if cn.broken {
+		return nil, errors.New("client: connection is broken")
+	}
+	if err := wire.WriteFrame(cn.bw, uint8(op), payload); err != nil {
+		cn.broken = true
+		return nil, err
+	}
+	if err := cn.bw.Flush(); err != nil {
+		cn.broken = true
+		return nil, err
+	}
+	tag, resp, err := wire.ReadFrame(cn.br)
+	if err != nil {
+		cn.broken = true
+		return nil, err
+	}
+	if code := wire.Code(tag); code != wire.CodeOK {
+		return nil, wire.ErrOf(code, string(resp))
+	}
+	return resp, nil
+}
+
+// withRetry runs fn, retrying wire.ErrOverloaded with exponential backoff
+// and full jitter.
+func (c *Client) withRetry(fn func() error) error {
+	delay := c.opts.RetryBase
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil || !errors.Is(err, wire.ErrOverloaded) || attempt >= c.opts.MaxRetries {
+			return err
+		}
+		time.Sleep(time.Duration(rand.Int63n(int64(delay) + 1)))
+		if delay < 64*c.opts.RetryBase {
+			delay *= 2
+		}
+	}
+}
+
+// Tx is a transaction pinned to one pooled connection.
+type Tx struct {
+	c      *Client
+	cn     *conn
+	handle uint64
+	done   bool
+}
+
+// Begin opens a transaction on a pooled connection.
+func (c *Client) Begin() (*Tx, error) {
+	cn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	var handle uint64
+	err = c.withRetry(func() error {
+		resp, err := cn.call(wire.OpBegin, nil)
+		if err != nil {
+			return err
+		}
+		r := wire.Reader{B: resp}
+		handle, err = r.U64()
+		return err
+	})
+	if err != nil {
+		c.put(cn)
+		return nil, err
+	}
+	return &Tx{c: c, cn: cn, handle: handle}, nil
+}
+
+func (t *Tx) call(op wire.Op, build func(*wire.Buf)) ([]byte, error) {
+	if t.done {
+		return nil, errors.New("client: transaction finished")
+	}
+	var resp []byte
+	err := t.c.withRetry(func() error {
+		var b wire.Buf
+		b.U64(t.handle)
+		if build != nil {
+			build(&b)
+		}
+		var err error
+		resp, err = t.cn.call(op, b.B)
+		return err
+	})
+	return resp, err
+}
+
+// Get returns the value of key visible to the transaction.
+func (t *Tx) Get(key int64) ([]byte, error) {
+	resp, err := t.call(wire.OpGet, func(b *wire.Buf) { b.I64(key) })
+	if err != nil {
+		return nil, err
+	}
+	r := wire.Reader{B: resp}
+	return r.Bytes()
+}
+
+// Insert stores val under key.
+func (t *Tx) Insert(key int64, val []byte) error {
+	_, err := t.call(wire.OpInsert, func(b *wire.Buf) { b.I64(key); b.Bytes(val) })
+	return err
+}
+
+// Update overwrites the value of key.
+func (t *Tx) Update(key int64, val []byte) error {
+	_, err := t.call(wire.OpUpdate, func(b *wire.Buf) { b.I64(key); b.Bytes(val) })
+	return err
+}
+
+// Delete removes key.
+func (t *Tx) Delete(key int64) error {
+	_, err := t.call(wire.OpDelete, func(b *wire.Buf) { b.I64(key) })
+	return err
+}
+
+// KV is one Scan result entry.
+type KV struct {
+	Key int64
+	Val []byte
+}
+
+// Scan returns up to limit visible entries with lo <= key <= hi in key
+// order (limit 0 = unlimited).
+func (t *Tx) Scan(lo, hi int64, limit int) ([]KV, error) {
+	resp, err := t.call(wire.OpScan, func(b *wire.Buf) {
+		b.I64(lo)
+		b.I64(hi)
+		b.U32(uint32(limit))
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := wire.Reader{B: resp}
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, 0, n)
+	for i := uint32(0); i < n; i++ {
+		k, err := r.I64()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, KV{Key: k, Val: append([]byte(nil), v...)})
+	}
+	return out, nil
+}
+
+// finish sends the final op and returns the connection to the pool.
+func (t *Tx) finish(op wire.Op) error {
+	if t.done {
+		return errors.New("client: transaction finished")
+	}
+	_, err := t.call(op, nil)
+	t.done = true
+	t.c.put(t.cn)
+	t.cn = nil
+	return err
+}
+
+// Commit makes the transaction durable (group-committed server-side).
+func (t *Tx) Commit() error { return t.finish(wire.OpCommit) }
+
+// Abort rolls the transaction back.
+func (t *Tx) Abort() error { return t.finish(wire.OpAbort) }
+
+// Stats fetches engine and service counters.
+func (c *Client) Stats() (server.StatsReply, error) {
+	var out server.StatsReply
+	cn, err := c.get()
+	if err != nil {
+		return out, err
+	}
+	resp, err := cn.call(wire.OpStats, nil)
+	c.put(cn)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(resp, &out); err != nil {
+		return out, fmt.Errorf("client: decode stats: %w", err)
+	}
+	return out, nil
+}

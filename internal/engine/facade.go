@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sias/internal/simclock"
+	"sias/internal/tuple"
+	"sias/internal/txn"
+)
+
+// Facade is the concurrency-safe front door to a DB for many goroutines.
+//
+// The engine substrates are individually thread-safe but expect each caller
+// to thread a virtual-time cursor through every call. The facade owns that
+// clock behind a single sequencer: operations read the current cursor, run
+// with a local copy, and publish their completion time back with a CAS-max,
+// so virtual time advances monotonically no matter how calls interleave.
+//
+// Commit goes through a group-commit batcher. The first caller to arrive
+// becomes the leader and drains the queue of every concurrent committer; one
+// CommitBatch (one WAL flush) then covers the whole batch, and each caller
+// is signalled with its own result. Callers that arrive while a leader is
+// flushing are picked up by the leader's next round, so under concurrency M
+// commits need far fewer than M flushes.
+type Facade struct {
+	db  *DB
+	now atomic.Int64 // virtual clock sequencer (simclock.Time)
+
+	gcMu   sync.Mutex
+	queue  []*commitWaiter
+	leader bool
+
+	tickMu sync.Mutex // at most one goroutine runs maintenance at a time
+}
+
+type commitWaiter struct {
+	tx   *txn.Tx
+	err  error
+	done chan struct{}
+}
+
+// NewFacade wraps db for concurrent use.
+func NewFacade(db *DB) *Facade {
+	return &Facade{db: db}
+}
+
+// DB exposes the wrapped engine (stats, checkpoints, recovery).
+func (f *Facade) DB() *DB { return f.db }
+
+// Now reads the clock sequencer.
+func (f *Facade) Now() simclock.Time {
+	return simclock.Time(f.now.Load())
+}
+
+// publish advances the sequencer to t if t is later (CAS-max).
+func (f *Facade) publish(t simclock.Time) {
+	for {
+		cur := f.now.Load()
+		if int64(t) <= cur || f.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// run executes op against a local cursor and publishes its completion time.
+func (f *Facade) run(op func(at simclock.Time) (simclock.Time, error)) error {
+	t, err := op(f.Now())
+	f.publish(t)
+	return err
+}
+
+// Begin starts a transaction.
+func (f *Facade) Begin() *txn.Tx { return f.db.Begin() }
+
+// Commit makes tx durable through the group-commit batcher.
+func (f *Facade) Commit(tx *txn.Tx) error {
+	w := &commitWaiter{tx: tx, done: make(chan struct{})}
+	f.gcMu.Lock()
+	f.queue = append(f.queue, w)
+	if f.leader {
+		// A leader is mid-flush; it will drain us in its next round.
+		f.gcMu.Unlock()
+		<-w.done
+		return w.err
+	}
+	f.leader = true
+	for {
+		batch := f.queue
+		f.queue = nil
+		f.gcMu.Unlock()
+
+		txs := make([]*txn.Tx, len(batch))
+		for i, b := range batch {
+			txs[i] = b.tx
+		}
+		t, errs := f.db.CommitBatch(txs, f.Now())
+		f.publish(t)
+		for i, b := range batch {
+			b.err = errs[i]
+			close(b.done)
+		}
+
+		f.gcMu.Lock()
+		if len(f.queue) == 0 {
+			f.leader = false
+			f.gcMu.Unlock()
+			break
+		}
+	}
+	f.maybeTick()
+	<-w.done
+	return w.err
+}
+
+// Abort rolls tx back.
+func (f *Facade) Abort(tx *txn.Tx) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return f.db.Abort(tx, at)
+	})
+}
+
+// maybeTick drives time-based maintenance opportunistically; contended
+// callers skip rather than queue, so maintenance never becomes a convoy.
+func (f *Facade) maybeTick() {
+	if !f.tickMu.TryLock() {
+		return
+	}
+	defer f.tickMu.Unlock()
+	if t, err := f.db.Tick(f.Now()); err == nil {
+		f.publish(t)
+	}
+}
+
+// Checkpoint flushes all dirty state (exclusive with maintenance ticks).
+func (f *Facade) Checkpoint() error {
+	f.tickMu.Lock()
+	defer f.tickMu.Unlock()
+	return f.run(f.db.Checkpoint)
+}
+
+// Stats returns engine-wide counters.
+func (f *Facade) Stats() Stats { return f.db.Stats() }
+
+// Get returns the row of key in tab visible to tx.
+func (f *Facade) Get(tab *Table, tx *txn.Tx, key int64) (tuple.Row, error) {
+	var row tuple.Row
+	err := f.run(func(at simclock.Time) (simclock.Time, error) {
+		r, t, err := tab.Get(tx, at, key)
+		row = r
+		return t, err
+	})
+	return row, err
+}
+
+// Insert stores row in tab under its primary key.
+func (f *Facade) Insert(tab *Table, tx *txn.Tx, row tuple.Row) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return tab.Insert(tx, at, row)
+	})
+}
+
+// Update applies mutate to the visible row of key in tab.
+func (f *Facade) Update(tab *Table, tx *txn.Tx, key int64, mutate func(tuple.Row) (tuple.Row, error)) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return tab.Update(tx, at, key, mutate)
+	})
+}
+
+// Delete removes the row of key in tab.
+func (f *Facade) Delete(tab *Table, tx *txn.Tx, key int64) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return tab.Delete(tx, at, key)
+	})
+}
+
+// Scan visits every row of tab visible to tx.
+func (f *Facade) Scan(tab *Table, tx *txn.Tx, fn func(tuple.Row) bool) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return tab.Scan(tx, at, fn)
+	})
+}
+
+// RangeByKey visits visible rows of tab with lo <= primary key <= hi.
+func (f *Facade) RangeByKey(tab *Table, tx *txn.Tx, lo, hi int64, fn func(tuple.Row) bool) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return tab.RangeByKey(tx, at, lo, hi, fn)
+	})
+}

@@ -1,0 +1,485 @@
+// Package server exposes a SIAS engine over TCP.
+//
+// The service model is deliberately small and production-shaped:
+//
+//   - one goroutine per connection, executing that connection's requests in
+//     order (clients pipeline; responses come back in request order);
+//   - a bounded in-flight semaphore for admission control — when more than
+//     MaxInFlight requests are executing server-wide, further requests are
+//     rejected immediately with wire.CodeOverloaded instead of queueing
+//     unboundedly, so overload degrades into fast typed errors rather than
+//     latency collapse;
+//   - graceful drain on Shutdown — stop accepting, let in-flight
+//     transactions finish, abort stragglers after a deadline, checkpoint.
+//
+// All commits funnel through the engine facade's group-commit batcher, so
+// concurrent clients share WAL flushes.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sias/internal/engine"
+	"sias/internal/tuple"
+	"sias/internal/txn"
+	"sias/internal/wire"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Facade is the concurrency-safe engine front door (required).
+	Facade *engine.Facade
+	// Table is the served relation; its schema must be exactly an int64
+	// primary key plus one bytes value column (required).
+	Table *engine.Table
+	// MaxInFlight bounds concurrently executing requests (default 64).
+	MaxInFlight int
+	// DrainTimeout bounds Shutdown's wait for in-flight transactions when
+	// the caller's context has no earlier deadline (default 5s).
+	DrainTimeout time.Duration
+}
+
+// Stats counts service-layer events, exposed through the STATS op next to
+// the engine counters.
+type Stats struct {
+	Connections   int64 // accepted connections
+	Requests      int64 // requests executed (admitted)
+	Overloaded    int64 // requests rejected by admission control
+	DrainRejected int64 // requests rejected because the server was draining
+	OpenTxns      int64 // transactions currently open across sessions
+}
+
+// Server serves the wire protocol over TCP.
+type Server struct {
+	cfg    Config
+	valCol int
+	sem    chan struct{}
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	draining bool
+
+	wg sync.WaitGroup
+
+	conns         atomic.Int64
+	requests      atomic.Int64
+	overloaded    atomic.Int64
+	drainRejected atomic.Int64
+	openTxns      atomic.Int64
+	inflight      atomic.Int64 // requests read but not yet fully answered
+}
+
+// New validates cfg and returns a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Facade == nil || cfg.Table == nil {
+		return nil, errors.New("server: Facade and Table are required")
+	}
+	sch := cfg.Table.Schema()
+	if len(sch.Cols) != 2 {
+		return nil, fmt.Errorf("server: table %s must have exactly key+value columns", cfg.Table.Name())
+	}
+	valCol := -1
+	for i, c := range sch.Cols {
+		if c.Type == tuple.TypeBytes {
+			valCol = i
+		}
+	}
+	if valCol < 0 {
+		return nil, fmt.Errorf("server: table %s has no bytes value column", cfg.Table.Name())
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	return &Server{
+		cfg:      cfg,
+		valCol:   valCol,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		sessions: map[*session]struct{}{},
+	}, nil
+}
+
+// Stats snapshots the service-layer counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Connections:   s.conns.Load(),
+		Requests:      s.requests.Load(),
+		Overloaded:    s.overloaded.Load(),
+		DrainRejected: s.drainRejected.Load(),
+		OpenTxns:      s.openTxns.Load(),
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns nil
+// after a clean drain.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return wire.ErrShuttingDown
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.conns.Add(1)
+		sess := &session{
+			srv:  s,
+			conn: conn,
+			br:   bufio.NewReader(conn),
+			bw:   bufio.NewWriter(conn),
+			txs:  map[uint64]*txn.Tx{},
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sess.run()
+			s.mu.Lock()
+			delete(s.sessions, sess)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown drains the server: it stops accepting, lets sessions finish
+// their in-flight transactions, then aborts stragglers once ctx (or
+// DrainTimeout) expires, force-closes their connections, and checkpoints
+// the engine so a restart recovers quickly. Requests that arrive during the
+// drain are answered with wire.CodeShuttingDown — never silently dropped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
+		defer cancel()
+	}
+
+	// Phase 1: wait for in-flight work to finish on its own. Draining
+	// sessions refuse BEGIN (typed wire.CodeShuttingDown) but complete ops
+	// on already-open transactions, so the open-transaction and in-flight
+	// request counts fall to zero as clients observe the drain.
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+wait:
+	for s.openTxns.Load() > 0 || s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			break wait // deadline: abort stragglers below
+		case <-tick.C:
+		}
+	}
+
+	// Phase 2: force-close every connection. Stragglers that still hold a
+	// transaction past the deadline are aborted by their session's exit
+	// path; idle connections just hang up. Sessions mid-answer flush what
+	// they can — the client sees a typed error or a broken connection for
+	// that request, never a silent half-commit (the transaction either
+	// committed durably before its ack or is aborted here).
+	s.mu.Lock()
+	for sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	return s.cfg.Facade.Checkpoint()
+}
+
+// session is one connection's state: a request loop plus the transactions
+// opened over this connection, keyed by wire handle.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	txs        map[uint64]*txn.Tx
+	nextHandle uint64
+}
+
+func (c *session) run() {
+	defer func() {
+		// Roll back whatever the client left open, then hang up.
+		for h, tx := range c.txs {
+			c.srv.cfg.Facade.Abort(tx)
+			c.srv.openTxns.Add(-1)
+			delete(c.txs, h)
+		}
+		c.bw.Flush()
+		c.conn.Close()
+	}()
+
+	for {
+		op, payload, err := wire.ReadFrame(c.br)
+		if err != nil {
+			return // EOF, client went away, or force-closed during drain
+		}
+		c.srv.inflight.Add(1)
+		resp, herr := c.handle(wire.Op(op), payload)
+		if herr != nil {
+			var eb wire.Buf
+			eb.B = append(eb.B, herr.Error()...)
+			err = wire.WriteFrame(c.bw, uint8(wire.CodeOf(herr)), eb.B)
+		} else {
+			err = wire.WriteFrame(c.bw, uint8(wire.CodeOK), resp)
+		}
+		if err != nil {
+			c.srv.inflight.Add(-1)
+			return
+		}
+		// Pipelining-aware flush: only force bytes out when no further
+		// request is already buffered.
+		if c.br.Buffered() == 0 {
+			if err := c.bw.Flush(); err != nil {
+				c.srv.inflight.Add(-1)
+				return
+			}
+		}
+		c.srv.inflight.Add(-1)
+	}
+}
+
+// admit acquires an in-flight slot without blocking.
+func (s *Server) admit() bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		s.overloaded.Add(1)
+		return false
+	}
+}
+
+func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
+	srv := c.srv
+	srv.mu.Lock()
+	draining := srv.draining
+	srv.mu.Unlock()
+
+	// STATS is exempt from admission control so monitoring stays
+	// responsive under overload and during drain.
+	if op == wire.OpStats {
+		return c.handleStats()
+	}
+	if draining && op == wire.OpBegin {
+		srv.drainRejected.Add(1)
+		return nil, wire.ErrShuttingDown
+	}
+	if !srv.admit() {
+		return nil, wire.ErrOverloaded
+	}
+	defer func() { <-srv.sem }()
+	srv.requests.Add(1)
+
+	f, tab := srv.cfg.Facade, srv.cfg.Table
+	r := wire.Reader{B: payload}
+	switch op {
+	case wire.OpBegin:
+		tx := f.Begin()
+		c.nextHandle++
+		h := c.nextHandle
+		c.txs[h] = tx
+		srv.openTxns.Add(1)
+		var b wire.Buf
+		b.U64(h)
+		return b.B, nil
+
+	case wire.OpCommit, wire.OpAbort:
+		h, err := r.U64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", wire.ErrBadRequest, err)
+		}
+		tx, ok := c.txs[h]
+		if !ok {
+			return nil, wire.ErrUnknownTx
+		}
+		delete(c.txs, h)
+		srv.openTxns.Add(-1)
+		if op == wire.OpCommit {
+			return nil, f.Commit(tx)
+		}
+		return nil, f.Abort(tx)
+
+	case wire.OpGet:
+		tx, key, _, err := c.keyArgs(&r, false)
+		if err != nil {
+			return nil, err
+		}
+		row, err := f.Get(tab, tx, key)
+		if err != nil {
+			return nil, err
+		}
+		val, _ := row[srv.valCol].([]byte)
+		var b wire.Buf
+		b.Bytes(val)
+		return b.B, nil
+
+	case wire.OpInsert:
+		tx, key, val, err := c.keyArgs(&r, true)
+		if err != nil {
+			return nil, err
+		}
+		return nil, f.Insert(tab, tx, c.row(key, val))
+
+	case wire.OpUpdate:
+		tx, key, val, err := c.keyArgs(&r, true)
+		if err != nil {
+			return nil, err
+		}
+		return nil, f.Update(tab, tx, key, func(row tuple.Row) (tuple.Row, error) {
+			out := append(tuple.Row(nil), row...)
+			out[srv.valCol] = append([]byte(nil), val...)
+			return out, nil
+		})
+
+	case wire.OpDelete:
+		tx, key, _, err := c.keyArgs(&r, false)
+		if err != nil {
+			return nil, err
+		}
+		return nil, f.Delete(tab, tx, key)
+
+	case wire.OpScan:
+		tx, err := c.tx(&r)
+		if err != nil {
+			return nil, err
+		}
+		lo, err1 := r.I64()
+		hi, err2 := r.I64()
+		limit, err3 := r.U32()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, wire.ErrBadRequest
+		}
+		var entries wire.Buf
+		count := uint32(0)
+		err = f.RangeByKey(tab, tx, lo, hi, func(row tuple.Row) bool {
+			k, _ := row[1-srv.valCol].(int64)
+			v, _ := row[srv.valCol].([]byte)
+			entries.I64(k)
+			entries.Bytes(v)
+			count++
+			return limit == 0 || count < limit
+		})
+		if err != nil {
+			return nil, err
+		}
+		var b wire.Buf
+		b.U32(count)
+		b.B = append(b.B, entries.B...)
+		return b.B, nil
+	}
+	return nil, fmt.Errorf("%w: %s", wire.ErrBadRequest, op)
+}
+
+// tx decodes a handle and resolves it to a live transaction.
+func (c *session) tx(r *wire.Reader) (*txn.Tx, error) {
+	h, err := r.U64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", wire.ErrBadRequest, err)
+	}
+	tx, ok := c.txs[h]
+	if !ok {
+		return nil, wire.ErrUnknownTx
+	}
+	return tx, nil
+}
+
+// keyArgs decodes (handle, key[, val]) request payloads.
+func (c *session) keyArgs(r *wire.Reader, withVal bool) (*txn.Tx, int64, []byte, error) {
+	tx, err := c.tx(r)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	key, err := r.I64()
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("%w: %v", wire.ErrBadRequest, err)
+	}
+	var val []byte
+	if withVal {
+		if val, err = r.Bytes(); err != nil {
+			return nil, 0, nil, fmt.Errorf("%w: %v", wire.ErrBadRequest, err)
+		}
+	}
+	return tx, key, val, nil
+}
+
+// row assembles a table row for key/val in schema column order.
+func (c *session) row(key int64, val []byte) tuple.Row {
+	row := make(tuple.Row, 2)
+	row[1-c.srv.valCol] = key
+	row[c.srv.valCol] = append([]byte(nil), val...)
+	return row
+}
+
+// StatsReply is the JSON payload of a STATS response.
+type StatsReply struct {
+	Engine engine.Stats `json:"engine"`
+	Server Stats        `json:"server"`
+}
+
+func (c *session) handleStats() ([]byte, error) {
+	return json.Marshal(StatsReply{
+		Engine: c.srv.cfg.Facade.Stats(),
+		Server: c.srv.Stats(),
+	})
+}

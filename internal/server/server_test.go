@@ -1,0 +1,469 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sias/internal/client"
+	"sias/internal/device"
+	"sias/internal/engine"
+	"sias/internal/page"
+	"sias/internal/server"
+	"sias/internal/simclock"
+	"sias/internal/tuple"
+	"sias/internal/txn"
+	"sias/internal/wire"
+)
+
+func kvSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "k", Type: tuple.TypeInt64},
+		tuple.Column{Name: "v", Type: tuple.TypeBytes},
+	)
+}
+
+// openKV assembles engine+facade+table over the given devices.
+func openKV(t *testing.T, data, walDev device.BlockDevice, recover bool) (*engine.Facade, *engine.Table) {
+	t.Helper()
+	opts := engine.DefaultOptions(data, walDev)
+	opts.Recover = recover
+	db, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _, err := db.CreateTable(0, "kv", kvSchema(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recover {
+		if _, err := db.Recover(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return engine.NewFacade(db), tab
+}
+
+// startServer serves f/tab on a loopback listener and returns the server
+// and its address. The serve loop error is checked at cleanup.
+func startServer(t *testing.T, f *engine.Facade, tab *engine.Table, mut func(*server.Config)) (*server.Server, string) {
+	t.Helper()
+	cfg := server.Config{Facade: f, Table: tab}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown(context.Background())
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	f, tab := openKV(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false)
+	_, addr := startServer(t, f, tab, nil)
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Insert + read back in one transaction, then across transactions.
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if err := tx.Insert(i, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tx.Get(3)
+	if err != nil || string(got) != "v3" {
+		t.Fatalf("own write: %q %v", got, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tx2.Get(1); err != nil || string(got) != "v1" {
+		t.Fatalf("committed read: %q %v", got, err)
+	}
+	if err := tx2.Update(1, []byte("v1b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := tx2.Scan(0, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 4 || kvs[0].Key != 1 || string(kvs[0].Val) != "v1b" {
+		t.Fatalf("scan: %v", kvs)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Typed not-found across the wire.
+	tx3, _ := c.Begin()
+	if _, err := tx3.Get(5); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("deleted key: %v, want engine.ErrNotFound", err)
+	}
+	// Abort rolls back.
+	if err := tx3.Update(2, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx3.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	tx4, _ := c.Begin()
+	if got, _ := tx4.Get(2); string(got) != "v2" {
+		t.Fatalf("aborted update leaked: %q", got)
+	}
+	tx4.Commit()
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Commits < 3 || st.Server.Requests == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestServerConcurrentWorkers is the acceptance run: 8 workers doing a
+// mixed read/write workload through the pooled client against a live
+// server, under -race, with write-write conflicts handled as typed errors.
+func TestServerConcurrentWorkers(t *testing.T) {
+	f, tab := openKV(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false)
+	_, addr := startServer(t, f, tab, nil)
+	c, err := client.Dial(addr, client.Options{PoolSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const keys = 16
+	setup, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < keys; i++ {
+		if err := setup.Insert(i, []byte("init")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const opsEach = 40
+	var commits, conflicts atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for op := 0; op < opsEach; op++ {
+				tx, err := c.Begin()
+				if err != nil {
+					t.Errorf("begin: %v", err)
+					return
+				}
+				key := int64((w*3 + op) % keys)
+				var opErr error
+				if op%3 == 0 {
+					opErr = tx.Update(key, []byte(fmt.Sprintf("w%d.%d", w, op)))
+				} else {
+					_, opErr = tx.Get(key)
+				}
+				if opErr != nil {
+					tx.Abort()
+					if errors.Is(opErr, txn.ErrSerialization) || errors.Is(opErr, txn.ErrLockTimeout) {
+						conflicts.Add(1)
+						continue
+					}
+					t.Errorf("worker %d op %d: %v", w, op, opErr)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+				commits.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if commits.Load() == 0 {
+		t.Fatal("no commits went through")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.CommitFlushes > st.Engine.Commits {
+		t.Errorf("flushes %d > commits %d", st.Engine.CommitFlushes, st.Engine.Commits)
+	}
+	t.Logf("commits=%d conflicts=%d flushes=%d batches=%d",
+		commits.Load(), conflicts.Load(), st.Engine.CommitFlushes, st.Engine.CommitBatches)
+}
+
+// gatedWAL blocks WritePage until released, letting the test pin a commit
+// mid-flush with the admission slot held.
+type gatedWAL struct {
+	device.BlockDevice
+	gate chan struct{}
+}
+
+func (d *gatedWAL) WritePage(at simclock.Time, pageNo int64, p []byte) (simclock.Time, error) {
+	<-d.gate
+	return d.BlockDevice.WritePage(at, pageNo, p)
+}
+
+func TestServerAdmissionControl(t *testing.T) {
+	gate := make(chan struct{})
+	walDev := &gatedWAL{BlockDevice: device.NewMem(page.Size, 1<<14), gate: gate}
+	f, tab := openKV(t, device.NewMem(page.Size, 1<<16), walDev, false)
+	_, addr := startServer(t, f, tab, func(cfg *server.Config) { cfg.MaxInFlight = 1 })
+
+	// Connection A occupies the single in-flight slot with a commit stuck
+	// on the gated WAL flush.
+	ca, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	txa, err := ca.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txa.Insert(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	commitDone := make(chan error, 1)
+	go func() { commitDone <- txa.Commit() }()
+
+	// Connection B must be rejected with the typed overload error, not
+	// queued. Raw wire framing so no client-side retry masks the code.
+	deadline := time.Now().Add(5 * time.Second)
+	var code wire.Code
+	for {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.WriteFrame(nc, uint8(wire.OpBegin), nil); err != nil {
+			t.Fatal(err)
+		}
+		tag, _, err := wire.ReadFrame(nc)
+		nc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		code = wire.Code(tag)
+		if code == wire.CodeOverloaded || time.Now().After(deadline) {
+			break
+		}
+		// A's commit may not have occupied the slot yet; try again.
+		time.Sleep(time.Millisecond)
+	}
+	if code != wire.CodeOverloaded {
+		t.Fatalf("concurrent request got %s, want OVERLOADED", code)
+	}
+
+	// Release the flush; A's commit completes.
+	close(gate)
+	if err := <-commitDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// With the slot free, the same request now succeeds after retries.
+	cb, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+	txb, err := cb.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := txb.Get(1); err != nil || string(got) != "a" {
+		t.Fatalf("after overload: %q %v", got, err)
+	}
+	txb.Commit()
+}
+
+// TestServerDrainAndRecover covers the graceful-drain acceptance criteria
+// over file-backed devices: in-flight transactions finish during drain, new
+// transactions are refused with a typed error, stragglers are aborted at
+// the deadline, and a restarted server recovers the committed state via
+// engine recovery.
+func TestServerDrainAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	openDevices := func() (*device.File, *device.File) {
+		data, err := device.OpenFile(filepath.Join(dir, "data.img"), page.Size, 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walDev, err := device.OpenFile(filepath.Join(dir, "wal.img"), page.Size, 1<<13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, walDev
+	}
+
+	data, walDev := openDevices()
+	f, tab := openKV(t, data, walDev, false)
+	cfg := server.Config{Facade: f, Table: tab, DrainTimeout: 500 * time.Millisecond}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	c, err := client.Dial(addr, client.Options{PoolSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Committed-before-drain state.
+	base, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 10; i++ {
+		if err := base.Insert(i, []byte("keep")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := base.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-flight transaction that will finish during the drain.
+	inflight, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inflight.Insert(11, []byte("inflight")); err != nil {
+		t.Fatal(err)
+	}
+	// Straggler that never commits: it must be aborted by the deadline.
+	straggler, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := straggler.Insert(12, []byte("straggler")); err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(context.Background()) }()
+
+	// New transactions are refused with the typed drain error once the
+	// server is draining (the drain flag flips before Shutdown blocks).
+	var beginErr error
+	for i := 0; i < 100; i++ {
+		var tx *client.Tx
+		tx, beginErr = c.Begin()
+		if beginErr != nil {
+			break
+		}
+		tx.Abort()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if beginErr == nil {
+		t.Error("Begin kept succeeding during drain")
+	} else if !errors.Is(beginErr, wire.ErrShuttingDown) && !isConnErr(beginErr) {
+		t.Errorf("draining Begin: %v, want wire.ErrShuttingDown", beginErr)
+	}
+
+	// The in-flight transaction commits cleanly during the drain window.
+	if err := inflight.Commit(); err != nil {
+		t.Fatalf("in-flight commit during drain: %v", err)
+	}
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if err := data.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := walDev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same files with recovery.
+	data2, walDev2 := openDevices()
+	defer data2.Close()
+	defer walDev2.Close()
+	f2, tab2 := openKV(t, data2, walDev2, true)
+	_, addr2 := startServer(t, f2, tab2, nil)
+	c2, err := client.Dial(addr2, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	tx, err := c2.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := tx.Scan(0, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 11 {
+		t.Fatalf("recovered %d rows, want 11 (10 base + 1 in-flight commit): %v", len(kvs), kvs)
+	}
+	if got, err := tx.Get(11); err != nil || string(got) != "inflight" {
+		t.Fatalf("in-flight row: %q %v", got, err)
+	}
+	if _, err := tx.Get(12); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("straggler row must not survive: %v", err)
+	}
+	tx.Commit()
+}
+
+// isConnErr reports whether err is a transport-level failure (the force
+// phase of a drain closes connections).
+func isConnErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) || errors.Is(err, net.ErrClosed)
+}

@@ -146,13 +146,20 @@ func decodeRecord(b []byte) (Record, int, error) {
 
 // Writer appends records to an in-memory tail and flushes complete and
 // partial pages to the log device. Safe for concurrent use.
+//
+// Appends take only the short buffer latch (mu); Flush snapshots the
+// pending bytes under the latch, then performs device I/O while holding
+// only flushMu. Concurrent appenders therefore never wait on log I/O —
+// which is what lets a group-commit leader's flush overlap the next batch's
+// writes instead of convoying every WAL user behind the device.
 type Writer struct {
-	mu       sync.Mutex
+	flushMu  sync.Mutex // serializes flushers; held across device I/O
 	dev      device.BlockDevice
 	pageSize int
 
-	pending    []byte // bytes not yet written to the device
-	pendingOff LSN    // stream offset of pending[0]
+	mu         sync.Mutex // buffer latch: never held across device I/O
+	pending    []byte     // bytes not yet written to the device
+	pendingOff LSN        // stream offset of pending[0]
 	nextLSN    LSN
 	durable    LSN
 	fullSynced int64 // count of page writes issued
@@ -193,56 +200,78 @@ func (w *Writer) Append(r *Record) LSN {
 // Flush makes the log durable up to at least lsn, writing whole pages to the
 // device (the tail page is padded and will be rewritten as it fills —
 // the usual WAL tail behaviour). Returns the virtual completion time.
+//
+// Only flushMu is held across the device writes. Records appended while the
+// I/O is in flight accumulate in pending and are covered by the next flush;
+// bytes beyond the snapshot are never dropped because the post-I/O trim
+// keeps everything past the last fully-written page.
 func (w *Writer) Flush(at simclock.Time, lsn LSN) (simclock.Time, error) {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+
+	// Snapshot the stream under the buffer latch. pendingOff only advances
+	// here, under flushMu, so snapOff is stable for the whole flush.
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if lsn <= w.durable {
+		w.mu.Unlock()
 		return at, nil
 	}
-	// Write every page overlapping [pendingOff, nextLSN).
-	firstPage := int64(w.pendingOff) / int64(w.pageSize)
-	lastPage := int64(w.nextLSN-1) / int64(w.pageSize)
+	snapOff := w.pendingOff
+	snapEnd := w.nextLSN
+	snap := append([]byte(nil), w.pending...)
+	w.mu.Unlock()
+
+	// Write every page overlapping [snapOff, snapEnd).
+	firstPage := int64(snapOff) / int64(w.pageSize)
+	lastPage := int64(snapEnd-1) / int64(w.pageSize)
 	buf := make([]byte, w.pageSize)
 	t := at
+	var pages int64
 	for p := firstPage; p <= lastPage; p++ {
 		pageStart := LSN(p * int64(w.pageSize))
 		for i := range buf {
 			buf[i] = 0
 		}
-		// Slice of pending covering this page.
+		// Slice of snap covering this page.
 		from := 0
-		if pageStart > w.pendingOff {
-			from = int(pageStart - w.pendingOff)
+		if pageStart > snapOff {
+			from = int(pageStart - snapOff)
 		}
 		dstOff := 0
-		if w.pendingOff > pageStart {
-			dstOff = int(w.pendingOff - pageStart)
+		if snapOff > pageStart {
+			dstOff = int(snapOff - pageStart)
 		}
-		to := int(pageStart) + w.pageSize - int(w.pendingOff)
-		if to > len(w.pending) {
-			to = len(w.pending)
+		to := int(pageStart) + w.pageSize - int(snapOff)
+		if to > len(snap) {
+			to = len(snap)
 		}
-		copy(buf[dstOff:], w.pending[from:to])
+		copy(buf[dstOff:], snap[from:to])
 		var err error
 		t, err = w.dev.WritePage(t, p, buf)
 		if err != nil {
 			return t, fmt.Errorf("wal: flush page %d: %w", p, err)
 		}
-		w.fullSynced++
+		pages++
 	}
-	// Retain only the partial tail page in pending.
+
+	// Trim pending down to the partial tail page (plus anything appended
+	// during the I/O) and publish durability of the snapshot.
+	w.mu.Lock()
 	tailStart := LSN(lastPage * int64(w.pageSize))
+	if int(snapEnd)%w.pageSize == 0 {
+		tailStart = snapEnd // tail page was complete in the snapshot
+	}
 	if tailStart < w.pendingOff {
 		tailStart = w.pendingOff
 	}
 	keepFrom := int(tailStart - w.pendingOff)
-	if int(w.nextLSN)%w.pageSize == 0 {
-		keepFrom = len(w.pending) // tail page is complete; drop everything
-		tailStart = w.nextLSN
-	}
 	w.pending = append([]byte(nil), w.pending[keepFrom:]...)
 	w.pendingOff = tailStart
-	w.durable = w.nextLSN
+	if snapEnd > w.durable {
+		w.durable = snapEnd
+	}
+	w.fullSynced += pages
+	w.mu.Unlock()
 	return t, nil
 }
 

@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"sias/internal/engine"
+	"sias/internal/txn"
+)
+
+// Code is a stable wire error code. Codes are part of the protocol: new
+// codes may be appended, but existing values never change meaning.
+type Code uint8
+
+// Wire codes. CodeOK tags success responses; every other code tags an error
+// response whose payload is a human-readable message.
+const (
+	CodeOK           Code = 0
+	CodeNotFound     Code = 1 // key has no visible row
+	CodeConflict     Code = 2 // first-updater-wins serialization failure; retry the transaction
+	CodeLockTimeout  Code = 3 // lock wait exceeded its budget (possible deadlock)
+	CodeTxFinished   Code = 4 // transaction already committed or aborted
+	CodeUnknownTx    Code = 5 // handle does not name a live transaction on this connection
+	CodeOverloaded   Code = 6 // admission control rejected the request; back off and retry
+	CodeShuttingDown Code = 7 // server is draining; reconnect elsewhere/later
+	CodeBadRequest   Code = 8 // malformed frame or unknown opcode
+	CodeInternal     Code = 9 // unexpected server-side failure
+)
+
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "OK"
+	case CodeNotFound:
+		return "NOT_FOUND"
+	case CodeConflict:
+		return "CONFLICT"
+	case CodeLockTimeout:
+		return "LOCK_TIMEOUT"
+	case CodeTxFinished:
+		return "TX_FINISHED"
+	case CodeUnknownTx:
+		return "UNKNOWN_TX"
+	case CodeOverloaded:
+		return "OVERLOADED"
+	case CodeShuttingDown:
+		return "SHUTTING_DOWN"
+	case CodeBadRequest:
+		return "BAD_REQUEST"
+	case CodeInternal:
+		return "INTERNAL"
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// Protocol-level sentinel errors. The server returns these to tag
+// conditions that arise in the service layer rather than the engine; the
+// client rehydrates them (and the engine/txn sentinels) from codes so
+// callers can errors.Is across the network boundary.
+var (
+	// ErrOverloaded is returned when the admission-control semaphore is
+	// full; the request was not executed and is safe to retry.
+	ErrOverloaded = errors.New("wire: server overloaded")
+	// ErrShuttingDown is returned for requests that arrive while the server
+	// drains; open work is aborted, not silently dropped.
+	ErrShuttingDown = errors.New("wire: server shutting down")
+	// ErrUnknownTx is returned when a handle does not name a live
+	// transaction on the connection.
+	ErrUnknownTx = errors.New("wire: unknown transaction handle")
+	// ErrBadRequest is returned for malformed frames and unknown opcodes.
+	ErrBadRequest = errors.New("wire: bad request")
+)
+
+// CodeOf maps an error to its stable wire code. The mapping is total over
+// the exported sentinel errors of the engine, txn and wire packages (a test
+// asserts this); anything unrecognized is CodeInternal.
+func CodeOf(err error) Code {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, engine.ErrNotFound):
+		return CodeNotFound
+	case errors.Is(err, txn.ErrSerialization):
+		return CodeConflict
+	case errors.Is(err, txn.ErrLockTimeout):
+		return CodeLockTimeout
+	case errors.Is(err, txn.ErrFinished):
+		return CodeTxFinished
+	case errors.Is(err, ErrUnknownTx):
+		return CodeUnknownTx
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrShuttingDown):
+		return CodeShuttingDown
+	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrTruncated), errors.Is(err, ErrFrameTooLarge):
+		return CodeBadRequest
+	}
+	return CodeInternal
+}
+
+// ErrOf rehydrates a wire code into the sentinel it encodes, wrapped with
+// the server-provided message. errors.Is against the sentinel holds on the
+// result, so client callers handle remote failures exactly like local ones.
+func ErrOf(code Code, msg string) error {
+	var base error
+	switch code {
+	case CodeOK:
+		return nil
+	case CodeNotFound:
+		base = engine.ErrNotFound
+	case CodeConflict:
+		base = txn.ErrSerialization
+	case CodeLockTimeout:
+		base = txn.ErrLockTimeout
+	case CodeTxFinished:
+		base = txn.ErrFinished
+	case CodeUnknownTx:
+		base = ErrUnknownTx
+	case CodeOverloaded:
+		base = ErrOverloaded
+	case CodeShuttingDown:
+		base = ErrShuttingDown
+	case CodeBadRequest:
+		base = ErrBadRequest
+	default:
+		return fmt.Errorf("wire: remote error %s: %s", code, msg)
+	}
+	if msg == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}

@@ -1,0 +1,166 @@
+// Package wire defines the length-prefixed binary protocol spoken between
+// the SIAS network server (internal/server) and its Go client
+// (internal/client).
+//
+// Framing. Every message — request or response — is one frame:
+//
+//	| u32 length (LE) | u8 tag | payload ... |
+//
+// where length counts the tag plus the payload (not the length field
+// itself). Requests use an Op as the tag; responses use a Code. A CodeOK
+// response carries an op-specific payload; any other code carries a UTF-8
+// error message. Integers are little-endian; byte strings and rows are
+// u32-length-prefixed. Requests on one connection are answered in order, so
+// clients may pipeline without request ids.
+//
+// Transactions are server-side state: Begin returns a u64 handle scoped to
+// the connection that created it, and every data op names a handle. Closing
+// the connection aborts its open transactions.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op enumerates request frame tags.
+type Op uint8
+
+// Request opcodes.
+const (
+	OpBegin  Op = 1 // () -> handle u64
+	OpCommit Op = 2 // handle u64 -> ()
+	OpAbort  Op = 3 // handle u64 -> ()
+	OpGet    Op = 4 // handle u64, key i64 -> val bytes
+	OpInsert Op = 5 // handle u64, key i64, val bytes -> ()
+	OpUpdate Op = 6 // handle u64, key i64, val bytes -> ()
+	OpDelete Op = 7 // handle u64, key i64 -> ()
+	OpScan   Op = 8 // handle u64, lo i64, hi i64, limit u32 -> count u32, {key i64, val bytes}*
+	OpStats  Op = 9 // () -> JSON bytes
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpBegin:
+		return "BEGIN"
+	case OpCommit:
+		return "COMMIT"
+	case OpAbort:
+		return "ABORT"
+	case OpGet:
+		return "GET"
+	case OpInsert:
+		return "INSERT"
+	case OpUpdate:
+		return "UPDATE"
+	case OpDelete:
+		return "DELETE"
+	case OpScan:
+		return "SCAN"
+	case OpStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// MaxFrame bounds a frame's length field; larger frames are rejected before
+// allocation so a corrupt peer cannot balloon memory.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge reports a frame exceeding MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// WriteFrame writes one frame (tag + payload) to w.
+func WriteFrame(w io.Writer, tag uint8, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[4] = tag
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadFrame reads one frame from r, returning the tag and payload.
+func ReadFrame(r io.Reader) (uint8, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// Buf builds a payload with the protocol's primitive encodings.
+type Buf struct{ B []byte }
+
+// U32 appends a little-endian uint32.
+func (b *Buf) U32(v uint32) { b.B = binary.LittleEndian.AppendUint32(b.B, v) }
+
+// U64 appends a little-endian uint64.
+func (b *Buf) U64(v uint64) { b.B = binary.LittleEndian.AppendUint64(b.B, v) }
+
+// I64 appends a little-endian int64.
+func (b *Buf) I64(v int64) { b.U64(uint64(v)) }
+
+// Bytes appends a u32-length-prefixed byte string.
+func (b *Buf) Bytes(p []byte) {
+	b.U32(uint32(len(p)))
+	b.B = append(b.B, p...)
+}
+
+// ErrTruncated reports a payload shorter than its encoding requires.
+var ErrTruncated = errors.New("wire: truncated payload")
+
+// Reader decodes a payload built with Buf.
+type Reader struct{ B []byte }
+
+// U32 consumes a little-endian uint32.
+func (r *Reader) U32() (uint32, error) {
+	if len(r.B) < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.B)
+	r.B = r.B[4:]
+	return v, nil
+}
+
+// U64 consumes a little-endian uint64.
+func (r *Reader) U64() (uint64, error) {
+	if len(r.B) < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.B)
+	r.B = r.B[8:]
+	return v, nil
+}
+
+// I64 consumes a little-endian int64.
+func (r *Reader) I64() (int64, error) {
+	v, err := r.U64()
+	return int64(v), err
+}
+
+// Bytes consumes a u32-length-prefixed byte string.
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(r.B)) < n {
+		return nil, ErrTruncated
+	}
+	p := r.B[:n]
+	r.B = r.B[n:]
+	return p, nil
+}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sias/internal/engine"
+	"sias/internal/txn"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello sias")
+	if err := WriteFrame(&buf, uint8(OpInsert), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, uint8(OpStats), nil); err != nil {
+		t.Fatal(err)
+	}
+	tag, p, err := ReadFrame(&buf)
+	if err != nil || Op(tag) != OpInsert || !bytes.Equal(p, payload) {
+		t.Fatalf("frame 1: tag=%d payload=%q err=%v", tag, p, err)
+	}
+	tag, p, err = ReadFrame(&buf)
+	if err != nil || Op(tag) != OpStats || len(p) != 0 {
+		t.Fatalf("frame 2: tag=%d payload=%q err=%v", tag, p, err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	// A length field over MaxFrame must be rejected without allocation.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	var b Buf
+	b.U64(42)
+	b.I64(-7)
+	b.Bytes([]byte("val"))
+	b.U32(9)
+	r := Reader{B: b.B}
+	if v, err := r.U64(); err != nil || v != 42 {
+		t.Fatalf("u64: %d %v", v, err)
+	}
+	if v, err := r.I64(); err != nil || v != -7 {
+		t.Fatalf("i64: %d %v", v, err)
+	}
+	if v, err := r.Bytes(); err != nil || string(v) != "val" {
+		t.Fatalf("bytes: %q %v", v, err)
+	}
+	if v, err := r.U32(); err != nil || v != 9 {
+		t.Fatalf("u32: %d %v", v, err)
+	}
+	if _, err := r.U32(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty reader: %v, want ErrTruncated", err)
+	}
+	short := Reader{B: []byte{3, 0, 0, 0, 'a'}}
+	if _, err := short.Bytes(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short bytes: %v, want ErrTruncated", err)
+	}
+}
+
+// TestErrorCodeMappingTotal asserts the error->code mapping covers every
+// exported sentinel error of the engine, txn and wire packages: nothing the
+// stack can legitimately return may degrade into CodeInternal, and codes
+// must be stable under an encode/decode round trip.
+func TestErrorCodeMappingTotal(t *testing.T) {
+	sentinels := map[string]error{
+		"engine.ErrNotFound":    engine.ErrNotFound,
+		"txn.ErrSerialization":  txn.ErrSerialization,
+		"txn.ErrLockTimeout":    txn.ErrLockTimeout,
+		"txn.ErrFinished":       txn.ErrFinished,
+		"wire.ErrOverloaded":    ErrOverloaded,
+		"wire.ErrShuttingDown":  ErrShuttingDown,
+		"wire.ErrUnknownTx":     ErrUnknownTx,
+		"wire.ErrBadRequest":    ErrBadRequest,
+		"wire.ErrTruncated":     ErrTruncated,
+		"wire.ErrFrameTooLarge": ErrFrameTooLarge,
+	}
+	seen := map[Code]bool{}
+	for name, err := range sentinels {
+		code := CodeOf(err)
+		if code == CodeInternal {
+			t.Errorf("%s maps to CodeInternal; mapping is not total", name)
+		}
+		if code == CodeOK {
+			t.Errorf("%s maps to CodeOK", name)
+		}
+		seen[code] = true
+		// Round trip: decoding the code and re-encoding must be stable,
+		// and wrapped errors must keep their code.
+		back := ErrOf(code, "remote detail")
+		if CodeOf(back) != code {
+			t.Errorf("%s: code %s not stable under round trip (got %s)", name, code, CodeOf(back))
+		}
+	}
+	// The four engine/txn sentinels named by the protocol must rehydrate
+	// into errors.Is-compatible values for cross-network error handling.
+	for _, tc := range []struct {
+		code Code
+		want error
+	}{
+		{CodeNotFound, engine.ErrNotFound},
+		{CodeConflict, txn.ErrSerialization},
+		{CodeLockTimeout, txn.ErrLockTimeout},
+		{CodeTxFinished, txn.ErrFinished},
+		{CodeOverloaded, ErrOverloaded},
+		{CodeShuttingDown, ErrShuttingDown},
+	} {
+		if !errors.Is(ErrOf(tc.code, "x"), tc.want) {
+			t.Errorf("ErrOf(%s) does not satisfy errors.Is(%v)", tc.code, tc.want)
+		}
+	}
+	// Unknown errors fall through to CodeInternal, and unknown codes decode
+	// without panicking.
+	if CodeOf(errors.New("surprise")) != CodeInternal {
+		t.Error("unrecognized error must map to CodeInternal")
+	}
+	if err := ErrOf(CodeInternal, "boom"); err == nil {
+		t.Error("CodeInternal must decode to a non-nil error")
+	}
+	if err := ErrOf(Code(200), "future"); err == nil {
+		t.Error("unknown code must decode to a non-nil error")
+	}
+}
