@@ -1,16 +1,22 @@
 // Command siasload is a closed-loop load generator for siasserver: N
 // workers each run begin → (reads|update mix) → commit in a loop over a
 // pooled client, then the tool prints throughput, transaction latency
-// percentiles and the engine/server counter deltas (including how well
-// group commit coalesced WAL flushes).
+// percentiles and the engine/server counter deltas — overall and per shard,
+// so group-commit effectiveness and WAL flush sharing are visible for every
+// partition. Transactions whose keys all hash to one shard are attributed
+// to it; the rest are reported as cross-shard.
 //
 // Usage:
 //
 //	siasload [-addr :4544] [-workers 8] [-txns 2000] [-keys 1024]
-//	         [-value 64] [-read-frac 0.5] [-ops-per-txn 2]
+//	         [-value 64] [-read-frac 0.5] [-ops-per-txn 2] [-json FILE]
+//
+// With -json, a machine-readable result (the same numbers as the text
+// report) is written to FILE for scripts/bench.sh to aggregate.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -19,11 +25,12 @@ import (
 	"os"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"sias/internal/client"
+	"sias/internal/engine"
 	"sias/internal/server"
+	"sias/internal/shard"
 	"sias/internal/txn"
 	"sias/internal/wire"
 )
@@ -36,36 +43,115 @@ func main() {
 	valueSize := flag.Int("value", 64, "value size in bytes")
 	readFrac := flag.Float64("read-frac", 0.5, "fraction of ops that are reads")
 	opsPerTxn := flag.Int("ops-per-txn", 2, "data ops per transaction")
+	affinity := flag.Bool("affinity", false, "partition-local transactions: all keys of a txn from one shard")
 	poolSize := flag.Int("pool", 0, "client connection pool size (default workers)")
+	jsonPath := flag.String("json", "", "write a machine-readable result JSON to this file")
 	flag.Parse()
 	if *poolSize <= 0 {
 		*poolSize = *workers
 	}
 
-	if err := run(*addr, *workers, *txns, *keys, *valueSize, *readFrac, *opsPerTxn, *poolSize); err != nil {
+	cfg := loadConfig{
+		Addr: *addr, Workers: *workers, Txns: *txns, Keys: *keys,
+		ValueSize: *valueSize, ReadFrac: *readFrac, OpsPerTxn: *opsPerTxn,
+		PoolSize: *poolSize, Affinity: *affinity,
+	}
+	if err := run(cfg, *jsonPath); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, workers, txns int, keys int64, valueSize int, readFrac float64, opsPerTxn, poolSize int) error {
-	c, err := client.Dial(addr, client.Options{PoolSize: poolSize})
+type loadConfig struct {
+	Addr      string  `json:"addr"`
+	Workers   int     `json:"workers"`
+	Txns      int     `json:"txns_per_worker"`
+	Keys      int64   `json:"keys"`
+	ValueSize int     `json:"value_size"`
+	ReadFrac  float64 `json:"read_frac"`
+	OpsPerTxn int     `json:"ops_per_txn"`
+	Affinity  bool    `json:"affinity"`
+	PoolSize  int     `json:"pool_size"`
+	Shards    int     `json:"shards"` // reported by the server
+}
+
+// latencyMs summarizes a latency distribution in milliseconds.
+type latencyMs struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// shardReport is the per-shard slice of the run: engine counter deltas plus
+// the latency of transactions routed entirely to this shard.
+type shardReport struct {
+	Shard            int       `json:"shard"`
+	Commits          int64     `json:"commits"`
+	CommitFlushes    int64     `json:"wal_flushes"`
+	CommitBatches    int64     `json:"multi_tx_batches"`
+	CommitMaxBatch   int64     `json:"max_batch"`
+	WALPageWrites    int64     `json:"wal_page_writes"`
+	FlushesPerCommit float64   `json:"flushes_per_commit"`
+	Txns             int64     `json:"single_shard_txns"`
+	TxnPerSec        float64   `json:"txn_per_sec"`
+	Latency          latencyMs `json:"latency"`
+}
+
+// engineAgg is the aggregate engine delta over the run.
+type engineAgg struct {
+	Commits          int64   `json:"commits"`
+	Aborts           int64   `json:"aborts"`
+	CommitFlushes    int64   `json:"wal_flushes"`
+	CommitBatches    int64   `json:"multi_tx_batches"`
+	WALPageWrites    int64   `json:"wal_page_writes"`
+	FlushesPerCommit float64 `json:"flushes_per_commit"`
+	FlushSavedPct    float64 `json:"group_commit_saved_pct"`
+}
+
+// result is the full machine-readable run report (-json).
+type result struct {
+	Config     loadConfig    `json:"config"`
+	ElapsedSec float64       `json:"elapsed_sec"`
+	Committed  int64         `json:"committed"`
+	TxnPerSec  float64       `json:"txn_per_sec"`
+	Conflicts  int64         `json:"conflicts"`
+	Drained    int64         `json:"drain_rejected"`
+	Failures   int64         `json:"failures"`
+	Latency    latencyMs     `json:"latency"`
+	Engine     engineAgg     `json:"engine"`
+	PerShard   []shardReport `json:"per_shard"`
+	CrossShard struct {
+		Txns    int64     `json:"txns"`
+		Latency latencyMs `json:"latency"`
+	} `json:"cross_shard"`
+}
+
+// txnSample is one committed transaction's outcome for latency attribution:
+// shard >= 0 pins a single-shard transaction, shard == -1 is cross-shard.
+type txnSample struct {
+	lat   time.Duration
+	shard int
+}
+
+func run(cfg loadConfig, jsonPath string) error {
+	c, err := client.Dial(cfg.Addr, client.Options{PoolSize: cfg.PoolSize})
 	if err != nil {
-		return fmt.Errorf("dial %s: %w", addr, err)
+		return fmt.Errorf("dial %s: %w", cfg.Addr, err)
 	}
 	defer c.Close()
 
 	// Preload the keyspace (idempotent across runs: existing keys are
 	// updated instead of inserted).
-	val := make([]byte, valueSize)
+	val := make([]byte, cfg.ValueSize)
 	for i := range val {
 		val[i] = byte('a' + i%26)
 	}
 	preStart := time.Now()
 	const batch = 256
-	for lo := int64(0); lo < keys; lo += batch {
+	for lo := int64(0); lo < cfg.Keys; lo += batch {
 		hi := lo + batch
-		if hi > keys {
-			hi = keys
+		if hi > cfg.Keys {
+			hi = cfg.Keys
 		}
 		tx, err := c.Begin()
 		if err != nil {
@@ -83,48 +169,59 @@ func run(addr string, workers, txns int, keys int64, valueSize int, readFrac flo
 			return fmt.Errorf("preload commit: %w", err)
 		}
 	}
-	fmt.Printf("preloaded %d keys in %.2fs\n", keys, time.Since(preStart).Seconds())
+	fmt.Printf("preloaded %d keys in %.2fs\n", cfg.Keys, time.Since(preStart).Seconds())
 
 	before, err := c.Stats()
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
 	}
+	cfg.Shards = before.Router.Shards
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 
 	var (
-		committed atomic.Int64
-		conflicts atomic.Int64
-		drained   atomic.Int64
-		failures  atomic.Int64
+		mu        sync.Mutex
+		conflicts int64
+		drained   int64
+		failures  int64
 	)
-	latencies := make([][]time.Duration, workers)
+	samples := make([][]txnSample, cfg.Workers)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for w := 0; w < workers; w++ {
+	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
-			lats := make([]time.Duration, 0, txns)
-			myVal := make([]byte, valueSize)
+			out := make([]txnSample, 0, cfg.Txns)
+			myVal := make([]byte, cfg.ValueSize)
 			copy(myVal, val)
-			for i := 0; i < txns; i++ {
+			for i := 0; i < cfg.Txns; i++ {
 				t0 := time.Now()
-				err := runTxn(c, rng, keys, readFrac, opsPerTxn, myVal)
+				home, err := runTxn(c, rng, cfg, myVal)
 				switch {
 				case err == nil:
-					committed.Add(1)
-					lats = append(lats, time.Since(t0))
+					out = append(out, txnSample{lat: time.Since(t0), shard: home})
 				case errors.Is(err, txn.ErrSerialization) || errors.Is(err, txn.ErrLockTimeout):
-					conflicts.Add(1)
+					mu.Lock()
+					conflicts++
+					mu.Unlock()
 				case errors.Is(err, wire.ErrShuttingDown):
-					drained.Add(1)
+					mu.Lock()
+					drained++
+					mu.Unlock()
 				default:
-					if failures.Add(1) <= 5 {
+					mu.Lock()
+					failures++
+					n := failures
+					mu.Unlock()
+					if n <= 5 {
 						fmt.Fprintf(os.Stderr, "worker %d txn %d: %v\n", w, i, err)
 					}
 				}
 			}
-			latencies[w] = lats
+			samples[w] = out
 		}(w)
 	}
 	wg.Wait()
@@ -135,64 +232,180 @@ func run(addr string, workers, txns int, keys int64, valueSize int, readFrac flo
 		return fmt.Errorf("stats: %w", err)
 	}
 
-	var all []time.Duration
-	for _, l := range latencies {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := summarize(cfg, elapsed, samples, before, after)
+	res.Conflicts = conflicts
+	res.Drained = drained
+	res.Failures = failures
+	printResult(res)
 
-	fmt.Printf("\n%d workers x %d txns (%d ops/txn, %.0f%% reads, %d keys, %dB values)\n",
-		workers, txns, opsPerTxn, readFrac*100, keys, valueSize)
-	fmt.Printf("elapsed            %.2fs\n", elapsed.Seconds())
-	fmt.Printf("committed          %d (%.0f txn/s)\n", committed.Load(), float64(committed.Load())/elapsed.Seconds())
-	fmt.Printf("conflicts          %d\n", conflicts.Load())
-	if n := drained.Load(); n > 0 {
-		fmt.Printf("drain-rejected     %d\n", n)
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
 	}
-	if n := failures.Load(); n > 0 {
-		fmt.Printf("failures           %d\n", n)
-	}
-	if len(all) > 0 {
-		fmt.Printf("latency p50/p95/p99/max  %.2f / %.2f / %.2f / %.2f ms\n",
-			ms(pct(all, 50)), ms(pct(all, 95)), ms(pct(all, 99)), ms(all[len(all)-1]))
-	}
-
-	d := delta(before, after)
-	fmt.Printf("\nengine deltas over the run:\n")
-	fmt.Printf("  commits          %d\n", d.Engine.Commits)
-	fmt.Printf("  aborts           %d\n", d.Engine.Aborts)
-	fmt.Printf("  commit flushes   %d (group commit saved %.1f%% of flushes)\n",
-		d.Engine.CommitFlushes, saved(d.Engine.Commits, d.Engine.CommitFlushes))
-	fmt.Printf("  multi-tx batches %d\n", d.Engine.CommitBatches)
-	fmt.Printf("  WAL page writes  %d\n", d.Engine.WALPageWrites)
-	fmt.Printf("  data dev         %s\n", d.Engine.Data)
-	fmt.Printf("server deltas: requests=%d overloaded=%d connections=%d\n",
-		d.Server.Requests, d.Server.Overloaded, d.Server.Connections)
 	return nil
 }
 
-// runTxn executes one closed-loop transaction; client-level retry already
-// absorbs overload rejections.
-func runTxn(c *client.Client, rng *rand.Rand, keys int64, readFrac float64, ops int, val []byte) error {
+// runTxn executes one closed-loop transaction and reports its home shard
+// (-1 when its keys spanned shards); client-level retry already absorbs
+// overload rejections. With -affinity every key is rejection-sampled onto
+// one pre-picked shard, modelling a partitioned application whose
+// transactions are partition-local by design.
+func runTxn(c *client.Client, rng *rand.Rand, cfg loadConfig, val []byte) (int, error) {
+	anchor := -1
+	if cfg.Affinity {
+		anchor = shard.Of(rng.Int63n(cfg.Keys), cfg.Shards)
+	}
 	tx, err := c.Begin()
 	if err != nil {
-		return err
+		return -1, err
 	}
-	for i := 0; i < ops; i++ {
-		key := rng.Int63n(keys)
-		if rng.Float64() < readFrac {
+	home := -2 // no key touched yet
+	for i := 0; i < cfg.OpsPerTxn; i++ {
+		key := rng.Int63n(cfg.Keys)
+		if anchor >= 0 {
+			for shard.Of(key, cfg.Shards) != anchor {
+				key = rng.Int63n(cfg.Keys)
+			}
+		}
+		switch s := shard.Of(key, cfg.Shards); {
+		case home == -2:
+			home = s
+		case home != s:
+			home = -1
+		}
+		if rng.Float64() < cfg.ReadFrac {
 			if _, err := tx.Get(key); err != nil {
 				tx.Abort()
-				return err
+				return home, err
 			}
 		} else {
 			if err := tx.Update(key, val); err != nil {
 				tx.Abort()
-				return err
+				return home, err
 			}
 		}
 	}
-	return tx.Commit()
+	if home == -2 {
+		home = -1
+	}
+	return home, tx.Commit()
+}
+
+// summarize folds worker samples and stats deltas into a result.
+func summarize(cfg loadConfig, elapsed time.Duration, samples [][]txnSample, before, after server.StatsReply) result {
+	res := result{Config: cfg, ElapsedSec: elapsed.Seconds()}
+
+	var all []time.Duration
+	perShard := make([][]time.Duration, cfg.Shards)
+	var cross []time.Duration
+	for _, ss := range samples {
+		for _, s := range ss {
+			all = append(all, s.lat)
+			if s.shard >= 0 && s.shard < cfg.Shards {
+				perShard[s.shard] = append(perShard[s.shard], s.lat)
+			} else {
+				cross = append(cross, s.lat)
+			}
+		}
+	}
+	res.Committed = int64(len(all))
+	res.TxnPerSec = float64(len(all)) / elapsed.Seconds()
+	res.Latency = summarizeLat(all)
+	res.CrossShard.Txns = int64(len(cross))
+	res.CrossShard.Latency = summarizeLat(cross)
+
+	d := deltaEngine(shardAgg(before), shardAgg(after))
+	res.Engine = engineAgg{
+		Commits:          d.Commits,
+		Aborts:           d.Aborts,
+		CommitFlushes:    d.CommitFlushes,
+		CommitBatches:    d.CommitBatches,
+		WALPageWrites:    d.WALPageWrites,
+		FlushesPerCommit: ratio(d.CommitFlushes, d.Commits),
+		FlushSavedPct:    saved(d.Commits, d.CommitFlushes),
+	}
+
+	for i := 0; i < cfg.Shards; i++ {
+		var b, a engine.Stats
+		if i < len(before.Shards) {
+			b = before.Shards[i]
+		}
+		if i < len(after.Shards) {
+			a = after.Shards[i]
+		}
+		sd := deltaEngine(b, a)
+		res.PerShard = append(res.PerShard, shardReport{
+			Shard:            i,
+			Commits:          sd.Commits,
+			CommitFlushes:    sd.CommitFlushes,
+			CommitBatches:    sd.CommitBatches,
+			CommitMaxBatch:   a.CommitMaxBatch, // high-water mark, not a delta
+			WALPageWrites:    sd.WALPageWrites,
+			FlushesPerCommit: ratio(sd.CommitFlushes, sd.Commits),
+			Txns:             int64(len(perShard[i])),
+			TxnPerSec:        float64(len(perShard[i])) / elapsed.Seconds(),
+			Latency:          summarizeLat(perShard[i]),
+		})
+	}
+	return res
+}
+
+func printResult(res result) {
+	cfg := res.Config
+	fmt.Printf("\n%d workers x %d txns (%d ops/txn, %.0f%% reads, %d keys, %dB values, %d shard(s))\n",
+		cfg.Workers, cfg.Txns, cfg.OpsPerTxn, cfg.ReadFrac*100, cfg.Keys, cfg.ValueSize, cfg.Shards)
+	fmt.Printf("elapsed            %.2fs\n", res.ElapsedSec)
+	fmt.Printf("committed          %d (%.0f txn/s)\n", res.Committed, res.TxnPerSec)
+	fmt.Printf("conflicts          %d\n", res.Conflicts)
+	if res.Drained > 0 {
+		fmt.Printf("drain-rejected     %d\n", res.Drained)
+	}
+	if res.Failures > 0 {
+		fmt.Printf("failures           %d\n", res.Failures)
+	}
+	fmt.Printf("latency p50/p95/p99/max  %.2f / %.2f / %.2f / %.2f ms\n",
+		res.Latency.P50, res.Latency.P95, res.Latency.P99, res.Latency.Max)
+
+	fmt.Printf("\nengine deltas over the run:\n")
+	fmt.Printf("  commits          %d\n", res.Engine.Commits)
+	fmt.Printf("  aborts           %d\n", res.Engine.Aborts)
+	fmt.Printf("  commit flushes   %d (group commit saved %.1f%% of flushes)\n",
+		res.Engine.CommitFlushes, res.Engine.FlushSavedPct)
+	fmt.Printf("  multi-tx batches %d\n", res.Engine.CommitBatches)
+	fmt.Printf("  WAL page writes  %d\n", res.Engine.WALPageWrites)
+
+	if cfg.Shards > 1 {
+		fmt.Printf("\nper-shard breakdown (single-shard txns attributed to their shard):\n")
+		fmt.Printf("  %-5s %10s %10s %10s %8s %9s %9s %9s\n",
+			"shard", "txns", "txn/s", "commits", "flushes", "fl/commit", "maxbatch", "p99 ms")
+		for _, s := range res.PerShard {
+			fmt.Printf("  %-5d %10d %10.0f %10d %8d %9.3f %9d %9.2f\n",
+				s.Shard, s.Txns, s.TxnPerSec, s.Commits, s.CommitFlushes,
+				s.FlushesPerCommit, s.CommitMaxBatch, s.Latency.P99)
+		}
+		fmt.Printf("  cross-shard txns %d (p50 %.2f ms, p99 %.2f ms)\n",
+			res.CrossShard.Txns, res.CrossShard.Latency.P50, res.CrossShard.Latency.P99)
+	}
+}
+
+func summarizeLat(lats []time.Duration) latencyMs {
+	if len(lats) == 0 {
+		return latencyMs{}
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return latencyMs{
+		P50: ms(pct(sorted, 50)),
+		P95: ms(pct(sorted, 95)),
+		P99: ms(pct(sorted, 99)),
+		Max: ms(sorted[len(sorted)-1]),
+	}
 }
 
 func pct(sorted []time.Duration, p int) time.Duration {
@@ -208,6 +421,13 @@ func pct(sorted []time.Duration, p int) time.Duration {
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
 func saved(commits, flushes int64) float64 {
 	if commits <= 0 {
 		return 0
@@ -215,20 +435,26 @@ func saved(commits, flushes int64) float64 {
 	return 100 * float64(commits-flushes) / float64(commits)
 }
 
-// delta subtracts the monotonic counters of two stats snapshots.
-func delta(a, b server.StatsReply) server.StatsReply {
-	var d server.StatsReply
-	d.Engine.Commits = b.Engine.Commits - a.Engine.Commits
-	d.Engine.Aborts = b.Engine.Aborts - a.Engine.Aborts
-	d.Engine.CommitFlushes = b.Engine.CommitFlushes - a.Engine.CommitFlushes
-	d.Engine.CommitBatches = b.Engine.CommitBatches - a.Engine.CommitBatches
-	d.Engine.WALPageWrites = b.Engine.WALPageWrites - a.Engine.WALPageWrites
-	d.Engine.Data.Reads = b.Engine.Data.Reads - a.Engine.Data.Reads
-	d.Engine.Data.Writes = b.Engine.Data.Writes - a.Engine.Data.Writes
-	d.Engine.Data.BytesRead = b.Engine.Data.BytesRead - a.Engine.Data.BytesRead
-	d.Engine.Data.BytesWritten = b.Engine.Data.BytesWritten - a.Engine.Data.BytesWritten
-	d.Server.Requests = b.Server.Requests - a.Server.Requests
-	d.Server.Overloaded = b.Server.Overloaded - a.Server.Overloaded
-	d.Server.Connections = b.Server.Connections - a.Server.Connections
+// shardAgg returns the aggregate engine view of a stats reply, tolerating
+// replies that predate the per-shard field.
+func shardAgg(r server.StatsReply) engine.Stats {
+	if len(r.Shards) > 0 {
+		return shard.Aggregate(r.Shards)
+	}
+	return r.Engine
+}
+
+// deltaEngine subtracts the monotonic counters of two engine snapshots.
+func deltaEngine(a, b engine.Stats) engine.Stats {
+	var d engine.Stats
+	d.Commits = b.Commits - a.Commits
+	d.Aborts = b.Aborts - a.Aborts
+	d.CommitFlushes = b.CommitFlushes - a.CommitFlushes
+	d.CommitBatches = b.CommitBatches - a.CommitBatches
+	d.WALPageWrites = b.WALPageWrites - a.WALPageWrites
+	d.Data.Reads = b.Data.Reads - a.Data.Reads
+	d.Data.Writes = b.Data.Writes - a.Data.Writes
+	d.Data.BytesRead = b.Data.BytesRead - a.Data.BytesRead
+	d.Data.BytesWritten = b.Data.BytesWritten - a.Data.BytesWritten
 	return d
 }

@@ -1,17 +1,23 @@
-// Command siasserver serves a SIAS engine over TCP with the internal/wire
-// protocol: per-connection sessions, request pipelining, group commit,
-// bounded-admission overload handling and graceful drain on SIGTERM/SIGINT.
+// Command siasserver serves a SIAS deployment over TCP with the
+// internal/wire protocol: per-connection sessions, request pipelining,
+// group commit, bounded-admission overload handling and graceful drain on
+// SIGTERM/SIGINT.
 //
 // Usage:
 //
-//	siasserver [-addr :4544] [-engine sias|si] [-policy t2|t1]
+//	siasserver [-addr :4544] [-shards N] [-engine sias|si] [-policy t2|t1]
 //	           [-pool FRAMES] [-max-inflight N] [-drain SECONDS]
 //	           [-data DIR]
 //
-// With -data, heap and WAL live in files under DIR and a restart recovers
-// the committed state through WAL replay; without it the store is
-// in-memory and vanishes with the process. The served relation is a single
-// key/value table ("kv": int64 key, bytes value).
+// With -shards N > 1 the primary-key space is hash-partitioned across N
+// independent engine instances, each with its own WAL writer, group-commit
+// batcher, VIDmap, buffer pool and devices; -pool, -data-pages and
+// -wal-pages are totals divided evenly across the shards so resource use
+// stays constant as the shard count varies. With -data, each shard's heap
+// and WAL live in files under DIR/shard-<i> and a restart recovers the
+// committed state through per-shard WAL replay, run in parallel; without
+// it the store is in-memory and vanishes with the process. The served
+// relation is a single key/value table ("kv": int64 key, bytes value).
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
@@ -29,71 +36,102 @@ import (
 	"sias/internal/engine"
 	"sias/internal/page"
 	"sias/internal/server"
+	"sias/internal/shard"
 	"sias/internal/tuple"
 )
 
 func main() {
 	addr := flag.String("addr", ":4544", "TCP listen address")
+	shards := flag.Int("shards", 1, "hash-partitioned engine shards")
 	kind := flag.String("engine", "sias", "storage engine: sias or si")
 	policy := flag.String("policy", "t2", "append flush policy: t2 (checkpoint) or t1 (bgwriter)")
-	pool := flag.Int("pool", 4096, "buffer pool frames")
+	pool := flag.Int("pool", 4096, "buffer pool frames (total across shards)")
 	maxInflight := flag.Int("max-inflight", 64, "admission control: max concurrently executing requests")
 	drainSec := flag.Float64("drain", 5, "graceful drain timeout in seconds")
 	dataDir := flag.String("data", "", "data directory for file-backed devices (empty = in-memory)")
-	dataPages := flag.Int64("data-pages", 1<<16, "data device size in pages")
-	walPages := flag.Int64("wal-pages", 1<<15, "WAL device size in pages")
+	dataPages := flag.Int64("data-pages", 1<<16, "data device size in pages (total across shards)")
+	walPages := flag.Int64("wal-pages", 1<<15, "WAL device size in pages (total across shards)")
 	walSync := flag.Bool("wal-sync", true, "fsync the WAL device on every page write (file-backed only)")
+	gcLinger := flag.Duration("gc-linger", 0, "max extra wait for a group-commit batch to grow (0 = flush immediately)")
+	gcBatch := flag.Int("gc-batch", 16, "group-commit batch size target while lingering")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
-	if err := run(*addr, *kind, *policy, *pool, *maxInflight, *drainSec, *dataDir, *dataPages, *walPages, *walSync); err != nil {
+	cfg := serverConfig{
+		addr: *addr, shards: *shards, kind: *kind, policy: *policy,
+		pool: *pool, maxInflight: *maxInflight, drainSec: *drainSec,
+		dataDir: *dataDir, dataPages: *dataPages, walPages: *walPages, walSync: *walSync,
+		gcLinger: *gcLinger, gcBatch: *gcBatch,
+	}
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, kind, policy string, pool, maxInflight int, drainSec float64, dataDir string, dataPages, walPages int64, walSync bool) error {
+type serverConfig struct {
+	addr         string
+	shards       int
+	kind, policy string
+	pool         int
+	maxInflight  int
+	drainSec     float64
+	dataDir      string
+	dataPages    int64
+	walPages     int64
+	walSync      bool
+	gcLinger     time.Duration
+	gcBatch      int
+}
+
+// openShard assembles one engine shard. Device sizes and pool frames are
+// per-shard shares of the configured totals, so varying -shards compares
+// layouts at constant resource budgets.
+func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 	opts := engine.Options{
-		PoolFrames: pool,
+		PoolFrames: max(cfg.pool/cfg.shards, 64),
 	}
-	switch kind {
+	switch cfg.kind {
 	case "sias":
 		opts.Kind = engine.KindSIAS
 	case "si":
 		opts.Kind = engine.KindSI
 	default:
-		return fmt.Errorf("unknown -engine %q (want sias or si)", kind)
+		return shard.Shard{}, nil, fmt.Errorf("unknown -engine %q (want sias or si)", cfg.kind)
 	}
-	switch policy {
+	switch cfg.policy {
 	case "t2":
 		opts.Policy = engine.PolicyT2
 	case "t1":
 		opts.Policy = engine.PolicyT1
 	default:
-		return fmt.Errorf("unknown -policy %q (want t2 or t1)", policy)
+		return shard.Shard{}, nil, fmt.Errorf("unknown -policy %q (want t2 or t1)", cfg.policy)
 	}
+	dataPages := max(cfg.dataPages/int64(cfg.shards), 1<<10)
+	walPages := max(cfg.walPages/int64(cfg.shards), 1<<9)
 
 	var closers []func() error
-	if dataDir != "" {
-		if err := os.MkdirAll(dataDir, 0o755); err != nil {
-			return err
+	if cfg.dataDir != "" {
+		dir := filepath.Join(cfg.dataDir, fmt.Sprintf("shard-%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return shard.Shard{}, nil, err
 		}
-		walPath := filepath.Join(dataDir, "wal.img")
+		walPath := filepath.Join(dir, "wal.img")
 		// A pre-existing WAL means a previous generation to replay.
 		if _, err := os.Stat(walPath); err == nil {
 			opts.Recover = true
 		}
-		data, err := device.OpenFile(filepath.Join(dataDir, "data.img"), page.Size, dataPages)
+		data, err := device.OpenFile(filepath.Join(dir, "data.img"), page.Size, dataPages)
 		if err != nil {
-			return err
+			return shard.Shard{}, nil, err
 		}
 		walDev, err := device.OpenFile(walPath, page.Size, walPages)
 		if err != nil {
 			data.Close()
-			return err
+			return shard.Shard{}, nil, err
 		}
 		// Commit acknowledgements must mean durable; group commit keeps
 		// the per-transaction cost of this down to a share of one fsync.
-		walDev.SetSyncOnWrite(walSync)
+		walDev.SetSyncOnWrite(cfg.walSync)
 		closers = append(closers, walDev.Close, data.Close)
 		opts.DataDevice, opts.WALDevice = data, walDev
 	} else {
@@ -103,48 +141,93 @@ func run(addr, kind, policy string, pool, maxInflight int, drainSec float64, dat
 
 	db, err := engine.Open(opts)
 	if err != nil {
-		return err
+		return shard.Shard{}, closers, err
 	}
 	tab, _, err := db.CreateTable(0, "kv", tuple.NewSchema(
 		tuple.Column{Name: "k", Type: tuple.TypeInt64},
 		tuple.Column{Name: "v", Type: tuple.TypeBytes},
 	), "k")
 	if err != nil {
-		return err
+		return shard.Shard{}, closers, err
 	}
 	if opts.Recover {
 		start := time.Now()
 		if _, err := db.Recover(0); err != nil {
-			return fmt.Errorf("recover: %w", err)
+			return shard.Shard{}, closers, fmt.Errorf("shard %d recover: %w", i, err)
 		}
-		st := db.Stats()
-		log.Printf("recovered data dir %s in %.3fs (wal pages read, pool %+d pages)", dataDir, time.Since(start).Seconds(), st.Pool.Misses)
+		log.Printf("siasserver: shard %d recovered in %.3fs", i, time.Since(start).Seconds())
+	}
+	fac := engine.NewFacade(db)
+	if cfg.gcLinger > 0 {
+		fac.SetGroupCommitLinger(cfg.gcLinger, cfg.gcBatch)
+	}
+	return shard.Shard{Facade: fac, Table: tab}, closers, nil
+}
+
+func run(cfg serverConfig) error {
+	if cfg.shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", cfg.shards)
 	}
 
-	facade := engine.NewFacade(db)
+	// Open (and, for pre-existing data dirs, recover) all shards in
+	// parallel: each shard's WAL is independent, so replay scales with the
+	// shard count instead of serializing on one log scan.
+	shards := make([]shard.Shard, cfg.shards)
+	closerss := make([][]func() error, cfg.shards)
+	errs := make([]error, cfg.shards)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shards[i], closerss[i], errs[i] = openShard(cfg, i)
+		}(i)
+	}
+	wg.Wait()
+	var closers []func() error
+	for _, cs := range closerss {
+		closers = append(closers, cs...)
+	}
+	for _, err := range errs {
+		if err != nil {
+			closeAll(closers)
+			return err
+		}
+	}
+	if cfg.dataDir != "" {
+		log.Printf("siasserver: %d shard(s) opened in %.3fs under %s", cfg.shards, time.Since(start).Seconds(), cfg.dataDir)
+	}
+
+	router, err := shard.NewRouter(shards)
+	if err != nil {
+		closeAll(closers)
+		return err
+	}
 	srv, err := server.New(server.Config{
-		Facade:       facade,
-		Table:        tab,
-		MaxInFlight:  maxInflight,
-		DrainTimeout: time.Duration(drainSec * float64(time.Second)),
+		Router:       router,
+		MaxInFlight:  cfg.maxInflight,
+		DrainTimeout: time.Duration(cfg.drainSec * float64(time.Second)),
 	})
 	if err != nil {
+		closeAll(closers)
 		return err
 	}
 
+	db := shards[0].Facade.DB()
 	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("siasserver: engine=%s policy=%s pool=%d max-inflight=%d data=%s listening on %s",
-			db.Kind(), db.Policy(), pool, maxInflight, orMem(dataDir), addr)
-		serveErr <- srv.ListenAndServe(addr)
+		log.Printf("siasserver: shards=%d engine=%s policy=%s pool=%d max-inflight=%d data=%s listening on %s",
+			cfg.shards, db.Kind(), db.Policy(), cfg.pool, cfg.maxInflight, orMem(cfg.dataDir), cfg.addr)
+		serveErr <- srv.ListenAndServe(cfg.addr)
 	}()
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigs:
-		log.Printf("siasserver: %s received, draining (timeout %.1fs)...", sig, drainSec)
-		start := time.Now()
+		log.Printf("siasserver: %s received, draining (timeout %.1fs)...", sig, cfg.drainSec)
+		drainStart := time.Now()
 		if err := srv.Shutdown(context.Background()); err != nil {
 			return fmt.Errorf("drain: %w", err)
 		}
@@ -152,22 +235,28 @@ func run(addr, kind, policy string, pool, maxInflight int, drainSec float64, dat
 			return err
 		}
 		st := srv.Stats()
-		est := facade.Stats()
-		log.Printf("siasserver: drained in %.3fs (conns=%d requests=%d overloaded=%d drain-rejected=%d commits=%d flushes=%d batches=%d)",
-			time.Since(start).Seconds(), st.Connections, st.Requests, st.Overloaded, st.DrainRejected,
-			est.Commits, est.CommitFlushes, est.CommitBatches)
+		est := shard.Aggregate(router.Stats())
+		rst := router.RouterStats()
+		log.Printf("siasserver: drained in %.3fs (conns=%d requests=%d overloaded=%d drain-rejected=%d commits=%d flushes=%d batches=%d cross-shard=%d)",
+			time.Since(drainStart).Seconds(), st.Connections, st.Requests, st.Overloaded, st.DrainRejected,
+			est.Commits, est.CommitFlushes, est.CommitBatches, rst.CrossCommits)
 	case err := <-serveErr:
 		if err != nil {
 			return err
 		}
 	}
 
+	return closeAll(closers)
+}
+
+func closeAll(closers []func() error) error {
+	var first error
 	for _, c := range closers {
-		if err := c(); err != nil {
-			return err
+		if err := c(); err != nil && first == nil {
+			first = err
 		}
 	}
-	return nil
+	return first
 }
 
 func orMem(dir string) string {

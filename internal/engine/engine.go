@@ -121,10 +121,11 @@ type DB struct {
 	recovered   []recRecord // WAL records pre-scanned for recovery
 	maxBlockRel map[uint32]uint32
 
-	commits       int64
-	aborts        int64
-	commitFlushes int64 // WAL flushes issued for commits (batched or not)
-	commitBatches int64 // group-commit batches with more than one member
+	commits        int64
+	aborts         int64
+	commitFlushes  int64 // WAL flushes issued for commits (batched or not)
+	commitBatches  int64 // group-commit batches with more than one member
+	commitMaxBatch int64 // largest group-commit batch observed
 }
 
 type recRecord struct {
@@ -259,6 +260,9 @@ func (db *DB) CommitBatch(txs []*txn.Tx, at simclock.Time) (simclock.Time, []err
 	if len(txs) > 1 {
 		db.commitBatches++
 	}
+	if int64(len(txs)) > db.commitMaxBatch {
+		db.commitMaxBatch = int64(len(txs))
+	}
 	db.mu.Unlock()
 	return t, errs
 }
@@ -390,9 +394,12 @@ type Stats struct {
 	Commits, Aborts int64
 	// CommitFlushes counts WAL flushes issued on behalf of commits; with
 	// group commit active it is strictly less than Commits under
-	// concurrency. CommitBatches counts flushes that covered >1 commit.
+	// concurrency. CommitBatches counts flushes that covered >1 commit;
+	// CommitMaxBatch is the largest single batch, so Commits/CommitFlushes
+	// is the mean batch size and CommitMaxBatch its high-water mark.
 	CommitFlushes  int64
 	CommitBatches  int64
+	CommitMaxBatch int64
 	Data           device.Stats
 	WALDevice      device.Stats
 	Pool           buffer.Stats
@@ -404,13 +411,14 @@ type Stats struct {
 func (db *DB) Stats() Stats {
 	db.mu.Lock()
 	c, a := db.commits, db.aborts
-	cf, cb := db.commitFlushes, db.commitBatches
+	cf, cb, cm := db.commitFlushes, db.commitBatches, db.commitMaxBatch
 	db.mu.Unlock()
 	return Stats{
 		Commits:        c,
 		Aborts:         a,
 		CommitFlushes:  cf,
 		CommitBatches:  cb,
+		CommitMaxBatch: cm,
 		Data:           db.opts.DataDevice.Stats(),
 		WALDevice:      db.opts.WALDevice.Stats(),
 		Pool:           db.pool.Stats(),

@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sias/internal/simclock"
 	"sias/internal/tuple"
@@ -31,6 +32,15 @@ type Facade struct {
 	queue  []*commitWaiter
 	leader bool
 
+	linger   time.Duration // max extra wait for a batch to grow (0 = off)
+	minBatch int           // stop lingering once the batch reaches this size
+
+	// Wakeup for a lingering leader (guarded by gcMu): when set, the
+	// enqueuer that brings the queue to lingerNeed closes lingerCh so the
+	// leader flushes the moment the target is met instead of polling.
+	lingerCh   chan struct{}
+	lingerNeed int
+
 	tickMu sync.Mutex // at most one goroutine runs maintenance at a time
 }
 
@@ -47,6 +57,25 @@ func NewFacade(db *DB) *Facade {
 
 // DB exposes the wrapped engine (stats, checkpoints, recovery).
 func (f *Facade) DB() *DB { return f.db }
+
+// SetGroupCommitLinger lets a group-commit leader wait up to linger for its
+// batch to grow to minBatch before flushing, in the style of PostgreSQL's
+// commit_delay / MySQL's binlog_group_commit_sync_delay. The wait is gated on
+// observed concurrency: the leader never waits for more transactions than are
+// actually in progress, so a lone committer is never delayed. Zero linger
+// (the default) disables the wait entirely.
+//
+// This matters most when commit traffic is spread thin — e.g. across many
+// engine shards on one device — where each leader would otherwise flush
+// batches of one or two and the WAL fsync rate explodes. Must be called
+// before the facade is shared between goroutines.
+func (f *Facade) SetGroupCommitLinger(linger time.Duration, minBatch int) {
+	if minBatch < 2 {
+		minBatch = 2
+	}
+	f.linger = linger
+	f.minBatch = minBatch
+}
 
 // Now reads the clock sequencer.
 func (f *Facade) Now() simclock.Time {
@@ -79,7 +108,12 @@ func (f *Facade) Commit(tx *txn.Tx) error {
 	f.gcMu.Lock()
 	f.queue = append(f.queue, w)
 	if f.leader {
-		// A leader is mid-flush; it will drain us in its next round.
+		// A leader is mid-flush (or lingering); it will drain us in its
+		// next round. If it lingers for exactly this arrival, wake it.
+		if f.lingerCh != nil && len(f.queue) >= f.lingerNeed {
+			close(f.lingerCh)
+			f.lingerCh = nil
+		}
 		f.gcMu.Unlock()
 		<-w.done
 		return w.err
@@ -89,6 +123,8 @@ func (f *Facade) Commit(tx *txn.Tx) error {
 		batch := f.queue
 		f.queue = nil
 		f.gcMu.Unlock()
+
+		batch = f.lingerForBatch(batch)
 
 		txs := make([]*txn.Tx, len(batch))
 		for i, b := range batch {
@@ -111,6 +147,54 @@ func (f *Facade) Commit(tx *txn.Tx) error {
 	f.maybeTick()
 	<-w.done
 	return w.err
+}
+
+// lingerForBatch optionally grows a small commit batch by waiting (bounded
+// by f.linger) for concurrent transactions to reach their own commit. The
+// target is capped at the number of in-progress transactions, which already
+// includes the batch members themselves: with no other transaction in
+// flight the target equals the batch and the leader flushes immediately.
+func (f *Facade) lingerForBatch(batch []*commitWaiter) []*commitWaiter {
+	if f.linger <= 0 || len(batch) >= f.minBatch {
+		return batch
+	}
+	// Only linger when other transactions are actually in flight — a lone
+	// committer flushes immediately. The in-flight ones need not all reach
+	// commit within the window, so the wait is time-bounded, not count-
+	// bounded: the timer is the backstop for stragglers and aborts.
+	if f.db.Txns().ActiveCount() <= len(batch) {
+		return batch
+	}
+	target := f.minBatch
+	timer := time.NewTimer(f.linger)
+	defer timer.Stop()
+	for {
+		f.gcMu.Lock()
+		batch = append(batch, f.queue...)
+		f.queue = nil
+		if len(batch) >= target {
+			f.gcMu.Unlock()
+			return batch
+		}
+		ch := make(chan struct{})
+		f.lingerCh = ch
+		f.lingerNeed = target - len(batch)
+		f.gcMu.Unlock()
+
+		select {
+		case <-ch:
+			// Enough committers arrived; loop around to collect them.
+		case <-timer.C:
+			f.gcMu.Lock()
+			if f.lingerCh == ch {
+				f.lingerCh = nil
+			}
+			batch = append(batch, f.queue...)
+			f.queue = nil
+			f.gcMu.Unlock()
+			return batch
+		}
+	}
 }
 
 // Abort rolls tx back.

@@ -1,4 +1,5 @@
-// Package server exposes a SIAS engine over TCP.
+// Package server exposes a SIAS deployment — one or many hash-partitioned
+// engine shards behind a shard.Router — over TCP.
 //
 // The service model is deliberately small and production-shaped:
 //
@@ -10,10 +11,13 @@
 //     unboundedly, so overload degrades into fast typed errors rather than
 //     latency collapse;
 //   - graceful drain on Shutdown — stop accepting, let in-flight
-//     transactions finish, abort stragglers after a deadline, checkpoint.
+//     transactions finish, abort stragglers after a deadline, then
+//     checkpoint the shards one at a time.
 //
-// All commits funnel through the engine facade's group-commit batcher, so
-// concurrent clients share WAL flushes.
+// Point ops route to exactly one shard (hash(key) % N) with no cross-shard
+// locking; scans fan out and k-way merge. Every shard runs its own
+// group-commit batcher, so concurrent clients share WAL flushes per shard
+// and independent shards flush in parallel.
 package server
 
 import (
@@ -28,18 +32,16 @@ import (
 	"time"
 
 	"sias/internal/engine"
+	"sias/internal/shard"
 	"sias/internal/tuple"
-	"sias/internal/txn"
 	"sias/internal/wire"
 )
 
 // Config configures a Server.
 type Config struct {
-	// Facade is the concurrency-safe engine front door (required).
-	Facade *engine.Facade
-	// Table is the served relation; its schema must be exactly an int64
-	// primary key plus one bytes value column (required).
-	Table *engine.Table
+	// Router fronts the engine shard(s) (required). A single-shard router
+	// is the unsharded deployment.
+	Router *shard.Router
 	// MaxInFlight bounds concurrently executing requests (default 64).
 	MaxInFlight int
 	// DrainTimeout bounds Shutdown's wait for in-flight transactions when
@@ -80,12 +82,13 @@ type Server struct {
 
 // New validates cfg and returns a Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Facade == nil || cfg.Table == nil {
-		return nil, errors.New("server: Facade and Table are required")
+	if cfg.Router == nil {
+		return nil, errors.New("server: Router is required")
 	}
-	sch := cfg.Table.Schema()
+	tab := cfg.Router.Table()
+	sch := tab.Schema()
 	if len(sch.Cols) != 2 {
-		return nil, fmt.Errorf("server: table %s must have exactly key+value columns", cfg.Table.Name())
+		return nil, fmt.Errorf("server: table %s must have exactly key+value columns", tab.Name())
 	}
 	valCol := -1
 	for i, c := range sch.Cols {
@@ -94,7 +97,7 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	if valCol < 0 {
-		return nil, fmt.Errorf("server: table %s has no bytes value column", cfg.Table.Name())
+		return nil, fmt.Errorf("server: table %s has no bytes value column", tab.Name())
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 64
@@ -169,7 +172,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			conn: conn,
 			br:   bufio.NewReader(conn),
 			bw:   bufio.NewWriter(conn),
-			txs:  map[uint64]*txn.Tx{},
+			txs:  map[uint64]*shard.Txn{},
 		}
 		s.mu.Lock()
 		if s.draining {
@@ -193,8 +196,13 @@ func (s *Server) Serve(ln net.Listener) error {
 // Shutdown drains the server: it stops accepting, lets sessions finish
 // their in-flight transactions, then aborts stragglers once ctx (or
 // DrainTimeout) expires, force-closes their connections, and checkpoints
-// the engine so a restart recovers quickly. Requests that arrive during the
+// the shards so a restart recovers quickly. Requests that arrive during the
 // drain are answered with wire.CodeShuttingDown — never silently dropped.
+//
+// The checkpoint goes through shard.Router.Checkpoint, which flushes one
+// shard at a time: only one shard's maintenance lock is held at any moment,
+// so a slow flush on one shard never stalls commits still completing on the
+// others during the drain window.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -242,18 +250,19 @@ wait:
 	s.mu.Unlock()
 	s.wg.Wait()
 
-	return s.cfg.Facade.Checkpoint()
+	return s.cfg.Router.Checkpoint()
 }
 
 // session is one connection's state: a request loop plus the transactions
-// opened over this connection, keyed by wire handle.
+// opened over this connection, keyed by wire handle. Each transaction fans
+// out into per-shard sub-transactions inside shard.Txn.
 type session struct {
 	srv  *Server
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
 
-	txs        map[uint64]*txn.Tx
+	txs        map[uint64]*shard.Txn
 	nextHandle uint64
 }
 
@@ -261,7 +270,7 @@ func (c *session) run() {
 	defer func() {
 		// Roll back whatever the client left open, then hang up.
 		for h, tx := range c.txs {
-			c.srv.cfg.Facade.Abort(tx)
+			tx.Abort()
 			c.srv.openTxns.Add(-1)
 			delete(c.txs, h)
 		}
@@ -331,11 +340,10 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 	defer func() { <-srv.sem }()
 	srv.requests.Add(1)
 
-	f, tab := srv.cfg.Facade, srv.cfg.Table
 	r := wire.Reader{B: payload}
 	switch op {
 	case wire.OpBegin:
-		tx := f.Begin()
+		tx := srv.cfg.Router.Begin()
 		c.nextHandle++
 		h := c.nextHandle
 		c.txs[h] = tx
@@ -356,16 +364,16 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 		delete(c.txs, h)
 		srv.openTxns.Add(-1)
 		if op == wire.OpCommit {
-			return nil, f.Commit(tx)
+			return nil, tx.Commit()
 		}
-		return nil, f.Abort(tx)
+		return nil, tx.Abort()
 
 	case wire.OpGet:
 		tx, key, _, err := c.keyArgs(&r, false)
 		if err != nil {
 			return nil, err
 		}
-		row, err := f.Get(tab, tx, key)
+		row, err := tx.Get(key)
 		if err != nil {
 			return nil, err
 		}
@@ -379,14 +387,14 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return nil, f.Insert(tab, tx, c.row(key, val))
+		return nil, tx.Insert(c.row(key, val))
 
 	case wire.OpUpdate:
 		tx, key, val, err := c.keyArgs(&r, true)
 		if err != nil {
 			return nil, err
 		}
-		return nil, f.Update(tab, tx, key, func(row tuple.Row) (tuple.Row, error) {
+		return nil, tx.Update(key, func(row tuple.Row) (tuple.Row, error) {
 			out := append(tuple.Row(nil), row...)
 			out[srv.valCol] = append([]byte(nil), val...)
 			return out, nil
@@ -397,7 +405,7 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return nil, f.Delete(tab, tx, key)
+		return nil, tx.Delete(key)
 
 	case wire.OpScan:
 		tx, err := c.tx(&r)
@@ -412,7 +420,7 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 		}
 		var entries wire.Buf
 		count := uint32(0)
-		err = f.RangeByKey(tab, tx, lo, hi, func(row tuple.Row) bool {
+		err = tx.Range(lo, hi, func(row tuple.Row) bool {
 			k, _ := row[1-srv.valCol].(int64)
 			v, _ := row[srv.valCol].([]byte)
 			entries.I64(k)
@@ -432,7 +440,7 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 }
 
 // tx decodes a handle and resolves it to a live transaction.
-func (c *session) tx(r *wire.Reader) (*txn.Tx, error) {
+func (c *session) tx(r *wire.Reader) (*shard.Txn, error) {
 	h, err := r.U64()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", wire.ErrBadRequest, err)
@@ -445,7 +453,7 @@ func (c *session) tx(r *wire.Reader) (*txn.Tx, error) {
 }
 
 // keyArgs decodes (handle, key[, val]) request payloads.
-func (c *session) keyArgs(r *wire.Reader, withVal bool) (*txn.Tx, int64, []byte, error) {
+func (c *session) keyArgs(r *wire.Reader, withVal bool) (*shard.Txn, int64, []byte, error) {
 	tx, err := c.tx(r)
 	if err != nil {
 		return nil, 0, nil, err
@@ -471,15 +479,22 @@ func (c *session) row(key int64, val []byte) tuple.Row {
 	return row
 }
 
-// StatsReply is the JSON payload of a STATS response.
+// StatsReply is the JSON payload of a STATS response. Engine aggregates
+// the per-shard counters; Shards carries them individually in shard order
+// so load generators can report group-commit effectiveness per shard.
 type StatsReply struct {
-	Engine engine.Stats `json:"engine"`
-	Server Stats        `json:"server"`
+	Engine engine.Stats      `json:"engine"`
+	Server Stats             `json:"server"`
+	Router shard.RouterStats `json:"router"`
+	Shards []engine.Stats    `json:"shards"`
 }
 
 func (c *session) handleStats() ([]byte, error) {
+	per := c.srv.cfg.Router.Stats()
 	return json.Marshal(StatsReply{
-		Engine: c.srv.cfg.Facade.Stats(),
+		Engine: shard.Aggregate(per),
 		Server: c.srv.Stats(),
+		Router: c.srv.cfg.Router.RouterStats(),
+		Shards: per,
 	})
 }

@@ -16,6 +16,7 @@ import (
 	"sias/internal/engine"
 	"sias/internal/page"
 	"sias/internal/server"
+	"sias/internal/shard"
 	"sias/internal/simclock"
 	"sias/internal/tuple"
 	"sias/internal/txn"
@@ -29,8 +30,8 @@ func kvSchema() *tuple.Schema {
 	)
 }
 
-// openKV assembles engine+facade+table over the given devices.
-func openKV(t *testing.T, data, walDev device.BlockDevice, recover bool) (*engine.Facade, *engine.Table) {
+// openKV assembles one engine shard (facade+table) over the given devices.
+func openKV(t *testing.T, data, walDev device.BlockDevice, recover bool) shard.Shard {
 	t.Helper()
 	opts := engine.DefaultOptions(data, walDev)
 	opts.Recover = recover
@@ -47,14 +48,34 @@ func openKV(t *testing.T, data, walDev device.BlockDevice, recover bool) (*engin
 			t.Fatal(err)
 		}
 	}
-	return engine.NewFacade(db), tab
+	return shard.Shard{Facade: engine.NewFacade(db), Table: tab}
+}
+
+// routerOf wraps shards in a Router.
+func routerOf(t *testing.T, shards ...shard.Shard) *shard.Router {
+	t.Helper()
+	r, err := shard.NewRouter(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// memRouter builds an n-shard router over in-memory devices.
+func memRouter(t *testing.T, n int) *shard.Router {
+	t.Helper()
+	shards := make([]shard.Shard, n)
+	for i := range shards {
+		shards[i] = openKV(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false)
+	}
+	return routerOf(t, shards...)
 }
 
 // startServer serves f/tab on a loopback listener and returns the server
 // and its address. The serve loop error is checked at cleanup.
-func startServer(t *testing.T, f *engine.Facade, tab *engine.Table, mut func(*server.Config)) (*server.Server, string) {
+func startServer(t *testing.T, r *shard.Router, mut func(*server.Config)) (*server.Server, string) {
 	t.Helper()
-	cfg := server.Config{Facade: f, Table: tab}
+	cfg := server.Config{Router: r}
 	if mut != nil {
 		mut(&cfg)
 	}
@@ -78,8 +99,7 @@ func startServer(t *testing.T, f *engine.Facade, tab *engine.Table, mut func(*se
 }
 
 func TestServerEndToEnd(t *testing.T) {
-	f, tab := openKV(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false)
-	_, addr := startServer(t, f, tab, nil)
+	_, addr := startServer(t, memRouter(t, 1), nil)
 	c, err := client.Dial(addr, client.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -159,8 +179,7 @@ func TestServerEndToEnd(t *testing.T) {
 // mixed read/write workload through the pooled client against a live
 // server, under -race, with write-write conflicts handled as typed errors.
 func TestServerConcurrentWorkers(t *testing.T) {
-	f, tab := openKV(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false)
-	_, addr := startServer(t, f, tab, nil)
+	_, addr := startServer(t, memRouter(t, 1), nil)
 	c, err := client.Dial(addr, client.Options{PoolSize: 16})
 	if err != nil {
 		t.Fatal(err)
@@ -250,8 +269,8 @@ func (d *gatedWAL) WritePage(at simclock.Time, pageNo int64, p []byte) (simclock
 func TestServerAdmissionControl(t *testing.T) {
 	gate := make(chan struct{})
 	walDev := &gatedWAL{BlockDevice: device.NewMem(page.Size, 1<<14), gate: gate}
-	f, tab := openKV(t, device.NewMem(page.Size, 1<<16), walDev, false)
-	_, addr := startServer(t, f, tab, func(cfg *server.Config) { cfg.MaxInFlight = 1 })
+	sh := openKV(t, device.NewMem(page.Size, 1<<16), walDev, false)
+	_, addr := startServer(t, routerOf(t, sh), func(cfg *server.Config) { cfg.MaxInFlight = 1 })
 
 	// Connection A occupies the single in-flight slot with a commit stuck
 	// on the gated WAL flush.
@@ -340,8 +359,7 @@ func TestServerDrainAndRecover(t *testing.T) {
 	}
 
 	data, walDev := openDevices()
-	f, tab := openKV(t, data, walDev, false)
-	cfg := server.Config{Facade: f, Table: tab, DrainTimeout: 500 * time.Millisecond}
+	cfg := server.Config{Router: routerOf(t, openKV(t, data, walDev, false)), DrainTimeout: 500 * time.Millisecond}
 	srv, err := server.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -434,8 +452,7 @@ func TestServerDrainAndRecover(t *testing.T) {
 	data2, walDev2 := openDevices()
 	defer data2.Close()
 	defer walDev2.Close()
-	f2, tab2 := openKV(t, data2, walDev2, true)
-	_, addr2 := startServer(t, f2, tab2, nil)
+	_, addr2 := startServer(t, routerOf(t, openKV(t, data2, walDev2, true)), nil)
 	c2, err := client.Dial(addr2, client.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -466,4 +483,148 @@ func TestServerDrainAndRecover(t *testing.T) {
 func isConnErr(err error) bool {
 	var ne net.Error
 	return errors.As(err, &ne) || errors.Is(err, net.ErrClosed)
+}
+
+// TestServerShardedEndToEnd runs the full wire workload against a 4-shard
+// router: point ops route by hash, scans fan out and merge, and the
+// per-shard STATS breakdown is populated.
+func TestServerShardedEndToEnd(t *testing.T) {
+	_, addr := startServer(t, memRouter(t, 4), nil)
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := int64(0); i < n; i++ {
+		if err := tx.Insert(i, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := tx2.Scan(0, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != n {
+		t.Fatalf("scan returned %d rows, want %d", len(kvs), n)
+	}
+	for i, kv := range kvs {
+		if kv.Key != int64(i) || string(kv.Val) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("scan row %d: (%d,%q) out of order", i, kv.Key, kv.Val)
+		}
+	}
+	// LIMIT terminates the fanned-out merge early.
+	head, err := tx2.Scan(0, n, 5)
+	if err != nil || len(head) != 5 || head[4].Key != 4 {
+		t.Fatalf("limited scan: %v %v", head, err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Router.Shards != 4 || len(st.Shards) != 4 {
+		t.Fatalf("stats shards: router=%d per-shard=%d, want 4", st.Router.Shards, len(st.Shards))
+	}
+	var perShardCommits int64
+	for _, s := range st.Shards {
+		perShardCommits += s.Commits
+	}
+	if perShardCommits != st.Engine.Commits || perShardCommits == 0 {
+		t.Errorf("per-shard commits %d != aggregate %d", perShardCommits, st.Engine.Commits)
+	}
+	if st.Router.RangeFanouts == 0 {
+		t.Error("no range fanouts counted")
+	}
+}
+
+// TestServerDrainUnderLoadMeetsDeadline is the checkpoint-contention
+// regression test: with 4 shards under live write load, Shutdown must
+// finish within the drain deadline plus the (one-shard-at-a-time)
+// checkpoint — not time out because maintenance locks were held across all
+// shards at once.
+func TestServerDrainUnderLoadMeetsDeadline(t *testing.T) {
+	const drainTimeout = 1 * time.Second
+	srv, addr := startServer(t, memRouter(t, 4), func(cfg *server.Config) {
+		cfg.DrainTimeout = drainTimeout
+	})
+	c, err := client.Dial(addr, client.Options{PoolSize: 16, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	seed, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		if err := seed.Insert(i, []byte("seed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live load: workers keep opening transactions until the drain refuses
+	// them. They must all observe typed errors or broken connections, never
+	// hang.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx, err := c.Begin()
+				if err != nil {
+					return // drain refused BEGIN or closed the connection
+				}
+				key := int64((w*17 + i) % 64)
+				if err := tx.Update(key, []byte("load")); err != nil {
+					tx.Abort()
+					continue
+				}
+				tx.Commit()
+			}
+		}(w)
+	}
+
+	// Let the load ramp, then drain and require the whole shutdown —
+	// including the per-shard sequential checkpoint — to meet the deadline
+	// with headroom for the checkpoint itself.
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown under load: %v", err)
+	}
+	took := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if limit := drainTimeout + 2*time.Second; took > limit {
+		t.Fatalf("drain under load took %v, want < %v", took, limit)
+	}
+	t.Logf("drain under load completed in %v", took)
 }

@@ -1,0 +1,427 @@
+// Package shard hash-partitions the primary-key space across N independent
+// engine instances so writes scale past a single WAL writer.
+//
+// Each shard owns a complete engine stack — facade, WAL writer, group-commit
+// batcher, VIDmap, buffer pool and block devices — and shards share nothing
+// on the hot path: a point op touches exactly one shard's locks, clock and
+// log. This is the classic recipe for scaling multi-version engines past
+// their log (Larson et al., "High-Performance Concurrency Control Mechanisms
+// for Main-Memory Databases"): eliminate the shared hot point instead of
+// making it faster. Keeping per-partition version indexes also preserves the
+// flash-friendly append locality SIAS is built around (Misra et al.,
+// "Multi-version Indexing in Flash-based Key-Value Stores").
+//
+// Routing. Point ops go to hash(key) % N where hash is the SplitMix64
+// finalizer — cheap, stateless and well mixed even for sequential keys, so
+// monotonic inserts spread across all WAL writers instead of convoying on
+// one. Range ops fan out to every shard and stream through a k-way ordered
+// merge, so callers observe exactly the global key order a single engine
+// would produce.
+//
+// Transactions. A Txn lazily opens one sub-transaction per shard on first
+// touch. Each sub-transaction has its own snapshot in its own shard —
+// snapshot isolation therefore holds per shard, and commit of a
+// multi-shard transaction is NOT atomic across shards (no 2PC): COMMIT runs
+// the touched shards' group commits in parallel and, if any shard fails,
+// aborts every sub-transaction that has not yet committed and reports the
+// failure; shards that already committed stay committed. Single-shard
+// transactions (the common case under hash routing) keep full SI semantics.
+// DESIGN.md "Sharding" documents this scope.
+package shard
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sias/internal/device"
+	"sias/internal/engine"
+	"sias/internal/tuple"
+	"sias/internal/txn"
+)
+
+// Shard pairs one engine facade with the served table inside it.
+type Shard struct {
+	Facade *engine.Facade
+	Table  *engine.Table
+}
+
+// Router routes keys, transactions and scans across shards.
+type Router struct {
+	shards []Shard
+
+	crossCommits atomic.Int64 // commits that touched >1 shard
+	fanouts      atomic.Int64 // range ops that fanned out to all shards
+}
+
+// NewRouter validates the shards (at least one, same schema everywhere) and
+// returns a Router over them.
+func NewRouter(shards []Shard) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("shard: at least one shard is required")
+	}
+	ref := shards[0].Table
+	for i, s := range shards {
+		if s.Facade == nil || s.Table == nil {
+			return nil, fmt.Errorf("shard %d: Facade and Table are required", i)
+		}
+		if !sameSchema(s.Table.Schema(), ref.Schema()) {
+			return nil, fmt.Errorf("shard %d: schema differs from shard 0's", i)
+		}
+	}
+	return &Router{shards: append([]Shard(nil), shards...)}, nil
+}
+
+func sameSchema(a, b *tuple.Schema) bool {
+	if len(a.Cols) != len(b.Cols) {
+		return false
+	}
+	for i := range a.Cols {
+		if a.Cols[i].Name != b.Cols[i].Name || a.Cols[i].Type != b.Cols[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// N reports the shard count.
+func (r *Router) N() int { return len(r.shards) }
+
+// Shard exposes shard i (stats, tests, drain).
+func (r *Router) Shard(i int) Shard { return r.shards[i] }
+
+// Table exposes shard 0's table for schema introspection.
+func (r *Router) Table() *engine.Table { return r.shards[0].Table }
+
+// Of returns the shard index owning key among n shards: the SplitMix64
+// finalizer mod n. Exported so load generators can compute placement
+// client-side; changing this function re-homes every key, so it is part of
+// the on-disk contract of a sharded deployment.
+func Of(key int64, n int) int {
+	x := uint64(key)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// ShardOf returns the shard index owning key.
+func (r *Router) ShardOf(key int64) int { return Of(key, len(r.shards)) }
+
+// Checkpoint flushes every shard, strictly one shard at a time. Holding a
+// single shard's tickMu at a time keeps the other shards' group-commit
+// leaders free to run opportunistic maintenance while a drain checkpoint is
+// in progress — grabbing all tick locks up front would stall every shard for
+// the duration of the slowest flush.
+func (r *Router) Checkpoint() error {
+	for i, s := range r.shards {
+		if err := s.Facade.Checkpoint(); err != nil {
+			return fmt.Errorf("shard %d checkpoint: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats snapshots every shard's engine counters in shard order.
+func (r *Router) Stats() []engine.Stats {
+	out := make([]engine.Stats, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = s.Facade.Stats()
+	}
+	return out
+}
+
+// RouterStats counts cross-shard coordination events.
+type RouterStats struct {
+	Shards       int   // configured shard count
+	CrossCommits int64 // commits spanning more than one shard
+	RangeFanouts int64 // range ops fanned out across all shards
+}
+
+// RouterStats snapshots the router-level counters.
+func (r *Router) RouterStats() RouterStats {
+	return RouterStats{
+		Shards:       len(r.shards),
+		CrossCommits: r.crossCommits.Load(),
+		RangeFanouts: r.fanouts.Load(),
+	}
+}
+
+// Aggregate sums per-shard engine stats into one engine-wide view.
+func Aggregate(ss []engine.Stats) engine.Stats {
+	var a engine.Stats
+	for _, s := range ss {
+		a.Commits += s.Commits
+		a.Aborts += s.Aborts
+		a.CommitFlushes += s.CommitFlushes
+		a.CommitBatches += s.CommitBatches
+		if s.CommitMaxBatch > a.CommitMaxBatch {
+			a.CommitMaxBatch = s.CommitMaxBatch
+		}
+		a.WALPageWrites += s.WALPageWrites
+		a.AllocatedPages += s.AllocatedPages
+		a.Pool.Hits += s.Pool.Hits
+		a.Pool.Misses += s.Pool.Misses
+		a.Pool.Evictions += s.Pool.Evictions
+		a.Pool.DirtyOut += s.Pool.DirtyOut
+		a.Data = addDev(a.Data, s.Data)
+		a.WALDevice = addDev(a.WALDevice, s.WALDevice)
+	}
+	return a
+}
+
+func addDev(a, b device.Stats) device.Stats {
+	a.Reads += b.Reads
+	a.Writes += b.Writes
+	a.BytesRead += b.BytesRead
+	a.BytesWritten += b.BytesWritten
+	a.ReadTime += b.ReadTime
+	a.WriteTime += b.WriteTime
+	a.PhysWrites += b.PhysWrites
+	a.Erases += b.Erases
+	return a
+}
+
+// Txn is one client transaction: per-shard sub-transactions opened lazily on
+// first touch. Txn is not safe for concurrent use (like *txn.Tx itself);
+// the server executes each session's requests in order.
+type Txn struct {
+	r    *Router
+	sub  []*txn.Tx // indexed by shard; nil until the shard is touched
+	done bool
+}
+
+// Begin starts a transaction. No sub-transaction is opened yet: an empty
+// commit touches no shard at all.
+func (r *Router) Begin() *Txn {
+	return &Txn{r: r, sub: make([]*txn.Tx, len(r.shards))}
+}
+
+// at returns the sub-transaction on shard i, opening it on first use.
+func (t *Txn) at(i int) *txn.Tx {
+	if t.sub[i] == nil {
+		t.sub[i] = t.r.shards[i].Facade.Begin()
+	}
+	return t.sub[i]
+}
+
+// ErrFinished reports an op on a committed or aborted transaction.
+var ErrFinished = errors.New("shard: transaction already finished")
+
+// Get returns the visible row of key.
+func (t *Txn) Get(key int64) (tuple.Row, error) {
+	if t.done {
+		return nil, ErrFinished
+	}
+	i := t.r.ShardOf(key)
+	s := t.r.shards[i]
+	return s.Facade.Get(s.Table, t.at(i), key)
+}
+
+// Insert stores row under its primary key's shard.
+func (t *Txn) Insert(row tuple.Row) error {
+	if t.done {
+		return ErrFinished
+	}
+	i := t.r.ShardOf(t.r.shards[0].Table.Key(row))
+	s := t.r.shards[i]
+	return s.Facade.Insert(s.Table, t.at(i), row)
+}
+
+// Update applies mutate to the visible row of key.
+func (t *Txn) Update(key int64, mutate func(tuple.Row) (tuple.Row, error)) error {
+	if t.done {
+		return ErrFinished
+	}
+	i := t.r.ShardOf(key)
+	s := t.r.shards[i]
+	return s.Facade.Update(s.Table, t.at(i), key, mutate)
+}
+
+// Delete removes the row of key.
+func (t *Txn) Delete(key int64) error {
+	if t.done {
+		return ErrFinished
+	}
+	i := t.r.ShardOf(key)
+	s := t.r.shards[i]
+	return s.Facade.Delete(s.Table, t.at(i), key)
+}
+
+// Commit makes the transaction durable. Touched shards commit in parallel,
+// each through its own group-commit batcher, so a cross-shard commit costs
+// one (concurrent) WAL flush per touched shard rather than their sum. On any
+// failure the sub-transactions that have not committed are aborted and the
+// first error is returned; see the package comment for the atomicity scope.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrFinished
+	}
+	t.done = true
+	var touched []int
+	for i, sub := range t.sub {
+		if sub != nil {
+			touched = append(touched, i)
+		}
+	}
+	switch len(touched) {
+	case 0:
+		return nil
+	case 1:
+		i := touched[0]
+		return t.r.shards[i].Facade.Commit(t.sub[i])
+	}
+	t.r.crossCommits.Add(1)
+	errs := make([]error, len(touched))
+	var wg sync.WaitGroup
+	for j, i := range touched {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			errs[j] = t.r.shards[i].Facade.Commit(t.sub[i])
+		}(j, i)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err != nil {
+			first = err
+			break
+		}
+	}
+	if first != nil {
+		// A failed sub-commit (e.g. WAL flush error) leaves its
+		// transaction in progress; roll those back so they release locks
+		// and never win visibility later. ErrFinished from a sub-commit
+		// that did complete is impossible here because errs[j] == nil for
+		// those shards.
+		for j, i := range touched {
+			if errs[j] != nil {
+				t.r.shards[i].Facade.Abort(t.sub[i])
+			}
+		}
+	}
+	return first
+}
+
+// Abort rolls every touched shard back.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrFinished
+	}
+	t.done = true
+	var first error
+	for i, sub := range t.sub {
+		if sub == nil {
+			continue
+		}
+		if err := t.r.shards[i].Facade.Abort(sub); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// mergeRow is one heap entry of the k-way merge: a row plus its source
+// shard's stream index.
+type mergeRow struct {
+	key int64
+	row tuple.Row
+	src int
+}
+
+type mergeHeap []mergeRow
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	// Keys are unique across shards (each key lives on exactly one), but
+	// tie-break on source for determinism anyway.
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeRow)) }
+func (h *mergeHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Range visits visible rows with lo <= primary key <= hi in global key
+// order, stopping when fn returns false. With one shard it is a plain
+// engine range; with N it fans out one streaming producer per shard and
+// k-way merges their (already sorted) outputs, so rows surface in exactly
+// the order a single engine would produce and early termination (LIMIT)
+// cancels the producers instead of draining them.
+func (t *Txn) Range(lo, hi int64, fn func(tuple.Row) bool) error {
+	if t.done {
+		return ErrFinished
+	}
+	n := t.r.N()
+	if n == 1 {
+		s := t.r.shards[0]
+		return s.Facade.RangeByKey(s.Table, t.at(0), lo, hi, fn)
+	}
+	t.r.fanouts.Add(1)
+
+	// One producer per shard streams its sorted range into a bounded
+	// channel; `done` tears the producers down on early exit or error.
+	// Defer order matters: close(done) must run before wg.Wait so blocked
+	// producers unblock before we wait for them.
+	done := make(chan struct{})
+	chans := make([]chan tuple.Row, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer close(done)
+	for i := 0; i < n; i++ {
+		// Open every sub-transaction up front, serially: facade Begin is
+		// cheap, and doing it here keeps Txn's lazy-open map single-
+		// goroutine.
+		sub := t.at(i)
+		ch := make(chan tuple.Row, 64)
+		chans[i] = ch
+		wg.Add(1)
+		go func(i int, sub *txn.Tx, ch chan tuple.Row) {
+			defer wg.Done()
+			defer close(ch)
+			s := t.r.shards[i]
+			errs[i] = s.Facade.RangeByKey(s.Table, sub, lo, hi, func(row tuple.Row) bool {
+				select {
+				case ch <- row:
+					return true
+				case <-done:
+					return false
+				}
+			})
+		}(i, sub, ch)
+	}
+	keyOf := t.r.shards[0].Table.Key
+	h := make(mergeHeap, 0, n)
+	for i, ch := range chans {
+		if row, ok := <-ch; ok {
+			h = append(h, mergeRow{key: keyOf(row), row: row, src: i})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		top := h[0]
+		if !fn(top.row) {
+			return nil
+		}
+		if row, ok := <-chans[top.src]; ok {
+			h[0] = mergeRow{key: keyOf(row), row: row, src: top.src}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d range: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# bench.sh — reproducible shard-scaling benchmark for siasserver.
+#
+# For each shard count (default 1 2 4) this script starts a fresh
+# file-backed siasserver, runs a warmup pass followed by a measured
+# cmd/siasload run, repeats BENCH_REPS times, and keeps the median rep by
+# throughput. The medians land in BENCH_shard.json at the repo root
+# (ops/s, p50/p99 latency, WAL flushes per commit, WAL page writes), plus
+# the 4-vs-1 speedup, so the perf trajectory of the sharded layout is a
+# committed artifact rather than a one-off terminal reading.
+#
+# The workload is write-only with page-sized values and a group-commit
+# linger on both server configurations, which makes the WAL journal chain
+# the dominant cost: that is the regime the sharded layout targets (N
+# independent WAL files flush concurrently, and checkpoint pauses stay
+# local to one shard). Override via environment:
+#
+#   BENCH_REPS=3 BENCH_WORKERS=32 BENCH_TXNS=400 BENCH_VALUE=8000
+#   BENCH_KEYS=4096 BENCH_SHARDS="1 2 4" BENCH_ADDR=127.0.0.1:4599
+#   BENCH_LINGER=2ms
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+ADDR="${BENCH_ADDR:-127.0.0.1:4599}"
+PORT="${ADDR##*:}"
+HOST="${ADDR%:*}"
+REPS="${BENCH_REPS:-3}"
+WORKERS="${BENCH_WORKERS:-32}"
+TXNS="${BENCH_TXNS:-400}"
+VALUE="${BENCH_VALUE:-8000}"
+KEYS="${BENCH_KEYS:-4096}"
+SHARDS="${BENCH_SHARDS:-1 2 4}"
+LINGER="${BENCH_LINGER:-2ms}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "building binaries..."
+(cd "$ROOT" && go build -o "$WORK/siasserver" ./cmd/siasserver)
+(cd "$ROOT" && go build -o "$WORK/siasload" ./cmd/siasload)
+
+wait_port() {
+    for _ in $(seq 1 100); do
+        if (echo >"/dev/tcp/$HOST/$PORT") 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "server did not come up on $ADDR" >&2
+    return 1
+}
+
+run_one() { # shards rep -> writes $WORK/res_<shards>_<rep>.json
+    local shards=$1 rep=$2
+    local data="$WORK/data"
+    rm -rf "$data"
+    "$WORK/siasserver" -addr "$ADDR" -shards "$shards" -data "$data" \
+        -pool 8192 -max-inflight 512 -data-pages 524288 -wal-pages 262144 \
+        -gc-linger "$LINGER" >"$WORK/server_${shards}_${rep}.log" 2>&1 &
+    local pid=$!
+    wait_port
+    # Warmup: preloads the keyspace and touches every code path once so
+    # cold-file block allocation is off the measured run.
+    "$WORK/siasload" -addr "$ADDR" -workers "$WORKERS" -txns 50 \
+        -ops-per-txn 1 -read-frac 0 -keys "$KEYS" -value "$VALUE" >/dev/null
+    "$WORK/siasload" -addr "$ADDR" -workers "$WORKERS" -txns "$TXNS" \
+        -ops-per-txn 1 -read-frac 0 -keys "$KEYS" -value "$VALUE" \
+        -json "$WORK/res_${shards}_${rep}.json" >/dev/null
+    kill -TERM "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+}
+
+for s in $SHARDS; do
+    for rep in $(seq 1 "$REPS"); do
+        echo "shards=$s rep=$rep/$REPS ..."
+        run_one "$s" "$rep"
+    done
+done
+
+python3 - "$WORK" "$ROOT/BENCH_shard.json" <<'EOF'
+import glob, json, os, sys
+
+work, out = sys.argv[1], sys.argv[2]
+runs = {}
+for path in glob.glob(os.path.join(work, "res_*_*.json")):
+    shards = int(os.path.basename(path).split("_")[1])
+    runs.setdefault(shards, []).append(json.load(open(path)))
+
+report = {"benchmark": "shard-scaling write throughput", "runs": []}
+median = {}
+for shards in sorted(runs):
+    reps = sorted(runs[shards], key=lambda r: r["txn_per_sec"])
+    med = reps[len(reps) // 2]
+    median[shards] = med
+    e = med["engine"]
+    report["runs"].append({
+        "shards": shards,
+        "reps": len(reps),
+        "txn_per_sec": round(med["txn_per_sec"], 1),
+        "txn_per_sec_all_reps": [round(r["txn_per_sec"], 1) for r in reps],
+        "latency_p50_ms": med["latency"]["p50_ms"],
+        "latency_p99_ms": med["latency"]["p99_ms"],
+        "wal_flushes_per_commit": round(e["flushes_per_commit"], 4),
+        "wal_page_writes": e["wal_page_writes"],
+        "group_commit_saved_pct": round(e["group_commit_saved_pct"], 1),
+        "config": med["config"],
+    })
+if 1 in median and 4 in median:
+    report["speedup_4_vs_1"] = round(
+        median[4]["txn_per_sec"] / median[1]["txn_per_sec"], 3)
+
+json.dump(report, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+
+print(f"\n{'shards':>6} {'txn/s':>9} {'p50 ms':>8} {'p99 ms':>8} {'fl/commit':>10}")
+for r in report["runs"]:
+    print(f"{r['shards']:>6} {r['txn_per_sec']:>9.0f} {r['latency_p50_ms']:>8.2f} "
+          f"{r['latency_p99_ms']:>8.2f} {r['wal_flushes_per_commit']:>10.4f}")
+if "speedup_4_vs_1" in report:
+    print(f"\n4-shard speedup over 1 shard: {report['speedup_4_vs_1']:.2f}x")
+print(f"wrote {out}")
+EOF
