@@ -106,6 +106,11 @@ type engineAgg struct {
 	WALPageWrites    int64   `json:"wal_page_writes"`
 	FlushesPerCommit float64 `json:"flushes_per_commit"`
 	FlushSavedPct    float64 `json:"group_commit_saved_pct"`
+	PoolHits         int64   `json:"pool_hits"`
+	PoolMisses       int64   `json:"pool_misses"`
+	PoolHitRatio     float64 `json:"pool_hit_ratio"`
+	PoolEvictions    int64   `json:"pool_evictions"`
+	PoolPartitions   int     `json:"pool_partitions"` // summed across shards
 }
 
 // result is the full machine-readable run report (-json).
@@ -329,6 +334,11 @@ func summarize(cfg loadConfig, elapsed time.Duration, samples [][]txnSample, bef
 		WALPageWrites:    d.WALPageWrites,
 		FlushesPerCommit: ratio(d.CommitFlushes, d.Commits),
 		FlushSavedPct:    saved(d.Commits, d.CommitFlushes),
+		PoolHits:         d.Pool.Hits,
+		PoolMisses:       d.Pool.Misses,
+		PoolHitRatio:     d.Pool.HitRatio(),
+		PoolEvictions:    d.Pool.Evictions,
+		PoolPartitions:   d.PoolPartitions,
 	}
 
 	for i := 0; i < cfg.Shards; i++ {
@@ -379,6 +389,9 @@ func printResult(res result) {
 		res.Engine.CommitFlushes, res.Engine.FlushSavedPct)
 	fmt.Printf("  multi-tx batches %d\n", res.Engine.CommitBatches)
 	fmt.Printf("  WAL page writes  %d\n", res.Engine.WALPageWrites)
+	fmt.Printf("  pool hit ratio   %.4f (%d hits / %d misses, %d evictions, %d stripe(s))\n",
+		res.Engine.PoolHitRatio, res.Engine.PoolHits, res.Engine.PoolMisses,
+		res.Engine.PoolEvictions, res.Engine.PoolPartitions)
 
 	if cfg.Shards > 1 {
 		fmt.Printf("\nper-shard breakdown (single-shard txns attributed to their shard):\n")
@@ -452,6 +465,10 @@ func deltaEngine(a, b engine.Stats) engine.Stats {
 	d.CommitFlushes = b.CommitFlushes - a.CommitFlushes
 	d.CommitBatches = b.CommitBatches - a.CommitBatches
 	d.WALPageWrites = b.WALPageWrites - a.WALPageWrites
+	d.Pool.Hits = b.Pool.Hits - a.Pool.Hits
+	d.Pool.Misses = b.Pool.Misses - a.Pool.Misses
+	d.Pool.Evictions = b.Pool.Evictions - a.Pool.Evictions
+	d.PoolPartitions = b.PoolPartitions
 	d.Data.Reads = b.Data.Reads - a.Data.Reads
 	d.Data.Writes = b.Data.Writes - a.Data.Writes
 	d.Data.BytesRead = b.Data.BytesRead - a.Data.BytesRead

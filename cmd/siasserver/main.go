@@ -6,8 +6,8 @@
 // Usage:
 //
 //	siasserver [-addr :4544] [-shards N] [-engine sias|si] [-policy t2|t1]
-//	           [-pool FRAMES] [-max-inflight N] [-drain SECONDS]
-//	           [-data DIR]
+//	           [-pool FRAMES] [-pool-partitions P] [-max-inflight N]
+//	           [-drain SECONDS] [-data DIR]
 //
 // With -shards N > 1 the primary-key space is hash-partitioned across N
 // independent engine instances, each with its own WAL writer, group-commit
@@ -46,6 +46,7 @@ func main() {
 	kind := flag.String("engine", "sias", "storage engine: sias or si")
 	policy := flag.String("policy", "t2", "append flush policy: t2 (checkpoint) or t1 (bgwriter)")
 	pool := flag.Int("pool", 4096, "buffer pool frames (total across shards)")
+	poolParts := flag.Int("pool-partitions", 0, "buffer pool lock stripes per shard (0 = auto, 1 = classic single mutex)")
 	maxInflight := flag.Int("max-inflight", 64, "admission control: max concurrently executing requests")
 	drainSec := flag.Float64("drain", 5, "graceful drain timeout in seconds")
 	dataDir := flag.String("data", "", "data directory for file-backed devices (empty = in-memory)")
@@ -59,7 +60,7 @@ func main() {
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	cfg := serverConfig{
 		addr: *addr, shards: *shards, kind: *kind, policy: *policy,
-		pool: *pool, maxInflight: *maxInflight, drainSec: *drainSec,
+		pool: *pool, poolParts: *poolParts, maxInflight: *maxInflight, drainSec: *drainSec,
 		dataDir: *dataDir, dataPages: *dataPages, walPages: *walPages, walSync: *walSync,
 		gcLinger: *gcLinger, gcBatch: *gcBatch,
 	}
@@ -73,6 +74,7 @@ type serverConfig struct {
 	shards       int
 	kind, policy string
 	pool         int
+	poolParts    int
 	maxInflight  int
 	drainSec     float64
 	dataDir      string
@@ -88,7 +90,8 @@ type serverConfig struct {
 // layouts at constant resource budgets.
 func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 	opts := engine.Options{
-		PoolFrames: max(cfg.pool/cfg.shards, 64),
+		PoolFrames:     max(cfg.pool/cfg.shards, 64),
+		PoolPartitions: cfg.poolParts,
 	}
 	switch cfg.kind {
 	case "sias":

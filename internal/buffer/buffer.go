@@ -14,11 +14,32 @@
 //
 // WAL-before-data is enforced: before a dirty page is written, the pool
 // calls the configured WALFlush up to the page's LSN.
+//
+// # Concurrency
+//
+// The pool is lock-striped: frames are hash-partitioned over P independent
+// partitions, each with its own mutex, frame table, free list, clock hand
+// and counters, so Get/Release traffic on distinct pages contends only
+// within a partition. A device page always maps to the same partition, so
+// all metadata transitions for a page (lookup, pin, eviction, write-back)
+// are serialized by one partition mutex.
+//
+// Page *content* is protected by a per-frame reader/writer latch, not the
+// partition mutex: callers hold the latch (shared for reads, exclusive for
+// mutations) only between Get and Release, and the pool's write-back paths
+// take the latch exclusively before reading the frame bytes, so checksums
+// and device writes never race with an in-flight mutator. Pin counts are
+// atomic; a frame with a nonzero pin count is never evicted.
+//
+// Lock ordering rule: partition mutex, then frame latch. Callers must never
+// re-enter the pool (which acquires a partition mutex) while holding a
+// frame latch, and must release the latch before Release drops the pin.
 package buffer
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sias/internal/device"
 	"sias/internal/page"
@@ -29,6 +50,11 @@ import (
 type Config struct {
 	// Frames is the number of page frames in the pool.
 	Frames int
+	// Partitions is the number of independent lock stripes. 0 picks a
+	// default that keeps at least minPartitionFrames frames per stripe, so
+	// tiny pools (tests, differential experiments) collapse to a single
+	// partition and behave exactly like the classic one-mutex pool.
+	Partitions int
 	// HitCost is the virtual CPU time charged for a buffer hit.
 	HitCost simclock.Duration
 	// WALFlush, if set, is called before writing a dirty page whose LSN
@@ -36,31 +62,57 @@ type Config struct {
 	WALFlush func(at simclock.Time, lsn uint64) (simclock.Time, error)
 }
 
+// DefaultPartitions is the stripe count used when Config.Partitions is 0
+// and the pool is large enough to split.
+const DefaultPartitions = 16
+
+// minPartitionFrames is the smallest stripe worth having: below this,
+// striping only fragments the replacement policy.
+const minPartitionFrames = 64
+
 // DefaultConfig returns a 1024-frame pool (8 MB) with a 1µs hit cost.
 func DefaultConfig() Config {
 	return Config{Frames: 1024, HitCost: simclock.Microsecond}
 }
 
 // Frame is one buffered page. Callers access Data only between Get and
-// Release while holding the pin.
+// Release while holding the pin, and bracket that access with the frame
+// latch: RLock/RUnlock around reads, Lock/Unlock around mutations.
 type Frame struct {
 	devPage int64
 	Data    page.Page
-	dirty   bool
-	pin     int
-	ref     bool
-	valid   bool
+
+	latch sync.RWMutex
+	pin   atomic.Int32
+	dirty atomic.Bool
+	ref   atomic.Bool
+	valid bool // partition-mutex protected
 }
 
-// DevPage reports the device page currently held.
+// DevPage reports the device page currently held (stable while pinned).
 func (f *Frame) DevPage() int64 { return f.devPage }
 
-// Stats counts pool activity.
+// RLock takes the frame's content latch shared (concurrent page reads).
+func (f *Frame) RLock() { f.latch.RLock() }
+
+// RUnlock releases a shared content latch.
+func (f *Frame) RUnlock() { f.latch.RUnlock() }
+
+// Lock takes the frame's content latch exclusively (page mutation).
+func (f *Frame) Lock() { f.latch.Lock() }
+
+// Unlock releases an exclusive content latch.
+func (f *Frame) Unlock() { f.latch.Unlock() }
+
+// Stats counts pool activity. PartitionEvictions has one entry per lock
+// stripe, so skew across partitions is visible to operators.
 type Stats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
 	DirtyOut  int64 // dirty pages written (evictions + sweeps + checkpoints)
+	// PartitionEvictions is the per-stripe slice of Evictions.
+	PartitionEvictions []int64
 }
 
 // HitRatio reports hits/(hits+misses), 0 if no traffic.
@@ -71,18 +123,27 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// Pool is the buffer manager. A single mutex guards the frame table; device
-// I/O is performed while holding it, which is correct (and irrelevant for
-// throughput — time is virtual).
-type Pool struct {
-	cfg Config
-	dev device.BlockDevice
-
+// partition is one lock stripe: a private frame table with its own
+// replacement state and counters.
+type partition struct {
 	mu     sync.Mutex
-	frames []Frame
+	frames []*Frame
 	index  map[int64]int
+	free   []int // never-used frames (stack); refilled by InvalidateAll
 	hand   int
-	stats  Stats
+
+	hits      int64
+	misses    int64
+	evictions int64
+	dirtyOut  int64
+}
+
+// Pool is the buffer manager.
+type Pool struct {
+	cfg    Config
+	dev    device.BlockDevice
+	parts  []partition
+	frames int
 }
 
 // New creates a pool over dev.
@@ -90,92 +151,155 @@ func New(cfg Config, dev device.BlockDevice) *Pool {
 	if cfg.Frames <= 0 {
 		panic("buffer: pool needs at least one frame")
 	}
-	p := &Pool{cfg: cfg, dev: dev, index: make(map[int64]int, cfg.Frames)}
-	p.frames = make([]Frame, cfg.Frames)
-	for i := range p.frames {
-		p.frames[i].Data = make(page.Page, page.Size)
-		p.frames[i].devPage = -1
+	nparts := cfg.Partitions
+	if nparts <= 0 {
+		nparts = cfg.Frames / minPartitionFrames
+		if nparts > DefaultPartitions {
+			nparts = DefaultPartitions
+		}
+	}
+	if nparts < 1 {
+		nparts = 1
+	}
+	if nparts > cfg.Frames {
+		nparts = cfg.Frames
+	}
+	p := &Pool{cfg: cfg, dev: dev, parts: make([]partition, nparts), frames: cfg.Frames}
+	for i := range p.parts {
+		n := cfg.Frames / nparts
+		if i < cfg.Frames%nparts {
+			n++
+		}
+		pt := &p.parts[i]
+		pt.index = make(map[int64]int, n)
+		pt.frames = make([]*Frame, n)
+		pt.free = make([]int, n)
+		for j := range pt.frames {
+			pt.frames[j] = &Frame{Data: make(page.Page, page.Size), devPage: -1}
+			pt.free[j] = n - 1 - j // pop order 0,1,2,...
+		}
 	}
 	return p
+}
+
+// partOf maps a device page to its partition (SplitMix64 finalizer: cheap
+// and uncorrelated with the allocator's extent striding).
+func (p *Pool) partOf(devPage int64) *partition {
+	if len(p.parts) == 1 {
+		return &p.parts[0]
+	}
+	z := uint64(devPage) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &p.parts[z%uint64(len(p.parts))]
 }
 
 // Get pins the frame holding devPage, reading it from the device on a miss.
 // If init is true the page is being created: no device read is issued and
 // the frame contents are zeroed for the caller to format.
 func (p *Pool) Get(at simclock.Time, devPage int64, init bool) (*Frame, simclock.Time, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if idx, ok := p.index[devPage]; ok {
-		f := &p.frames[idx]
-		f.pin++
-		f.ref = true
-		p.stats.Hits++
+	pt := p.partOf(devPage)
+	pt.mu.Lock()
+	if idx, ok := pt.index[devPage]; ok {
+		f := pt.frames[idx]
+		f.pin.Add(1)
+		f.ref.Store(true)
+		pt.hits++
+		pt.mu.Unlock()
 		return f, at.Add(p.cfg.HitCost), nil
 	}
-	p.stats.Misses++
-	idx, t, err := p.evictLocked(at)
+	pt.misses++
+	idx, t, err := p.evictLocked(pt, at)
 	if err != nil {
+		pt.mu.Unlock()
 		return nil, t, err
 	}
-	f := &p.frames[idx]
+	// evictLocked returns with the frame latch held exclusively: the frame
+	// is unreachable (not in the index) until we publish it below, but the
+	// latch documents — and the race detector checks — that loading never
+	// overlaps a stale reader.
+	f := pt.frames[idx]
 	f.devPage = devPage
-	f.dirty = false
-	f.pin = 1
-	f.ref = true
+	f.dirty.Store(false)
+	f.pin.Store(1)
+	f.ref.Store(true)
 	f.valid = true
-	p.index[devPage] = idx
+	pt.index[devPage] = idx
 	if init {
-		for i := range f.Data {
-			f.Data[i] = 0
-		}
+		clear(f.Data)
+		f.Unlock()
+		pt.mu.Unlock()
 		return f, t.Add(p.cfg.HitCost), nil
 	}
 	t, err = p.dev.ReadPage(t, devPage, f.Data)
 	if err != nil {
 		f.valid = false
-		f.pin = 0
+		f.pin.Store(0)
 		f.devPage = -1
-		delete(p.index, devPage)
+		delete(pt.index, devPage)
+		f.Unlock()
+		pt.mu.Unlock()
 		return nil, t, fmt.Errorf("buffer: read page %d: %w", devPage, err)
 	}
+	f.Unlock()
+	pt.mu.Unlock()
 	return f, t, nil
 }
 
-// evictLocked finds a victim frame via clock sweep, flushing it if dirty.
-func (p *Pool) evictLocked(at simclock.Time) (int, simclock.Time, error) {
+// evictLocked finds a victim frame in pt via free list then clock sweep,
+// flushing it if dirty. Caller holds pt.mu; on success the victim's latch
+// is held exclusively.
+func (p *Pool) evictLocked(pt *partition, at simclock.Time) (int, simclock.Time, error) {
 	t := at
-	for spin := 0; spin < 2*len(p.frames)+1; spin++ {
-		f := &p.frames[p.hand]
-		idx := p.hand
-		p.hand = (p.hand + 1) % len(p.frames)
-		if f.pin > 0 {
+	if n := len(pt.free); n > 0 {
+		idx := pt.free[n-1]
+		pt.free = pt.free[:n-1]
+		pt.frames[idx].Lock()
+		return idx, t, nil
+	}
+	for spin := 0; spin < 2*len(pt.frames)+1; spin++ {
+		idx := pt.hand
+		f := pt.frames[idx]
+		pt.hand = (pt.hand + 1) % len(pt.frames)
+		if f.pin.Load() > 0 {
 			continue
 		}
-		if f.ref {
-			f.ref = false
+		if f.ref.Load() {
+			f.ref.Store(false)
+			continue
+		}
+		// pin == 0 under pt.mu means no caller holds the latch (the latch
+		// is only held while pinned), so TryLock failing would be a caller
+		// protocol violation; treat the frame as pinned and move on.
+		if !f.latch.TryLock() {
 			continue
 		}
 		if f.valid {
-			if f.dirty {
+			if f.dirty.Load() {
 				var err error
-				t, err = p.writeFrameLocked(t, f)
+				t, err = p.writeFrameLocked(t, pt, f)
 				if err != nil {
+					f.latch.Unlock()
 					return 0, t, err
 				}
-				p.stats.DirtyOut++
+				pt.dirtyOut++
 			}
-			delete(p.index, f.devPage)
-			p.stats.Evictions++
+			delete(pt.index, f.devPage)
+			pt.evictions++
 		}
 		f.valid = false
 		f.devPage = -1
-		f.dirty = false
+		f.dirty.Store(false)
 		return idx, t, nil
 	}
-	return 0, t, fmt.Errorf("buffer: all %d frames pinned", len(p.frames))
+	return 0, t, fmt.Errorf("buffer: all %d frames in partition pinned (%d frames, %d partitions)",
+		len(pt.frames), p.frames, len(p.parts))
 }
 
-func (p *Pool) writeFrameLocked(at simclock.Time, f *Frame) (simclock.Time, error) {
+// writeFrameLocked writes one dirty frame back (WAL first). Caller holds
+// pt.mu and the frame latch exclusively.
+func (p *Pool) writeFrameLocked(at simclock.Time, pt *partition, f *Frame) (simclock.Time, error) {
 	t := at
 	if p.cfg.WALFlush != nil {
 		if lsn := f.Data.LSN(); lsn > 0 {
@@ -191,39 +315,42 @@ func (p *Pool) writeFrameLocked(at simclock.Time, f *Frame) (simclock.Time, erro
 	if err != nil {
 		return t, fmt.Errorf("buffer: write page %d: %w", f.devPage, err)
 	}
-	f.dirty = false
+	f.dirty.Store(false)
 	return t, nil
 }
 
-// Release unpins a frame; dirty marks it modified.
+// Release unpins a frame; dirty marks it modified. Lock-free: hot-path
+// readers never touch the partition mutex on the way out.
 func (p *Pool) Release(f *Frame, dirty bool) {
-	p.mu.Lock()
-	if f.pin <= 0 {
-		p.mu.Unlock()
+	if dirty {
+		f.dirty.Store(true)
+	}
+	if f.pin.Add(-1) < 0 {
 		panic("buffer: release of unpinned frame")
 	}
-	f.pin--
-	if dirty {
-		f.dirty = true
-	}
-	p.mu.Unlock()
 }
 
-// FlushPage writes devPage out if buffered and dirty.
+// FlushPage writes devPage out if buffered and dirty. Unlike the sweep and
+// checkpoint paths it writes pinned pages too (the SIAS append-page seal
+// targets the page it just filled); the exclusive frame latch keeps the
+// write consistent against the pin holder.
 func (p *Pool) FlushPage(at simclock.Time, devPage int64) (simclock.Time, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	idx, ok := p.index[devPage]
+	pt := p.partOf(devPage)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	idx, ok := pt.index[devPage]
 	if !ok {
 		return at, nil
 	}
-	f := &p.frames[idx]
-	if !f.dirty {
+	f := pt.frames[idx]
+	if !f.dirty.Load() {
 		return at, nil
 	}
-	t, err := p.writeFrameLocked(at, f)
+	f.Lock()
+	t, err := p.writeFrameLocked(at, pt, f)
+	f.Unlock()
 	if err == nil {
-		p.stats.DirtyOut++
+		pt.dirtyOut++
 	}
 	return t, err
 }
@@ -231,86 +358,122 @@ func (p *Pool) FlushPage(at simclock.Time, devPage int64) (simclock.Time, error)
 // SweepDirty is the background-writer tick (threshold t1): it writes up to
 // max dirty unpinned pages. max <= 0 means all. Returns pages written.
 func (p *Pool) SweepDirty(at simclock.Time, max int) (int, simclock.Time, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	written := 0
 	t := at
-	for i := range p.frames {
+	for pi := range p.parts {
+		pt := &p.parts[pi]
+		pt.mu.Lock()
+		for _, f := range pt.frames {
+			if max > 0 && written >= max {
+				break
+			}
+			if !f.valid || !f.dirty.Load() || f.pin.Load() > 0 {
+				continue
+			}
+			f.Lock()
+			var err error
+			t, err = p.writeFrameLocked(t, pt, f)
+			f.Unlock()
+			if err != nil {
+				pt.mu.Unlock()
+				return written, t, err
+			}
+			pt.dirtyOut++
+			written++
+		}
+		pt.mu.Unlock()
 		if max > 0 && written >= max {
 			break
 		}
-		f := &p.frames[i]
-		if !f.valid || !f.dirty || f.pin > 0 {
-			continue
-		}
-		var err error
-		t, err = p.writeFrameLocked(t, f)
-		if err != nil {
-			return written, t, err
-		}
-		p.stats.DirtyOut++
-		written++
 	}
 	return written, t, nil
 }
 
 // FlushAll writes every dirty page (the checkpoint, threshold t2).
 func (p *Pool) FlushAll(at simclock.Time) (simclock.Time, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	t := at
-	for i := range p.frames {
-		f := &p.frames[i]
-		if !f.valid || !f.dirty {
-			continue
+	for pi := range p.parts {
+		pt := &p.parts[pi]
+		pt.mu.Lock()
+		for _, f := range pt.frames {
+			if !f.valid || !f.dirty.Load() {
+				continue
+			}
+			if f.pin.Load() > 0 {
+				// A pinned page may be mid-modification; checkpoint skips
+				// it, the next checkpoint or eviction will pick it up.
+				continue
+			}
+			f.Lock()
+			var err error
+			t, err = p.writeFrameLocked(t, pt, f)
+			f.Unlock()
+			if err != nil {
+				pt.mu.Unlock()
+				return t, err
+			}
+			pt.dirtyOut++
 		}
-		if f.pin > 0 {
-			// A pinned page may be mid-modification; checkpoint skips it,
-			// the next checkpoint or eviction will pick it up.
-			continue
-		}
-		var err error
-		t, err = p.writeFrameLocked(t, f)
-		if err != nil {
-			return t, err
-		}
-		p.stats.DirtyOut++
+		pt.mu.Unlock()
 	}
 	return t, nil
 }
 
 // DirtyCount reports the number of dirty frames (pinned or not).
 func (p *Pool) DirtyCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for i := range p.frames {
-		if p.frames[i].valid && p.frames[i].dirty {
-			n++
+	for pi := range p.parts {
+		pt := &p.parts[pi]
+		pt.mu.Lock()
+		for _, f := range pt.frames {
+			if f.valid && f.dirty.Load() {
+				n++
+			}
 		}
+		pt.mu.Unlock()
 	}
 	return n
 }
 
 // InvalidateAll drops every frame without writing (crash simulation).
 func (p *Pool) InvalidateAll() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.frames {
-		p.frames[i].valid = false
-		p.frames[i].dirty = false
-		p.frames[i].pin = 0
-		p.frames[i].devPage = -1
+	for pi := range p.parts {
+		pt := &p.parts[pi]
+		pt.mu.Lock()
+		pt.free = pt.free[:0]
+		for j := len(pt.frames) - 1; j >= 0; j-- {
+			f := pt.frames[j]
+			f.valid = false
+			f.dirty.Store(false)
+			f.pin.Store(0)
+			f.devPage = -1
+			pt.free = append(pt.free, j)
+		}
+		pt.index = make(map[int64]int, len(pt.frames))
+		pt.hand = 0
+		pt.mu.Unlock()
 	}
-	p.index = make(map[int64]int, len(p.frames))
 }
 
-// Stats returns a snapshot of pool counters.
+// Stats returns a race-safe snapshot of pool counters, folded over every
+// partition.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	s := Stats{PartitionEvictions: make([]int64, len(p.parts))}
+	for pi := range p.parts {
+		pt := &p.parts[pi]
+		pt.mu.Lock()
+		s.Hits += pt.hits
+		s.Misses += pt.misses
+		s.Evictions += pt.evictions
+		s.DirtyOut += pt.dirtyOut
+		s.PartitionEvictions[pi] = pt.evictions
+		pt.mu.Unlock()
+	}
+	return s
 }
 
 // Frames reports the pool size.
-func (p *Pool) Frames() int { return len(p.frames) }
+func (p *Pool) Frames() int { return p.frames }
+
+// Partitions reports the number of lock stripes.
+func (p *Pool) Partitions() int { return len(p.parts) }

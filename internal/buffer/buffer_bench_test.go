@@ -64,3 +64,64 @@ func newBenchPool(frames int) (*Pool, *device.Mem) {
 	dev := device.NewMem(page.Size, 1<<16)
 	return New(Config{Frames: frames, HitCost: 0}, dev), dev
 }
+
+// benchParallelGet drives RunParallel hit traffic against a pool with the
+// given stripe count; the striped/single pair quantifies what partitioning
+// buys on the pure in-memory hit path.
+func benchParallelGet(b *testing.B, partitions int) {
+	dev := device.NewMem(page.Size, 1<<16)
+	p := New(Config{Frames: 1024, Partitions: partitions, HitCost: 0}, dev)
+	at := simclock.Time(0)
+	for dp := int64(0); dp < 1024; dp++ {
+		f, t2, err := p.Get(at, dp, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = t2
+		p.Release(f, false)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(int64(b.N)))
+		wat := simclock.Time(0)
+		for pb.Next() {
+			f, t2, err := p.Get(wat, rng.Int63n(1024), false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wat = t2
+			f.RLock()
+			_ = f.Data.NumSlots()
+			f.RUnlock()
+			p.Release(f, false)
+		}
+	})
+}
+
+func BenchmarkGetHitParallelStriped(b *testing.B) { benchParallelGet(b, 0) }
+func BenchmarkGetHitParallelSingle(b *testing.B)  { benchParallelGet(b, 1) }
+
+// benchParallelEvict measures the miss/eviction path: the working set is 4x
+// the pool, so most Gets write back a dirty victim and read the device.
+func benchParallelEvict(b *testing.B, partitions int) {
+	dev := device.NewMem(page.Size, 1<<16)
+	p := New(Config{Frames: 256, Partitions: partitions, HitCost: 0}, dev)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(int64(b.N)))
+		wat := simclock.Time(0)
+		i := 0
+		for pb.Next() {
+			f, t2, err := p.Get(wat, rng.Int63n(1024), true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wat = t2
+			p.Release(f, i%2 == 0)
+			i++
+		}
+	})
+}
+
+func BenchmarkGetEvictParallelStriped(b *testing.B) { benchParallelEvict(b, 0) }
+func BenchmarkGetEvictParallelSingle(b *testing.B)  { benchParallelEvict(b, 1) }

@@ -1,0 +1,233 @@
+package buffer
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sias/internal/device"
+	"sias/internal/page"
+	"sias/internal/simclock"
+)
+
+// newStripedPool builds a pool large enough to split into multiple
+// partitions, with an in-memory device big enough for eviction churn.
+func newStripedPool(frames, partitions int) (*Pool, *device.Mem) {
+	dev := device.NewMem(page.Size, 1<<16)
+	p := New(Config{Frames: frames, Partitions: partitions, HitCost: simclock.Microsecond}, dev)
+	return p, dev
+}
+
+// TestConcurrentGetEvictFlush hammers the pool from many goroutines with a
+// working set larger than the pool (forcing evictions and dirty write-backs)
+// while checkpoint and background-writer flushes run concurrently. Run under
+// -race this proves the partition-mutex + frame-latch protocol has no data
+// races between loads, content access, eviction write-back and sweeps.
+func TestConcurrentGetEvictFlush(t *testing.T) {
+	p, _ := newStripedPool(256, 4)
+	if p.Partitions() != 4 {
+		t.Fatalf("partitions = %d, want 4", p.Partitions())
+	}
+	const (
+		workers  = 8
+		opsEach  = 2000
+		pages    = 1024 // 4x the pool => constant eviction pressure
+		flushers = 2
+	)
+	var workerWG, flusherWG sync.WaitGroup
+	var stop atomic.Bool
+	errs := make(chan error, workers+flushers)
+
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func(seed int64) {
+			defer workerWG.Done()
+			at := simclock.Time(0)
+			rng := seed
+			for i := 0; i < opsEach; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				dp := (rng >> 33) % pages
+				if dp < 0 {
+					dp = -dp
+				}
+				f, t2, err := p.Get(at, dp, false)
+				if err != nil {
+					errs <- err
+					return
+				}
+				at = t2
+				if i%3 == 0 {
+					f.Lock()
+					if !f.Data.Initialized() {
+						f.Data.Init(1, 0)
+					}
+					f.Data.Insert([]byte{byte(dp)})
+					f.Unlock()
+					p.Release(f, true)
+				} else {
+					f.RLock()
+					_ = f.Data.NumSlots()
+					f.RUnlock()
+					p.Release(f, false)
+				}
+			}
+		}(int64(w + 1))
+	}
+	for fl := 0; fl < flushers; fl++ {
+		flusherWG.Add(1)
+		go func(sweep bool) {
+			defer flusherWG.Done()
+			at := simclock.Time(0)
+			for !stop.Load() {
+				var err error
+				if sweep {
+					_, at, err = p.SweepDirty(at, 32)
+				} else {
+					at, err = p.FlushAll(at)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Yield between rounds: a tight flush loop on a small
+				// GOMAXPROCS starves the workers under the race detector.
+				runtime.Gosched()
+			}
+		}(fl%2 == 0)
+	}
+
+	// Wait for the workers, then stop the flushers.
+	done := make(chan struct{})
+	go func() {
+		workerWG.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case err := <-errs:
+			stop.Store(true)
+			flusherWG.Wait()
+			t.Fatal(err)
+		case <-done:
+			stop.Store(true)
+			flusherWG.Wait()
+			st := p.Stats()
+			if st.Hits+st.Misses < workers*opsEach {
+				t.Errorf("stats undercount: hits+misses = %d, want >= %d", st.Hits+st.Misses, workers*opsEach)
+			}
+			var perPart int64
+			for _, e := range st.PartitionEvictions {
+				perPart += e
+			}
+			if perPart != st.Evictions {
+				t.Errorf("per-partition evictions sum %d != total %d", perPart, st.Evictions)
+			}
+			return
+		}
+	}
+}
+
+// TestPinnedNeverEvictedConcurrent pins a set of marked pages, then runs
+// enough concurrent traffic to evict the rest of the pool several times
+// over. The pinned frames must keep their identity and content throughout.
+func TestPinnedNeverEvictedConcurrent(t *testing.T) {
+	p, _ := newStripedPool(256, 4)
+	const pinned = 16
+	at := simclock.Time(0)
+	held := make([]*Frame, pinned)
+	for i := 0; i < pinned; i++ {
+		f, t2, err := p.Get(at, int64(i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = t2
+		f.Lock()
+		f.Data.Init(1, 0)
+		f.Data.Insert([]byte(fmt.Sprintf("pin-%d", i)))
+		f.Unlock()
+		held[i] = f
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			wat := simclock.Time(0)
+			for i := int64(0); i < 3000; i++ {
+				dp := pinned + (seed*3000+i)%2048
+				f, t2, err := p.Get(wat, dp, true)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				wat = t2
+				p.Release(f, i%2 == 0)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	for i, f := range held {
+		if f.DevPage() != int64(i) {
+			t.Fatalf("pinned frame %d now holds devPage %d", i, f.DevPage())
+		}
+		f.RLock()
+		raw, err := f.Data.Tuple(0)
+		want := fmt.Sprintf("pin-%d", i)
+		if err != nil || string(raw) != want {
+			t.Fatalf("pinned frame %d content = %q (%v), want %q", i, raw, err, want)
+		}
+		f.RUnlock()
+		p.Release(held[i], false)
+	}
+	if st := p.Stats(); st.Evictions == 0 {
+		t.Error("test generated no eviction pressure")
+	}
+}
+
+// TestAllPinnedPartitionError verifies the failure mode when one partition's
+// frames are all pinned: Get on that partition must fail rather than evict a
+// pinned frame, and other partitions must stay usable.
+func TestAllPinnedPartitionError(t *testing.T) {
+	p, _ := newStripedPool(128, 2)
+	at := simclock.Time(0)
+	var held []*Frame
+	// Pin frames until one partition refuses; at that point every frame of
+	// some partition is pinned.
+	var failedPage int64 = -1
+	for dp := int64(0); dp < 1024; dp++ {
+		f, t2, err := p.Get(at, dp, true)
+		if err != nil {
+			failedPage = dp
+			break
+		}
+		at = t2
+		held = append(held, f)
+	}
+	if failedPage < 0 {
+		t.Fatal("pinned every frame without an error")
+	}
+	// The sibling partition should still serve pages that hash to it.
+	served := false
+	for dp := failedPage + 1; dp < failedPage+64 && !served; dp++ {
+		if p.partOf(dp) == p.partOf(failedPage) {
+			continue
+		}
+		f, t2, err := p.Get(at, dp, true)
+		if err != nil {
+			t.Fatalf("unpinned partition refused page %d: %v", dp, err)
+		}
+		at = t2
+		p.Release(f, false)
+		served = true
+	}
+	if !served {
+		t.Fatal("no page hashed to the sibling partition")
+	}
+	for _, f := range held {
+		p.Release(f, false)
+	}
+}

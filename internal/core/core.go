@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sias/internal/buffer"
 	"sias/internal/index"
@@ -56,6 +57,41 @@ type Stats struct {
 	GCDiscarded   int64 // dead versions discarded by GC
 	VMapMisses    int64 // VIDmap bucket residency misses
 	Erases        int64 // DBMS-issued erases (NoFTL mode)
+}
+
+// relStats is the live, race-safe counter set behind Stats. The read path
+// (chain walks, VIDmap touches) bumps these without taking r.mu, so the
+// striped buffer pool's concurrency is not thrown away on bookkeeping.
+type relStats struct {
+	appends       atomic.Int64
+	pagesSealed   atomic.Int64
+	sealedTuples  atomic.Int64
+	tombstones    atomic.Int64
+	chainWalks    atomic.Int64
+	chainHops     atomic.Int64
+	indexInserts  atomic.Int64
+	gcPages       atomic.Int64
+	gcRelocations atomic.Int64
+	gcDiscarded   atomic.Int64
+	vmapMisses    atomic.Int64
+	erases        atomic.Int64
+}
+
+func (s *relStats) snapshot() Stats {
+	return Stats{
+		Appends:       s.appends.Load(),
+		PagesSealed:   s.pagesSealed.Load(),
+		SealedTuples:  s.sealedTuples.Load(),
+		Tombstones:    s.tombstones.Load(),
+		ChainWalks:    s.chainWalks.Load(),
+		ChainHops:     s.chainHops.Load(),
+		IndexInserts:  s.indexInserts.Load(),
+		GCPages:       s.gcPages.Load(),
+		GCRelocations: s.gcRelocations.Load(),
+		GCDiscarded:   s.gcDiscarded.Load(),
+		VMapMisses:    s.vmapMisses.Load(),
+		Erases:        s.erases.Load(),
+	}
 }
 
 // AvgFill reports the mean fill degree of sealed pages in tuples/page.
@@ -143,7 +179,7 @@ type Relation struct {
 	eraser     Eraser
 	freeByUnit map[uint32][]uint32
 
-	stats Stats
+	stats relStats
 }
 
 // pendingDead records a predecessor superseded by a committed transaction;
@@ -214,9 +250,7 @@ func (r *Relation) VIDMap() *vidmap.Map { return r.vmap }
 
 // Stats returns a snapshot of counters.
 func (r *Relation) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return r.stats.snapshot()
 }
 
 // Blocks reports the number of heap blocks ever allocated (the append
@@ -238,9 +272,7 @@ func (r *Relation) LiveBlocks() int {
 // vmapTouch charges the residency cost of accessing vid's bucket.
 func (r *Relation) vmapTouch(at simclock.Time, vid uint64) simclock.Time {
 	if !r.resi.Touch(vidmap.BucketOf(vid)) {
-		r.mu.Lock()
-		r.stats.VMapMisses++
-		r.mu.Unlock()
+		r.stats.vmapMisses.Add(1)
 		return at.Add(r.missPenalty)
 	}
 	return at
@@ -255,8 +287,24 @@ func (r *Relation) getPage(at simclock.Time, block uint32, initNew bool) (*buffe
 	if err != nil {
 		return nil, t, err
 	}
-	if initNew || !f.Data.Initialized() {
+	if initNew {
+		f.Lock()
 		f.Data.Init(r.id, page.FlagAppend)
+		f.Unlock()
+		return f, t, nil
+	}
+	// A never-written block reads back as zeroes; format it on first touch.
+	// Double-checked under the exclusive latch: concurrent readers of the
+	// same fresh block must not both run Init.
+	f.RLock()
+	inited := f.Data.Initialized()
+	f.RUnlock()
+	if !inited {
+		f.Lock()
+		if !f.Data.Initialized() {
+			f.Data.Init(r.id, page.FlagAppend)
+		}
+		f.Unlock()
 	}
 	return f, t, nil
 }
@@ -275,9 +323,14 @@ func (r *Relation) append(tx txn.ID, at simclock.Time, tupBytes []byte) (page.TI
 		if err != nil {
 			return page.InvalidTID, t, err
 		}
+		// Exclusive frame latch across the slot insert and LSN stamp:
+		// concurrent chain readers of earlier slots proceed under the
+		// shared latch between our critical sections.
+		f.Lock()
 		slot, ierr := f.Data.Insert(tupBytes)
 		if ierr != nil {
 			// Page full: seal it and retry on a fresh one.
+			f.Unlock()
 			r.pool.Release(f, false)
 			r.sealLocked(false)
 			continue
@@ -285,9 +338,10 @@ func (r *Relation) append(tx txn.ID, at simclock.Time, tupBytes []byte) (page.TI
 		tid := page.TID{Block: r.appendBlock, Slot: uint16(slot)}
 		lsn := r.walw.Append(&wal.Record{Type: wal.RecHeapInsert, Tx: tx, Rel: r.id, TID: tid, Data: tupBytes})
 		f.Data.SetLSN(uint64(lsn))
+		f.Unlock()
 		r.pool.Release(f, true)
 		r.tupleCount[r.appendBlock]++
-		r.stats.Appends++
+		r.stats.appends.Add(1)
 		return tid, t, nil
 	}
 	return page.InvalidTID, t, fmt.Errorf("sias: tuple of %d bytes does not fit an empty page", len(tupBytes))
@@ -317,8 +371,8 @@ func (r *Relation) sealLocked(threshold bool) {
 	if n == 0 {
 		return // nothing on it; keep it open
 	}
-	r.stats.PagesSealed++
-	r.stats.SealedTuples += int64(n)
+	r.stats.pagesSealed.Add(1)
+	r.stats.sealedTuples.Add(int64(n))
 	r.appendOpen = false
 	_ = threshold
 }
@@ -346,28 +400,31 @@ func (r *Relation) SealAppend(at simclock.Time, flush bool) (simclock.Time, erro
 }
 
 // fetch reads the version at tid, returning header and payload copy. The
-// page bytes are read under r.mu: the tid may live on the open append page,
-// which concurrent writers mutate while holding the same mutex.
+// page bytes are read under the frame's shared latch, not r.mu: the tid may
+// live on the open append page, but appenders mutate it under the exclusive
+// latch, and a slot is only reachable (via VIDmap or a chain pointer) after
+// its insert completed — so concurrent chain readers never serialize on the
+// relation mutex.
 func (r *Relation) fetch(at simclock.Time, tid page.TID) (tuple.SIASHeader, []byte, simclock.Time, error) {
 	f, t, err := r.getPage(at, tid.Block, false)
 	if err != nil {
 		return tuple.SIASHeader{}, nil, t, err
 	}
-	r.mu.Lock()
+	f.RLock()
 	raw, terr := f.Data.Tuple(int(tid.Slot))
 	if terr != nil {
-		r.mu.Unlock()
+		f.RUnlock()
 		r.pool.Release(f, false)
 		return tuple.SIASHeader{}, nil, t, fmt.Errorf("sias: fetch %v: %w", tid, terr)
 	}
 	hdr, payload, derr := tuple.DecodeSIAS(raw)
 	if derr != nil {
-		r.mu.Unlock()
+		f.RUnlock()
 		r.pool.Release(f, false)
 		return tuple.SIASHeader{}, nil, t, derr
 	}
 	out := append([]byte(nil), payload...)
-	r.mu.Unlock()
+	f.RUnlock()
 	r.pool.Release(f, false)
 	return hdr, out, t, nil
 }
@@ -381,9 +438,7 @@ func (r *Relation) chainLookup(tx *txn.Tx, at simclock.Time, vid uint64) (tuple.
 	if !ok {
 		return tuple.SIASHeader{}, nil, t, false, nil
 	}
-	r.mu.Lock()
-	r.stats.ChainWalks++
-	r.mu.Unlock()
+	r.stats.chainWalks.Add(1)
 	for tid.Valid() {
 		hdr, payload, t2, err := r.fetch(t, tid)
 		t = t2
@@ -394,9 +449,7 @@ func (r *Relation) chainLookup(tx *txn.Tx, at simclock.Time, vid uint64) (tuple.
 			return hdr, payload, t, true, nil
 		}
 		tid = hdr.Pred
-		r.mu.Lock()
-		r.stats.ChainHops++
-		r.mu.Unlock()
+		r.stats.chainHops.Add(1)
 	}
 	return tuple.SIASHeader{}, nil, t, false, nil
 }
@@ -428,18 +481,14 @@ func (r *Relation) Insert(tx *txn.Tx, at simclock.Time, key int64, payload []byt
 	if err != nil {
 		return 0, t, err
 	}
-	r.mu.Lock()
-	r.stats.IndexInserts++
-	r.mu.Unlock()
+	r.stats.indexInserts.Add(1)
 	for i, sec := range r.secs {
 		if k, ok := r.secFns[i](payload); ok {
 			t, err = sec.Insert(t, k, vid)
 			if err != nil {
 				return 0, t, err
 			}
-			r.mu.Lock()
-			r.stats.IndexInserts++
-			r.mu.Unlock()
+			r.stats.indexInserts.Add(1)
 		}
 	}
 	return vid, t, nil
@@ -531,9 +580,7 @@ func (r *Relation) UpdateByVID(tx *txn.Tx, at simclock.Time, vid uint64, oldKey 
 		if err != nil {
 			return t, err
 		}
-		r.mu.Lock()
-		r.stats.IndexInserts++
-		r.mu.Unlock()
+		r.stats.indexInserts.Add(1)
 	}
 	for i, sec := range r.secs {
 		oldK, oldOk := r.secFns[i](payload)
@@ -543,9 +590,7 @@ func (r *Relation) UpdateByVID(tx *txn.Tx, at simclock.Time, vid uint64, oldKey 
 			if err != nil {
 				return t, err
 			}
-			r.mu.Lock()
-			r.stats.IndexInserts++
-			r.mu.Unlock()
+			r.stats.indexInserts.Add(1)
 		}
 	}
 	return t, nil
@@ -576,7 +621,7 @@ func (r *Relation) DeleteByVID(tx *txn.Tx, at simclock.Time, vid uint64) (simclo
 	tomb := tuple.EncodeSIAS(tuple.SIASHeader{Create: tx.ID, VID: vid, Pred: entryTID, Flags: tuple.FlagTombstone}, nil)
 	r.mu.Lock()
 	newTID, t, err := r.append(tx.ID, t, tomb)
-	r.stats.Tombstones++
+	r.stats.tombstones.Add(1)
 	r.mu.Unlock()
 	if err != nil {
 		return t, err

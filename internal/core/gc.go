@@ -91,10 +91,12 @@ func (r *Relation) collectPage(at simclock.Time, block uint32, horizon txn.ID) (
 	var live []liveVer
 	collectible := true
 	discarded := 0
-	// Hold r.mu across the page scan: sealed victim pages are immutable,
-	// but the lock also orders this read against any in-flight append
-	// machinery touching pool frames.
+	// Hold r.mu across the page scan (it guards the dead-slot maps read in
+	// the callback) plus the frame's shared latch for the content bytes:
+	// sealed victim pages are immutable, but the latch keeps the read
+	// race-free against the pool's write-back machinery.
 	r.mu.Lock()
+	f.RLock()
 	f.Data.LiveTuples(func(slot int, raw []byte) bool {
 		tid := page.TID{Block: block, Slot: uint16(slot)}
 		if r.isDeadLocked(tid) {
@@ -120,6 +122,7 @@ func (r *Relation) collectPage(at simclock.Time, block uint32, horizon txn.ID) (
 		live = append(live, liveVer{tid, hdr, append([]byte(nil), payload...)})
 		return true
 	})
+	f.RUnlock()
 	r.mu.Unlock()
 	r.pool.Release(f, false)
 	if !collectible {
@@ -157,9 +160,7 @@ func (r *Relation) collectPage(at simclock.Time, block uint32, horizon txn.ID) (
 			// Lost a race we thought the lock prevented; be conservative.
 			return false, t, nil
 		}
-		r.mu.Lock()
-		r.stats.GCRelocations++
-		r.mu.Unlock()
+		r.stats.gcRelocations.Add(1)
 	}
 
 	// The block is now free: every version on it is dead or relocated.
@@ -187,11 +188,11 @@ func (r *Relation) collectPage(at simclock.Time, block uint32, horizon txn.ID) (
 			}
 			r.mu.Lock()
 			r.freeBlocks = append(r.freeBlocks, blocks...)
-			r.stats.Erases++
+			r.stats.erases.Add(1)
 		}
 	}
-	r.stats.GCPages++
-	r.stats.GCDiscarded += int64(discarded)
+	r.stats.gcPages.Add(1)
+	r.stats.gcDiscarded.Add(int64(discarded))
 	r.mu.Unlock()
 
 	// Log the reclamation so redo does not resurrect stale tuples into a

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sias/internal/buffer"
 	"sias/internal/device"
@@ -68,6 +69,10 @@ type Options struct {
 
 	// PoolFrames sizes the buffer pool (pages).
 	PoolFrames int
+	// PoolPartitions sets the pool's lock-stripe count; 0 lets the pool
+	// choose (1 stripe for small pools, up to buffer.DefaultPartitions).
+	// Set 1 to force the classic single-mutex behaviour for baselines.
+	PoolPartitions int
 	// BufferHitCost is the virtual CPU cost of a buffer hit.
 	BufferHitCost simclock.Duration
 
@@ -121,11 +126,13 @@ type DB struct {
 	recovered   []recRecord // WAL records pre-scanned for recovery
 	maxBlockRel map[uint32]uint32
 
-	commits        int64
-	aborts         int64
-	commitFlushes  int64 // WAL flushes issued for commits (batched or not)
-	commitBatches  int64 // group-commit batches with more than one member
-	commitMaxBatch int64 // largest group-commit batch observed
+	// Hot-path counters are atomics so Commit/Abort/Stats never touch
+	// db.mu, which Tick holds during maintenance scheduling.
+	commits        atomic.Int64
+	aborts         atomic.Int64
+	commitFlushes  atomic.Int64 // WAL flushes issued for commits (batched or not)
+	commitBatches  atomic.Int64 // group-commit batches with more than one member
+	commitMaxBatch atomic.Int64 // largest group-commit batch observed
 }
 
 type recRecord struct {
@@ -183,8 +190,9 @@ func Open(opts Options) (*DB, error) {
 	db.walw = wal.NewWriterAt(opts.WALDevice, startLSN)
 
 	db.pool = buffer.New(buffer.Config{
-		Frames:  opts.PoolFrames,
-		HitCost: opts.BufferHitCost,
+		Frames:     opts.PoolFrames,
+		Partitions: opts.PoolPartitions,
+		HitCost:    opts.BufferHitCost,
 		WALFlush: func(at simclock.Time, lsn uint64) (simclock.Time, error) {
 			return db.walw.Flush(at, wal.LSN(lsn))
 		},
@@ -254,16 +262,17 @@ func (db *DB) CommitBatch(txs []*txn.Tx, at simclock.Time) (simclock.Time, []err
 			committed++
 		}
 	}
-	db.mu.Lock()
-	db.commits += committed
-	db.commitFlushes++
+	db.commits.Add(committed)
+	db.commitFlushes.Add(1)
 	if len(txs) > 1 {
-		db.commitBatches++
+		db.commitBatches.Add(1)
 	}
-	if int64(len(txs)) > db.commitMaxBatch {
-		db.commitMaxBatch = int64(len(txs))
+	for {
+		cur := db.commitMaxBatch.Load()
+		if int64(len(txs)) <= cur || db.commitMaxBatch.CompareAndSwap(cur, int64(len(txs))) {
+			break
+		}
 	}
-	db.mu.Unlock()
 	return t, errs
 }
 
@@ -273,9 +282,7 @@ func (db *DB) Abort(tx *txn.Tx, at simclock.Time) (simclock.Time, error) {
 	if err := db.txm.Abort(tx); err != nil {
 		return at, err
 	}
-	db.mu.Lock()
-	db.aborts++
-	db.mu.Unlock()
+	db.aborts.Add(1)
 	return at, nil
 }
 
@@ -403,25 +410,28 @@ type Stats struct {
 	Data           device.Stats
 	WALDevice      device.Stats
 	Pool           buffer.Stats
+	// PoolHitRatio is Pool.HitRatio() precomputed for reports, and
+	// PoolPartitions the stripe count the pool actually chose.
+	PoolHitRatio   float64
+	PoolPartitions int
 	WALPageWrites  int64
 	AllocatedPages int64
 }
 
 // Stats returns a snapshot.
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	c, a := db.commits, db.aborts
-	cf, cb, cm := db.commitFlushes, db.commitBatches, db.commitMaxBatch
-	db.mu.Unlock()
+	ps := db.pool.Stats()
 	return Stats{
-		Commits:        c,
-		Aborts:         a,
-		CommitFlushes:  cf,
-		CommitBatches:  cb,
-		CommitMaxBatch: cm,
+		Commits:        db.commits.Load(),
+		Aborts:         db.aborts.Load(),
+		CommitFlushes:  db.commitFlushes.Load(),
+		CommitBatches:  db.commitBatches.Load(),
+		CommitMaxBatch: db.commitMaxBatch.Load(),
 		Data:           db.opts.DataDevice.Stats(),
 		WALDevice:      db.opts.WALDevice.Stats(),
-		Pool:           db.pool.Stats(),
+		Pool:           ps,
+		PoolHitRatio:   ps.HitRatio(),
+		PoolPartitions: db.pool.Partitions(),
 		WALPageWrites:  db.walw.PageWrites(),
 		AllocatedPages: db.alloc.AllocatedPages(),
 	}

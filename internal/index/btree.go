@@ -116,12 +116,18 @@ func (n node) insertIntAt(i int, k int64, child uint32) {
 
 // Tree is a B+ tree stored in its own relation id within the shared space
 // allocator and buffer pool. The root is always block 0.
+//
+// Concurrency: a tree-level reader/writer lock. Searches and range scans
+// run concurrently under the shared lock (pinning node pages as they go);
+// Insert/Delete take it exclusively. Node page content needs no frame
+// latches on top: the tree lock excludes writers from readers, and the
+// buffer pool's write-back paths never touch pinned frames.
 type Tree struct {
 	relID uint32
 	pool  *buffer.Pool
 	alloc *space.Allocator
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	nextBlock uint32
 	height    int
 	entries   int64
@@ -147,15 +153,15 @@ func (t *Tree) RelID() uint32 { return t.relID }
 
 // Len reports the number of entries.
 func (t *Tree) Len() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.entries
 }
 
 // Height reports the tree height in levels.
 func (t *Tree) Height() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.height
 }
 
@@ -382,10 +388,10 @@ func (t *Tree) Search(at simclock.Time, key int64) ([]uint64, simclock.Time, err
 }
 
 // Range invokes fn for every entry with lo <= key <= hi in ascending order;
-// fn returning false stops the scan.
+// fn returning false stops the scan. Concurrent Ranges share the tree lock.
 func (t *Tree) Range(at simclock.Time, lo, hi int64, fn func(key int64, payload uint64) bool) (simclock.Time, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.rangeLocked(at, lo, hi, fn)
 }
 

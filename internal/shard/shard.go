@@ -168,9 +168,12 @@ func Aggregate(ss []engine.Stats) engine.Stats {
 		a.Pool.Misses += s.Pool.Misses
 		a.Pool.Evictions += s.Pool.Evictions
 		a.Pool.DirtyOut += s.Pool.DirtyOut
+		a.Pool.PartitionEvictions = append(a.Pool.PartitionEvictions, s.Pool.PartitionEvictions...)
+		a.PoolPartitions += s.PoolPartitions
 		a.Data = addDev(a.Data, s.Data)
 		a.WALDevice = addDev(a.WALDevice, s.WALDevice)
 	}
+	a.PoolHitRatio = a.Pool.HitRatio()
 	return a
 }
 

@@ -57,7 +57,12 @@ type Relation struct {
 	secs   []*index.Tree
 	secFns []SecondaryKey
 
-	mu        sync.Mutex
+	// mu is a reader/writer lock: Get/Scan/RangeByKey/SearchSecondary take
+	// it shared (page bytes they touch are additionally bracketed by frame
+	// latches), while every mutating path — Insert, Update, Delete, Vacuum,
+	// recovery — takes it exclusively, so the FSM, stats and in-place
+	// xmax/ctid rewrites never race with readers.
+	mu        sync.RWMutex
 	nextBlock uint32
 	// fsm tracks free bytes per block (indexed by block number); fsmHint is
 	// the lowest block that might still fit a typical tuple, advanced as
@@ -118,15 +123,15 @@ func (r *Relation) ID() uint32 { return r.id }
 
 // Stats returns a snapshot of counters.
 func (r *Relation) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.stats
 }
 
 // Blocks reports the number of heap blocks allocated.
 func (r *Relation) Blocks() uint32 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.nextBlock
 }
 
@@ -144,9 +149,22 @@ func (r *Relation) getPage(at simclock.Time, block uint32, initNew bool) (*buffe
 		return nil, t, err
 	}
 	if initNew {
+		f.Lock()
 		f.Data.Init(r.id, 0)
-	} else if !f.Data.Initialized() {
-		f.Data.Init(r.id, 0)
+		f.Unlock()
+		return f, t, nil
+	}
+	// Double-checked format: concurrent shared-lock readers may both find a
+	// stale frame unformatted; only one may write the header.
+	f.RLock()
+	inited := f.Data.Initialized()
+	f.RUnlock()
+	if !inited {
+		f.Lock()
+		if !f.Data.Initialized() {
+			f.Data.Init(r.id, 0)
+		}
+		f.Unlock()
 	}
 	return f, t, nil
 }
@@ -196,10 +214,12 @@ func (r *Relation) placeVersion(tx *txn.Tx, at simclock.Time, tupBytes []byte) (
 		if err != nil {
 			return page.InvalidTID, t, err
 		}
+		f.Lock()
 		slot, ierr := f.Data.Insert(tupBytes)
 		if ierr != nil {
 			// Stale FSM entry: refresh and retry.
 			r.setFree(b, f.Data.FreeSpace())
+			f.Unlock()
 			r.pool.Release(f, false)
 			if isNew {
 				return page.InvalidTID, t, fmt.Errorf("si: tuple of %d bytes does not fit an empty page", len(tupBytes))
@@ -213,6 +233,7 @@ func (r *Relation) placeVersion(tx *txn.Tx, at simclock.Time, tupBytes []byte) (
 		lsn := r.walw.Append(&wal.Record{Type: wal.RecHeapInsert, Tx: tx.ID, Rel: r.id, TID: tid, Data: tupBytes})
 		f.Data.SetLSN(uint64(lsn))
 		r.setFree(b, f.Data.FreeSpace())
+		f.Unlock()
 		r.pool.Release(f, true)
 		r.stats.VersionsCreated++
 		return tid, t, nil
@@ -227,17 +248,21 @@ func (r *Relation) fetch(at simclock.Time, tid page.TID) (tuple.SIHeader, []byte
 	if err != nil {
 		return tuple.SIHeader{}, nil, t, err
 	}
+	f.RLock()
 	raw, terr := f.Data.Tuple(int(tid.Slot))
 	if terr != nil {
+		f.RUnlock()
 		r.pool.Release(f, false)
 		return tuple.SIHeader{}, nil, t, fmt.Errorf("si: fetch %v: %w", tid, terr)
 	}
 	hdr, payload, derr := tuple.DecodeSI(raw)
 	if derr != nil {
+		f.RUnlock()
 		r.pool.Release(f, false)
 		return tuple.SIHeader{}, nil, t, derr
 	}
 	out := append([]byte(nil), payload...)
+	f.RUnlock()
 	r.pool.Release(f, false)
 	return hdr, out, t, nil
 }
@@ -321,6 +346,7 @@ func (r *Relation) pruneVersion(at simclock.Time, key int64, tid page.TID) (simc
 		return t, err
 	}
 	var secPayload []byte
+	f.Lock()
 	if len(r.secs) > 0 {
 		if raw, terr := f.Data.Tuple(int(tid.Slot)); terr == nil {
 			if _, payload, derr := tuple.DecodeSI(raw); derr == nil {
@@ -329,6 +355,7 @@ func (r *Relation) pruneVersion(at simclock.Time, key int64, tid page.TID) (simc
 		}
 	}
 	if derr := f.Data.MarkDead(int(tid.Slot)); derr != nil {
+		f.Unlock()
 		r.pool.Release(f, false)
 		return t, nil // already gone
 	}
@@ -336,6 +363,7 @@ func (r *Relation) pruneVersion(at simclock.Time, key int64, tid page.TID) (simc
 	f.Data.SetLSN(uint64(lsn))
 	f.Data.Compact()
 	r.setFree(tid.Block, f.Data.FreeSpace())
+	f.Unlock()
 	r.pool.Release(f, true)
 	t, err = r.pk.Delete(t, key, packTID(tid))
 	if err != nil && !errors.Is(err, index.ErrNotFound) {
@@ -384,8 +412,8 @@ func (r *Relation) Insert(tx *txn.Tx, at simclock.Time, key int64, payload []byt
 
 // Get returns the payload of the version of key visible to tx.
 func (r *Relation) Get(tx *txn.Tx, at simclock.Time, key int64) ([]byte, simclock.Time, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	cands, t, err := r.pk.Search(at, key)
 	if err != nil {
 		return nil, t, err
@@ -489,22 +517,27 @@ func (r *Relation) invalidateInPlace(tx *txn.Tx, at simclock.Time, tid page.TID,
 	if err != nil {
 		return t, err
 	}
+	f.Lock()
 	raw, terr := f.Data.Tuple(int(tid.Slot))
 	if terr != nil {
+		f.Unlock()
 		r.pool.Release(f, false)
 		return t, fmt.Errorf("si: invalidate %v: %w", tid, terr)
 	}
 	if err := tuple.SetSIXmax(raw, xmax); err != nil {
+		f.Unlock()
 		r.pool.Release(f, false)
 		return t, err
 	}
 	if err := tuple.SetSICTID(raw, ctid); err != nil {
+		f.Unlock()
 		r.pool.Release(f, false)
 		return t, err
 	}
 	after := append([]byte(nil), raw...)
 	lsn := r.walw.Append(&wal.Record{Type: wal.RecHeapOverwrite, Tx: tx.ID, Rel: r.id, TID: tid, Data: after})
 	f.Data.SetLSN(uint64(lsn))
+	f.Unlock()
 	r.pool.Release(f, true)
 	r.stats.InPlaceUpdates++
 	return t, nil
@@ -514,19 +547,20 @@ func (r *Relation) invalidateInPlace(tx *txn.Tx, at simclock.Time, tid page.TID,
 // every tuple version individually (the HDD-era access path the paper
 // contrasts with the VIDmap scan).
 func (r *Relation) Scan(tx *txn.Tx, at simclock.Time, fn func(payload []byte) bool) (simclock.Time, error) {
-	r.mu.Lock()
+	r.mu.RLock()
 	blocks := r.nextBlock
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	t := at
 	for b := uint32(0); b < blocks; b++ {
-		r.mu.Lock()
+		r.mu.RLock()
 		f, t2, err := r.getPage(t, b, false)
 		if err != nil {
-			r.mu.Unlock()
+			r.mu.RUnlock()
 			return t2, err
 		}
 		type hit struct{ payload []byte }
 		var hits []hit
+		f.RLock()
 		f.Data.LiveTuples(func(_ int, raw []byte) bool {
 			hdr, payload, err := tuple.DecodeSI(raw)
 			if err != nil {
@@ -537,8 +571,9 @@ func (r *Relation) Scan(tx *txn.Tx, at simclock.Time, fn func(payload []byte) bo
 			}
 			return true
 		})
+		f.RUnlock()
 		r.pool.Release(f, false)
-		r.mu.Unlock()
+		r.mu.RUnlock()
 		t = t2
 		for _, h := range hits {
 			if !fn(h.payload) {
@@ -552,8 +587,8 @@ func (r *Relation) Scan(tx *txn.Tx, at simclock.Time, fn func(payload []byte) bo
 // RangeByKey returns visible rows with lo <= key <= hi in key order via the
 // primary index.
 func (r *Relation) RangeByKey(tx *txn.Tx, at simclock.Time, lo, hi int64, fn func(key int64, payload []byte) bool) (simclock.Time, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	type ent struct {
 		key int64
 		tid page.TID
@@ -585,8 +620,8 @@ func (r *Relation) RangeByKey(tx *txn.Tx, at simclock.Time, lo, hi int64, fn fun
 // SearchSecondary returns payloads of visible versions matching key in
 // secondary index idx.
 func (r *Relation) SearchSecondary(tx *txn.Tx, at simclock.Time, idx int, key int64) ([][]byte, simclock.Time, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if idx < 0 || idx >= len(r.secs) {
 		return nil, at, fmt.Errorf("si: no secondary index %d", idx)
 	}
@@ -630,6 +665,7 @@ func (r *Relation) Vacuum(at simclock.Time, horizon txn.ID, keyOf func(payload [
 			payload []byte
 		}
 		var victims []victim
+		f.RLock()
 		f.Data.LiveTuples(func(slot int, raw []byte) bool {
 			hdr, payload, err := tuple.DecodeSI(raw)
 			if err != nil {
@@ -642,12 +678,15 @@ func (r *Relation) Vacuum(at simclock.Time, horizon txn.ID, keyOf func(payload [
 			}
 			return true
 		})
+		f.RUnlock()
 		if len(victims) == 0 {
 			r.pool.Release(f, false)
 			continue
 		}
+		f.Lock()
 		for _, v := range victims {
 			if err := f.Data.MarkDead(v.slot); err != nil {
+				f.Unlock()
 				r.pool.Release(f, false)
 				return reclaimed, t, err
 			}
@@ -660,6 +699,7 @@ func (r *Relation) Vacuum(at simclock.Time, horizon txn.ID, keyOf func(payload [
 		if b < r.fsmHint {
 			r.fsmHint = b
 		}
+		f.Unlock()
 		r.pool.Release(f, true)
 		r.stats.VacuumedTuples += int64(len(victims))
 		// Prune index entries outside the page latch.

@@ -227,19 +227,28 @@ func Load(r io.Reader) (*Map, error) {
 // it need to be swapped to disk". It tracks an LRU set of resident buckets;
 // Touch reports whether the access hit memory — a miss costs the caller one
 // device page read in virtual time.
+// Touch is on the concurrent read path (every chain lookup), so the critical
+// section must be O(1): an intrusive doubly-linked list keeps LRU order and
+// a map gives direct node access, replacing the old linear shuffle.
 type Residency struct {
 	mu       sync.Mutex
 	capacity int
-	order    []uint64 // LRU: front = coldest
-	pos      map[uint64]int
-	hits     int64
-	misses   int64
+	nodes    map[uint64]*resNode
+	head     *resNode // most recently used
+	tail     *resNode // coldest, next to evict
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+type resNode struct {
+	bn         uint64
+	prev, next *resNode
 }
 
 // NewResidency returns a tracker keeping at most capacity buckets resident;
 // capacity <= 0 means everything stays resident (no misses).
 func NewResidency(capacity int) *Residency {
-	return &Residency{capacity: capacity, pos: map[uint64]int{}}
+	return &Residency{capacity: capacity, nodes: map[uint64]*resNode{}}
 }
 
 // Touch records an access to bucket bn and reports true on residency hit.
@@ -248,36 +257,58 @@ func (r *Residency) Touch(bn uint64) bool {
 		return true
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.pos[bn]; ok {
-		r.hits++
-		// Move to back (most recent). Linear shuffle is fine: bucket counts
-		// are small (one per 1024 items).
-		for i, v := range r.order {
-			if v == bn {
-				copy(r.order[i:], r.order[i+1:])
-				r.order[len(r.order)-1] = bn
-				break
-			}
-		}
-		r.reindex()
+	if n, ok := r.nodes[bn]; ok {
+		r.moveToFront(n)
+		r.mu.Unlock()
+		r.hits.Add(1)
 		return true
 	}
-	r.misses++
-	if len(r.order) >= r.capacity {
-		evict := r.order[0]
-		r.order = r.order[1:]
-		delete(r.pos, evict)
+	if len(r.nodes) >= r.capacity {
+		evict := r.tail
+		r.unlink(evict)
+		delete(r.nodes, evict.bn)
 	}
-	r.order = append(r.order, bn)
-	r.reindex()
+	n := &resNode{bn: bn}
+	r.nodes[bn] = n
+	r.pushFront(n)
+	r.mu.Unlock()
+	r.misses.Add(1)
 	return false
 }
 
-func (r *Residency) reindex() {
-	for i, v := range r.order {
-		r.pos[v] = i
+// unlink removes n from the LRU list. Caller holds r.mu.
+func (r *Residency) unlink(n *resNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		r.head = n.next
 	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		r.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// pushFront makes n the most recently used. Caller holds r.mu.
+func (r *Residency) pushFront(n *resNode) {
+	n.next = r.head
+	if r.head != nil {
+		r.head.prev = n
+	}
+	r.head = n
+	if r.tail == nil {
+		r.tail = n
+	}
+}
+
+func (r *Residency) moveToFront(n *resNode) {
+	if r.head == n {
+		return
+	}
+	r.unlink(n)
+	r.pushFront(n)
 }
 
 // Stats reports hit/miss counts.
@@ -285,7 +316,5 @@ func (r *Residency) Stats() (hits, misses int64) {
 	if r == nil {
 		return 0, 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.hits, r.misses
+	return r.hits.Load(), r.misses.Load()
 }

@@ -1,39 +1,77 @@
 #!/usr/bin/env bash
-# bench.sh — reproducible shard-scaling benchmark for siasserver.
+# bench.sh — reproducible benchmarks for siasserver.
 #
-# For each shard count (default 1 2 4) this script starts a fresh
-# file-backed siasserver, runs a warmup pass followed by a measured
-# cmd/siasload run, repeats BENCH_REPS times, and keeps the median rep by
-# throughput. The medians land in BENCH_shard.json at the repo root
-# (ops/s, p50/p99 latency, WAL flushes per commit, WAL page writes), plus
-# the 4-vs-1 speedup, so the perf trajectory of the sharded layout is a
-# committed artifact rather than a one-off terminal reading.
+# Two modes, selected by BENCH_MODE:
 #
-# The workload is write-only with page-sized values and a group-commit
-# linger on both server configurations, which makes the WAL journal chain
-# the dominant cost: that is the regime the sharded layout targets (N
-# independent WAL files flush concurrently, and checkpoint pauses stay
-# local to one shard). Override via environment:
+#   BENCH_MODE=write (default) — shard-scaling write throughput. For each
+#   shard count (default 1 2 4) start a fresh file-backed siasserver, run a
+#   warmup pass then a measured cmd/siasload run, repeat BENCH_REPS times
+#   and keep the median rep by throughput. Medians land in BENCH_shard.json
+#   (ops/s, p50/p99 latency, WAL flushes per commit, WAL page writes) plus
+#   the 4-vs-1 speedup. The workload is write-only with page-sized values
+#   and a group-commit linger, which makes the WAL journal chain the
+#   dominant cost — the regime the sharded layout targets.
+#
+#   BENCH_MODE=read — read-mix sweep over the lock-striped buffer pool.
+#   For read fractions 0/50/95/100 at 1 and 4 shards, run the same
+#   closed-loop load against a striped pool (-pool-partitions 8) and the
+#   single-mutex baseline (-pool-partitions 1), median of BENCH_REPS reps,
+#   into BENCH_read.json. The pool is sized well below the dataset so
+#   misses do real device reads under the partition locks: with one mutex
+#   every miss pread serializes the whole pool, with stripes only 1/P of
+#   it. The JSON records both configurations side by side plus the
+#   striped-vs-single speedup at each point of the sweep.
+#
+# Any siasload or server failure aborts the script with the server log on
+# stderr — no partial BENCH JSON is ever written. Override via environment:
 #
 #   BENCH_REPS=3 BENCH_WORKERS=32 BENCH_TXNS=400 BENCH_VALUE=8000
 #   BENCH_KEYS=4096 BENCH_SHARDS="1 2 4" BENCH_ADDR=127.0.0.1:4599
-#   BENCH_LINGER=2ms
+#   BENCH_LINGER=2ms BENCH_READ_FRACS="0 50 95 100"
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MODE="${BENCH_MODE:-write}"
 ADDR="${BENCH_ADDR:-127.0.0.1:4599}"
 PORT="${ADDR##*:}"
 HOST="${ADDR%:*}"
 REPS="${BENCH_REPS:-3}"
 WORKERS="${BENCH_WORKERS:-32}"
-TXNS="${BENCH_TXNS:-400}"
-VALUE="${BENCH_VALUE:-8000}"
-KEYS="${BENCH_KEYS:-4096}"
-SHARDS="${BENCH_SHARDS:-1 2 4}"
 LINGER="${BENCH_LINGER:-2ms}"
 
+case "$MODE" in
+write)
+    TXNS="${BENCH_TXNS:-400}"
+    VALUE="${BENCH_VALUE:-8000}"
+    KEYS="${BENCH_KEYS:-4096}"
+    SHARDS="${BENCH_SHARDS:-1 2 4}"
+    POOL=8192
+    ;;
+read)
+    TXNS="${BENCH_TXNS:-300}"
+    # 2 rows per 8K page => the 4096-key dataset spans ~2048 heap pages,
+    # 4x the 512-frame pool: random reads miss constantly and the miss
+    # pread happens under a partition lock.
+    VALUE="${BENCH_VALUE:-4000}"
+    KEYS="${BENCH_KEYS:-4096}"
+    SHARDS="${BENCH_SHARDS:-1 4}"
+    READ_FRACS="${BENCH_READ_FRACS:-0 50 95 100}"
+    POOL=512
+    STRIPES=8 # per-shard stripes for the striped configuration
+    ;;
+*)
+    echo "unknown BENCH_MODE '$MODE' (want write or read)" >&2
+    exit 1
+    ;;
+esac
+
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -TERM "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
 
 echo "building binaries..."
 (cd "$ROOT" && go build -o "$WORK/siasserver" ./cmd/siasserver)
@@ -50,39 +88,63 @@ wait_port() {
     return 1
 }
 
-run_one() { # shards rep -> writes $WORK/res_<shards>_<rep>.json
-    local shards=$1 rep=$2
+die_with_log() { # message logfile
+    echo "BENCH FAILED: $1" >&2
+    echo "--- server log tail ---" >&2
+    tail -30 "$2" >&2 || true
+    exit 1
+}
+
+# run_one shards partitions read_frac_pct out_json log
+# Starts a fresh file-backed server, preloads+warms up, runs the measured
+# load. Any non-zero siasload exit aborts the whole benchmark loudly.
+run_one() {
+    local shards=$1 parts=$2 frac_pct=$3 out=$4 log=$5
     local data="$WORK/data"
     rm -rf "$data"
     "$WORK/siasserver" -addr "$ADDR" -shards "$shards" -data "$data" \
-        -pool 8192 -max-inflight 512 -data-pages 524288 -wal-pages 262144 \
-        -gc-linger "$LINGER" >"$WORK/server_${shards}_${rep}.log" 2>&1 &
-    local pid=$!
-    wait_port
+        -pool "$POOL" -pool-partitions "$parts" -max-inflight 512 \
+        -data-pages 524288 -wal-pages 262144 \
+        -gc-linger "$LINGER" >"$log" 2>&1 &
+    SERVER_PID=$!
+    wait_port || die_with_log "server never listened" "$log"
+    local frac
+    frac=$(awk "BEGIN{print $frac_pct/100}")
     # Warmup: preloads the keyspace and touches every code path once so
     # cold-file block allocation is off the measured run.
     "$WORK/siasload" -addr "$ADDR" -workers "$WORKERS" -txns 50 \
-        -ops-per-txn 1 -read-frac 0 -keys "$KEYS" -value "$VALUE" >/dev/null
+        -ops-per-txn 1 -read-frac "$frac" -keys "$KEYS" -value "$VALUE" \
+        >/dev/null ||
+        die_with_log "warmup siasload exited non-zero (shards=$shards parts=$parts frac=$frac_pct)" "$log"
     "$WORK/siasload" -addr "$ADDR" -workers "$WORKERS" -txns "$TXNS" \
-        -ops-per-txn 1 -read-frac 0 -keys "$KEYS" -value "$VALUE" \
-        -json "$WORK/res_${shards}_${rep}.json" >/dev/null
-    kill -TERM "$pid" 2>/dev/null || true
-    wait "$pid" 2>/dev/null || true
+        -ops-per-txn 1 -read-frac "$frac" -keys "$KEYS" -value "$VALUE" \
+        -json "$out" >/dev/null ||
+        die_with_log "measured siasload exited non-zero (shards=$shards parts=$parts frac=$frac_pct)" "$log"
+    [ -s "$out" ] || die_with_log "siasload produced no JSON at $out" "$log"
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
 }
 
-for s in $SHARDS; do
-    for rep in $(seq 1 "$REPS"); do
-        echo "shards=$s rep=$rep/$REPS ..."
-        run_one "$s" "$rep"
+if [ "$MODE" = write ]; then
+    expected=0
+    for s in $SHARDS; do
+        for rep in $(seq 1 "$REPS"); do
+            echo "shards=$s rep=$rep/$REPS ..."
+            run_one "$s" 0 0 "$WORK/res_${s}_${rep}.json" "$WORK/server_${s}_${rep}.log"
+            expected=$((expected + 1))
+        done
     done
-done
 
-python3 - "$WORK" "$ROOT/BENCH_shard.json" <<'EOF'
+    python3 - "$WORK" "$ROOT/BENCH_shard.json" "$expected" <<'EOF'
 import glob, json, os, sys
 
-work, out = sys.argv[1], sys.argv[2]
+work, out, expected = sys.argv[1], sys.argv[2], int(sys.argv[3])
+paths = glob.glob(os.path.join(work, "res_*_*.json"))
+if len(paths) != expected:
+    sys.exit(f"expected {expected} result files, found {len(paths)}; refusing to write partial {out}")
 runs = {}
-for path in glob.glob(os.path.join(work, "res_*_*.json")):
+for path in paths:
     shards = int(os.path.basename(path).split("_")[1])
     runs.setdefault(shards, []).append(json.load(open(path)))
 
@@ -120,3 +182,86 @@ if "speedup_4_vs_1" in report:
     print(f"\n4-shard speedup over 1 shard: {report['speedup_4_vs_1']:.2f}x")
 print(f"wrote {out}")
 EOF
+
+else # read mode
+    expected=0
+    for s in $SHARDS; do
+        for parts in 1 "$STRIPES"; do
+            for frac in $READ_FRACS; do
+                for rep in $(seq 1 "$REPS"); do
+                    echo "shards=$s partitions=$parts read=$frac% rep=$rep/$REPS ..."
+                    run_one "$s" "$parts" "$frac" \
+                        "$WORK/read_${s}_${parts}_${frac}_${rep}.json" \
+                        "$WORK/server_${s}_${parts}_${frac}_${rep}.log"
+                    expected=$((expected + 1))
+                done
+            done
+        done
+    done
+
+    python3 - "$WORK" "$ROOT/BENCH_read.json" "$expected" "$WORKERS" "$POOL" "$STRIPES" <<'EOF'
+import glob, json, os, sys
+
+work, out = sys.argv[1], sys.argv[2]
+expected, workers, pool, stripes = map(int, sys.argv[3:7])
+paths = glob.glob(os.path.join(work, "read_*_*_*_*.json"))
+if len(paths) != expected:
+    sys.exit(f"expected {expected} result files, found {len(paths)}; refusing to write partial {out}")
+
+runs = {}
+for path in paths:
+    s, parts, frac, _ = os.path.basename(path)[5:-5].split("_")
+    runs.setdefault((int(s), int(parts), int(frac)), []).append(json.load(open(path)))
+
+report = {
+    "benchmark": "read-mix sweep: striped vs single-mutex buffer pool",
+    "workers": workers,
+    "pool_frames_total": pool,
+    "striped_partitions_per_shard": stripes,
+    "runs": [],
+}
+median = {}
+for key in sorted(runs):
+    shards, parts, frac = key
+    reps = sorted(runs[key], key=lambda r: r["txn_per_sec"])
+    med = reps[len(reps) // 2]
+    median[key] = med
+    e = med["engine"]
+    report["runs"].append({
+        "shards": shards,
+        "pool_partitions_per_shard": parts,
+        "pool_config": "single-mutex baseline" if parts == 1 else "striped",
+        "read_frac": frac,
+        "reps": len(reps),
+        "txn_per_sec": round(med["txn_per_sec"], 1),
+        "txn_per_sec_all_reps": [round(r["txn_per_sec"], 1) for r in reps],
+        "latency_p50_ms": med["latency"]["p50_ms"],
+        "latency_p99_ms": med["latency"]["p99_ms"],
+        "pool_hit_ratio": round(e.get("pool_hit_ratio", 0), 4),
+        "pool_evictions": e.get("pool_evictions", 0),
+        "config": med["config"],
+    })
+
+speedups = {}
+for (shards, parts, frac), med in median.items():
+    if parts == 1:
+        continue
+    base = median.get((shards, 1, frac))
+    if base and base["txn_per_sec"] > 0:
+        speedups.setdefault(f"read_frac_{frac}", {})[f"shards_{shards}"] = round(
+            med["txn_per_sec"] / base["txn_per_sec"], 3)
+report["speedup_striped_vs_single"] = speedups
+
+json.dump(report, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+
+print(f"\n{'shards':>6} {'pool':>14} {'read%':>6} {'txn/s':>9} {'p99 ms':>8} {'hit':>7}")
+for r in report["runs"]:
+    print(f"{r['shards']:>6} {r['pool_config'][:14]:>14} {r['read_frac']:>6} "
+          f"{r['txn_per_sec']:>9.0f} {r['latency_p99_ms']:>8.2f} {r['pool_hit_ratio']:>7.3f}")
+for frac, by_shard in sorted(speedups.items()):
+    print(f"{frac}: striped over single-mutex: " +
+          ", ".join(f"{k}={v:.2f}x" for k, v in sorted(by_shard.items())))
+print(f"wrote {out}")
+EOF
+fi
