@@ -29,6 +29,7 @@ import (
 
 	"sias/internal/client"
 	"sias/internal/engine"
+	"sias/internal/repl"
 	"sias/internal/server"
 	"sias/internal/shard"
 	"sias/internal/txn"
@@ -46,9 +47,16 @@ func main() {
 	affinity := flag.Bool("affinity", false, "partition-local transactions: all keys of a txn from one shard")
 	poolSize := flag.Int("pool", 0, "client connection pool size (default workers)")
 	jsonPath := flag.String("json", "", "write a machine-readable result JSON to this file")
+	statsOnly := flag.Bool("stats-only", false, "fetch STATS, print the raw reply JSON (to -json FILE if set, else stdout), and exit")
 	flag.Parse()
 	if *poolSize <= 0 {
 		*poolSize = *workers
+	}
+	if *statsOnly {
+		if err := dumpStats(*addr, *jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	cfg := loadConfig{
@@ -59,6 +67,30 @@ func main() {
 	if err := run(cfg, *jsonPath); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// dumpStats fetches one STATS reply and emits it as indented JSON — the
+// handle CI scripts use to assert on replication lag and promotion state.
+func dumpStats(addr, jsonPath string) error {
+	c, err := client.Dial(addr, client.Options{PoolSize: 1})
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	blob, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if jsonPath != "" {
+		return os.WriteFile(jsonPath, blob, 0o644)
+	}
+	_, err = os.Stdout.Write(blob)
+	return err
 }
 
 type loadConfig struct {
@@ -129,6 +161,9 @@ type result struct {
 		Txns    int64     `json:"txns"`
 		Latency latencyMs `json:"latency"`
 	} `json:"cross_shard"`
+	// Repl is present when the target server is a replication follower:
+	// its per-shard applied-vs-primary-durable position after the run.
+	Repl *repl.Stats `json:"repl,omitempty"`
 }
 
 // txnSample is one committed transaction's outcome for latency attribution:
@@ -212,7 +247,10 @@ func run(cfg loadConfig, jsonPath string) error {
 					mu.Lock()
 					conflicts++
 					mu.Unlock()
-				case errors.Is(err, wire.ErrShuttingDown):
+				case errors.Is(err, wire.ErrShuttingDown), errors.Is(err, engine.ErrReadOnly):
+					// Both are handoff-window outcomes: the primary refused
+					// because it drains, or the follower refused because it
+					// has not finished promoting yet.
 					mu.Lock()
 					drained++
 					mu.Unlock()
@@ -304,7 +342,7 @@ func runTxn(c *client.Client, rng *rand.Rand, cfg loadConfig, val []byte) (int, 
 
 // summarize folds worker samples and stats deltas into a result.
 func summarize(cfg loadConfig, elapsed time.Duration, samples [][]txnSample, before, after server.StatsReply) result {
-	res := result{Config: cfg, ElapsedSec: elapsed.Seconds()}
+	res := result{Config: cfg, ElapsedSec: elapsed.Seconds(), Repl: after.Repl}
 
 	var all []time.Duration
 	perShard := make([][]time.Duration, cfg.Shards)
@@ -404,6 +442,14 @@ func printResult(res result) {
 		}
 		fmt.Printf("  cross-shard txns %d (p50 %.2f ms, p99 %.2f ms)\n",
 			res.CrossShard.Txns, res.CrossShard.Latency.P50, res.CrossShard.Latency.P99)
+	}
+
+	if res.Repl != nil {
+		fmt.Printf("\nreplication (follower of %s, promoted=%v):\n", res.Repl.Primary, res.Repl.Promoted)
+		for i, s := range res.Repl.Shards {
+			fmt.Printf("  shard %d: applied LSN %d / primary durable %d (lag %d bytes)\n",
+				i, s.AppliedLSN, s.PrimaryDurableLSN, s.LagBytes)
+		}
 	}
 }
 

@@ -7,7 +7,16 @@
 //
 //	siasserver [-addr :4544] [-shards N] [-engine sias|si] [-policy t2|t1]
 //	           [-pool FRAMES] [-pool-partitions P] [-max-inflight N]
-//	           [-drain SECONDS] [-data DIR]
+//	           [-drain SECONDS] [-data DIR] [-follow ADDR] [-announce ADDR]
+//
+// With -follow, the server runs as a replication follower: it subscribes to
+// the primary at ADDR (which must run the same shard count), mirrors its
+// per-shard WALs byte for byte, serves read-only snapshot reads at the
+// applied horizon, and rejects writes with READ_ONLY until promotion — by an
+// operator PROMOTE frame or automatically when the primary drains and ends
+// the stream. -announce is the follower address the primary hands to
+// clients during a drain so they fail over (defaults to a loopback form of
+// -addr).
 //
 // With -shards N > 1 the primary-key space is hash-partitioned across N
 // independent engine instances, each with its own WAL writer, group-commit
@@ -35,6 +44,7 @@ import (
 	"sias/internal/device"
 	"sias/internal/engine"
 	"sias/internal/page"
+	"sias/internal/repl"
 	"sias/internal/server"
 	"sias/internal/shard"
 	"sias/internal/tuple"
@@ -55,6 +65,8 @@ func main() {
 	walSync := flag.Bool("wal-sync", true, "fsync the WAL device on every page write (file-backed only)")
 	gcLinger := flag.Duration("gc-linger", 0, "max extra wait for a group-commit batch to grow (0 = flush immediately)")
 	gcBatch := flag.Int("gc-batch", 16, "group-commit batch size target while lingering")
+	follow := flag.String("follow", "", "run as a replication follower of the primary at this address")
+	announce := flag.String("announce", "", "follower address announced to the primary for client failover (default: loopback form of -addr)")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -63,6 +75,13 @@ func main() {
 		pool: *pool, poolParts: *poolParts, maxInflight: *maxInflight, drainSec: *drainSec,
 		dataDir: *dataDir, dataPages: *dataPages, walPages: *walPages, walSync: *walSync,
 		gcLinger: *gcLinger, gcBatch: *gcBatch,
+		follow: *follow, announce: *announce,
+	}
+	if cfg.follow != "" && cfg.announce == "" {
+		cfg.announce = cfg.addr
+		if len(cfg.announce) > 0 && cfg.announce[0] == ':' {
+			cfg.announce = "127.0.0.1" + cfg.announce
+		}
 	}
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -83,6 +102,8 @@ type serverConfig struct {
 	walSync      bool
 	gcLinger     time.Duration
 	gcBatch      int
+	follow       string // primary address; non-empty = follower mode
+	announce     string // follower address handed to clients on drain
 }
 
 // openShard assembles one engine shard. Device sizes and pool frames are
@@ -119,9 +140,12 @@ func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 			return shard.Shard{}, nil, err
 		}
 		walPath := filepath.Join(dir, "wal.img")
-		// A pre-existing WAL means a previous generation to replay.
+		// A pre-existing WAL means a previous generation to replay. A
+		// follower resumes its mirrored log at the exact byte position so it
+		// stays identical to the primary's.
 		if _, err := os.Stat(walPath); err == nil {
 			opts.Recover = true
+			opts.ResumeWAL = cfg.follow != ""
 		}
 		data, err := device.OpenFile(filepath.Join(dir, "data.img"), page.Size, dataPages)
 		if err != nil {
@@ -146,6 +170,11 @@ func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 	if err != nil {
 		return shard.Shard{}, closers, err
 	}
+	if cfg.follow != "" {
+		// Replica mode must be on before the table exists: its extents come
+		// from the unlogged scratch region, keeping the mirrored log clean.
+		db.SetReplica(true)
+	}
 	tab, _, err := db.CreateTable(0, "kv", tuple.NewSchema(
 		tuple.Column{Name: "k", Type: tuple.TypeInt64},
 		tuple.Column{Name: "v", Type: tuple.TypeBytes},
@@ -159,6 +188,11 @@ func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 			return shard.Shard{}, closers, fmt.Errorf("shard %d recover: %w", i, err)
 		}
 		log.Printf("siasserver: shard %d recovered in %.3fs", i, time.Since(start).Seconds())
+		if cfg.follow != "" {
+			// Recovery fast-forwarded the id allocator; re-seed the replica
+			// read horizon to cover the replayed history.
+			db.SetReplica(true)
+		}
 	}
 	fac := engine.NewFacade(db)
 	if cfg.gcLinger > 0 {
@@ -207,14 +241,35 @@ func run(cfg serverConfig) error {
 		closeAll(closers)
 		return err
 	}
+	var follower *repl.Follower
+	if cfg.follow != "" {
+		facades := make([]*engine.Facade, len(shards))
+		for i := range shards {
+			facades[i] = shards[i].Facade
+		}
+		follower, err = repl.NewFollower(repl.Config{
+			PrimaryAddr: cfg.follow,
+			Announce:    cfg.announce,
+			Shards:      facades,
+		})
+		if err != nil {
+			closeAll(closers)
+			return err
+		}
+	}
 	srv, err := server.New(server.Config{
 		Router:       router,
 		MaxInFlight:  cfg.maxInflight,
 		DrainTimeout: time.Duration(cfg.drainSec * float64(time.Second)),
+		Replica:      follower,
 	})
 	if err != nil {
 		closeAll(closers)
 		return err
+	}
+	if follower != nil {
+		log.Printf("siasserver: follower of %s (announce %s); read-only until promotion", cfg.follow, cfg.announce)
+		follower.Run()
 	}
 
 	db := shards[0].Facade.DB()
@@ -230,6 +285,9 @@ func run(cfg serverConfig) error {
 	select {
 	case sig := <-sigs:
 		log.Printf("siasserver: %s received, draining (timeout %.1fs)...", sig, cfg.drainSec)
+		if follower != nil {
+			follower.Stop()
+		}
 		drainStart := time.Now()
 		if err := srv.Shutdown(context.Background()); err != nil {
 			return fmt.Errorf("drain: %w", err)

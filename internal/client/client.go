@@ -91,11 +91,37 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) dial() (*conn, error) {
-	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	nc, err := net.DialTimeout("tcp", c.Addr(), c.opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	return &conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
+}
+
+// Addr reports the server address the client currently targets; it changes
+// when a draining primary hands the client off to its follower.
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
+
+// redirect repoints the client at addr (a drain handoff target) and drops
+// idle connections to the old server. In-flight transactions keep their
+// pinned connections; they fail individually and the caller retries.
+func (c *Client) redirect(addr string) {
+	c.mu.Lock()
+	if c.addr == addr {
+		c.mu.Unlock()
+		return
+	}
+	c.addr = addr
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cn := range idle {
+		cn.nc.Close()
+	}
 }
 
 // get pops an idle connection or dials a new one.
@@ -180,27 +206,59 @@ type Tx struct {
 	done   bool
 }
 
-// Begin opens a transaction on a pooled connection.
+// Begin opens a transaction on a pooled connection. When the server is
+// draining and announces a failover target (wire.FailoverAddr on the
+// SHUTTING_DOWN rejection), the client repoints itself at the follower and
+// retries there, so a primary→follower handoff looks like one slow Begin
+// rather than an error surfaced to every caller.
 func (c *Client) Begin() (*Tx, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		cn, err := c.get()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var handle uint64
+		err = c.withRetry(func() error {
+			resp, err := cn.call(wire.OpBegin, nil)
+			if err != nil {
+				return err
+			}
+			r := wire.Reader{B: resp}
+			handle, err = r.U64()
+			return err
+		})
+		if err == nil {
+			return &Tx{c: c, cn: cn, handle: handle}, nil
+		}
+		c.put(cn) // broken connections are closed, healthy ones pooled
+		if addr := wire.FailoverAddr(err); addr != "" {
+			c.redirect(addr)
+			lastErr = err
+			continue
+		}
+		if cn.broken {
+			// A pooled connection died under us (drain force-close, primary
+			// crash): retry on a freshly dialed one.
+			lastErr = err
+			continue
+		}
+		return nil, err
+	}
+	return nil, lastErr
+}
+
+// Promote asks a follower server to stop replicating, finish replay, and
+// accept writes. Rejected with wire.ErrBadRequest on a non-follower.
+func (c *Client) Promote() error {
 	cn, err := c.get()
 	if err != nil {
-		return nil, err
-	}
-	var handle uint64
-	err = c.withRetry(func() error {
-		resp, err := cn.call(wire.OpBegin, nil)
-		if err != nil {
-			return err
-		}
-		r := wire.Reader{B: resp}
-		handle, err = r.U64()
 		return err
-	})
-	if err != nil {
-		c.put(cn)
-		return nil, err
 	}
-	return &Tx{c: c, cn: cn, handle: handle}, nil
+	_, err = cn.call(wire.OpPromote, nil)
+	c.put(cn)
+	return err
 }
 
 func (t *Tx) call(op wire.Op, build func(*wire.Buf)) ([]byte, error) {

@@ -44,7 +44,20 @@ func (r *Relation) RebuildFromHeap(at simclock.Time, blocks uint32, keyOf func(p
 	r.pendingDead = nil
 	r.mu.Unlock()
 
-	t := at
+	// A replication follower rebuilds repeatedly as replay advances; clear
+	// the previous rebuild's entrypoints and index entries so superseded
+	// versions cannot survive. After a crash this is a no-op (all empty).
+	r.vmap.Reset()
+	t, err := r.pk.Reset(at)
+	if err != nil {
+		return t, err
+	}
+	for _, sec := range r.secs {
+		t, err = sec.Reset(t)
+		if err != nil {
+			return t, err
+		}
+	}
 	var maxVID uint64
 	hasVID := false
 	for b := uint32(0); b < blocks; b++ {

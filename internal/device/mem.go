@@ -54,16 +54,18 @@ func (m *Mem) ReadPage(at simclock.Time, pageNo int64, p []byte) (simclock.Time,
 	if len(p) < m.pageSize {
 		return at, fmt.Errorf("device: read buffer %d < page size %d", len(p), m.pageSize)
 	}
+	// Copy under the lock: a concurrent WritePage mutates the stored buffer
+	// in place, so reading it outside the lock would race (a WAL tail reader
+	// legitimately reads pages the writer is re-flushing).
 	m.mu.Lock()
-	src := m.data[pageNo]
-	m.mu.Unlock()
-	if src == nil {
+	if src := m.data[pageNo]; src == nil {
 		for i := 0; i < m.pageSize; i++ {
 			p[i] = 0
 		}
 	} else {
 		copy(p, src)
 	}
+	m.mu.Unlock()
 	done := at.Add(m.readLat)
 	m.CountRead(m.pageSize, m.readLat)
 	return done, nil

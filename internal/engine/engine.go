@@ -89,6 +89,13 @@ type Options struct {
 	// Recover scans the WAL device and replays it; use when reopening
 	// existing devices after a crash.
 	Recover bool
+
+	// ResumeWAL (with Recover) continues the existing log exactly where its
+	// intact records end instead of starting a page-aligned new generation.
+	// A replication follower needs this: its log must stay byte-identical to
+	// the primary's, so restart gaps are not allowed — padding only ever
+	// arrives by mirroring the primary's own generation rounding.
+	ResumeWAL bool
 }
 
 // DefaultOptions returns a SIAS/t2 configuration with a 2048-frame pool and
@@ -125,6 +132,13 @@ type DB struct {
 
 	recovered   []recRecord // WAL records pre-scanned for recovery
 	maxBlockRel map[uint32]uint32
+
+	// Replica mode (replication follower): reads only, all WAL appends come
+	// from ApplyRecord's re-encoded primary records. See replica.go.
+	replica      atomic.Bool
+	replicaXMax  atomic.Uint64 // snapshot horizon for read-only transactions
+	replicaMaxTx atomic.Uint64 // highest transaction id seen in applied records
+	replicaDirty atomic.Bool   // heap changed since the last RefreshReplica
 
 	// Hot-path counters are atomics so Commit/Abort/Stats never touch
 	// db.mu, which Tick holds during maintenance scheduling.
@@ -183,11 +197,21 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: WAL pre-scan: %w", err)
 		}
-		// Start the new generation at the next page boundary past the data.
-		ps := wal.LSN(opts.WALDevice.PageSize())
-		startLSN = (end + ps - 1) / ps * ps
+		if opts.ResumeWAL {
+			w, werr := wal.NewWriterResume(opts.WALDevice, end)
+			if werr != nil {
+				return nil, fmt.Errorf("engine: WAL resume: %w", werr)
+			}
+			db.walw = w
+		} else {
+			// Start the new generation at the next page boundary past the data.
+			ps := wal.LSN(opts.WALDevice.PageSize())
+			startLSN = (end + ps - 1) / ps * ps
+		}
 	}
-	db.walw = wal.NewWriterAt(opts.WALDevice, startLSN)
+	if db.walw == nil {
+		db.walw = wal.NewWriterAt(opts.WALDevice, startLSN)
+	}
 
 	db.pool = buffer.New(buffer.Config{
 		Frames:     opts.PoolFrames,
@@ -200,6 +224,12 @@ func Open(opts Options) (*DB, error) {
 
 	db.alloc = space.NewAllocator(opts.DataDevice.NumPages(), space.DefaultExtentSize)
 	db.alloc.OnAlloc = func(rel uint32, ext uint32, base int64) {
+		if db.replica.Load() {
+			// A follower's log is a byte mirror of the primary's; local
+			// grants (there should be none outside the scratch region, which
+			// never reports) must not append to it.
+			return
+		}
 		db.walw.Append(&wal.Record{Type: wal.RecAllocExtent, Rel: rel, Aux: uint64(base)<<32 | uint64(ext)})
 	}
 	return db, nil
@@ -214,6 +244,10 @@ func (db *DB) Pool() *buffer.Pool { return db.pool }
 // WAL exposes the log writer (stats, tests).
 func (db *DB) WAL() *wal.Writer { return db.walw }
 
+// WALDevice exposes the raw log device; replication subscribers read shipped
+// batches from it (flushed pages only, bounded by the writer's durable LSN).
+func (db *DB) WALDevice() device.BlockDevice { return db.opts.WALDevice }
+
 // Alloc exposes the space allocator (stats, tests).
 func (db *DB) Alloc() *space.Allocator { return db.alloc }
 
@@ -223,8 +257,18 @@ func (db *DB) Kind() Kind { return db.opts.Kind }
 // Policy reports the configured flush policy.
 func (db *DB) Policy() FlushPolicy { return db.opts.Policy }
 
-// Begin starts a transaction.
-func (db *DB) Begin() *txn.Tx { return db.txm.Begin() }
+// ErrReadOnly rejects writes on a replication follower that has not been
+// promoted.
+var ErrReadOnly = errors.New("engine: read-only replica")
+
+// Begin starts a transaction. On a replica it returns a read-only snapshot
+// transaction pinned at the applied replication horizon.
+func (db *DB) Begin() *txn.Tx {
+	if db.replica.Load() {
+		return db.txm.BeginReadOnlyAt(txn.ID(db.replicaXMax.Load()))
+	}
+	return db.txm.Begin()
+}
 
 // Commit makes tx durable: the commit record is forced to the log before
 // the CLOG flips (group commit batches whatever else is pending).
@@ -245,16 +289,27 @@ func (db *DB) CommitBatch(txs []*txn.Tx, at simclock.Time) (simclock.Time, []err
 	if len(txs) == 0 {
 		return at, errs
 	}
+	// Read-only transactions (replica snapshots) have no commit record and
+	// force nothing; they are still Commit()ed so finish hooks run.
 	var lsn wal.LSN
+	logged := false
 	for _, tx := range txs {
-		lsn = db.walw.Append(&wal.Record{Type: wal.RecCommit, Tx: tx.ID})
-	}
-	t, err := db.walw.Flush(at, lsn)
-	if err != nil {
-		for i := range errs {
-			errs[i] = err
+		if tx.ReadOnly() {
+			continue
 		}
-		return t, errs
+		lsn = db.walw.Append(&wal.Record{Type: wal.RecCommit, Tx: tx.ID})
+		logged = true
+	}
+	t := at
+	if logged {
+		var err error
+		t, err = db.walw.Flush(at, lsn)
+		if err != nil {
+			for i := range errs {
+				errs[i] = err
+			}
+			return t, errs
+		}
 	}
 	committed := int64(0)
 	for i, tx := range txs {
@@ -263,7 +318,9 @@ func (db *DB) CommitBatch(txs []*txn.Tx, at simclock.Time) (simclock.Time, []err
 		}
 	}
 	db.commits.Add(committed)
-	db.commitFlushes.Add(1)
+	if logged {
+		db.commitFlushes.Add(1)
+	}
 	if len(txs) > 1 {
 		db.commitBatches.Add(1)
 	}
@@ -278,7 +335,9 @@ func (db *DB) CommitBatch(txs []*txn.Tx, at simclock.Time) (simclock.Time, []err
 
 // Abort rolls tx back. The abort record needs no flush.
 func (db *DB) Abort(tx *txn.Tx, at simclock.Time) (simclock.Time, error) {
-	db.walw.Append(&wal.Record{Type: wal.RecAbort, Tx: tx.ID})
+	if !tx.ReadOnly() {
+		db.walw.Append(&wal.Record{Type: wal.RecAbort, Tx: tx.ID})
+	}
 	if err := db.txm.Abort(tx); err != nil {
 		return at, err
 	}
@@ -289,6 +348,11 @@ func (db *DB) Abort(tx *txn.Tx, at simclock.Time) (simclock.Time, error) {
 // Tick drives time-based maintenance; callers invoke it as their virtual
 // clock advances (the TPC-C driver does so between transactions).
 func (db *DB) Tick(at simclock.Time) (simclock.Time, error) {
+	if db.replica.Load() {
+		// GC/vacuum and checkpoints append WAL records; a replica's log only
+		// ever receives the primary's bytes. Maintenance resumes at promote.
+		return at, nil
+	}
 	t := at
 	db.mu.Lock()
 	runBg := db.opts.Policy == PolicyT1 && t.Sub(db.lastBg) >= db.opts.BgWriterInterval
@@ -342,6 +406,17 @@ func (db *DB) Tick(at simclock.Time) (simclock.Time, error) {
 // Checkpoint seals append pages (threshold t2) and flushes every dirty page
 // after forcing the WAL.
 func (db *DB) Checkpoint(at simclock.Time) (simclock.Time, error) {
+	if db.replica.Load() {
+		// Flush-only: persist what replay produced, but append no checkpoint
+		// record — the primary's own RecCheckpoint arrives via the stream
+		// (ApplyRecord flushes pages before appending it, keeping the redo
+		// point it names valid on this side too).
+		t, err := db.walw.Flush(at, db.walw.NextLSN())
+		if err != nil {
+			return t, err
+		}
+		return db.pool.FlushAll(t)
+	}
 	db.mu.Lock()
 	tabs := append([]*Table(nil), db.order...)
 	db.mu.Unlock()
@@ -416,6 +491,9 @@ type Stats struct {
 	PoolPartitions int
 	WALPageWrites  int64
 	AllocatedPages int64
+	// WALDurableLSN is the durable end of the log: what a replication
+	// subscriber can ship, and what lag is measured against.
+	WALDurableLSN uint64
 }
 
 // Stats returns a snapshot.
@@ -434,6 +512,7 @@ func (db *DB) Stats() Stats {
 		PoolPartitions: db.pool.Partitions(),
 		WALPageWrites:  db.walw.PageWrites(),
 		AllocatedPages: db.alloc.AllocatedPages(),
+		WALDurableLSN:  uint64(db.walw.Durable()),
 	}
 }
 

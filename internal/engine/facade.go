@@ -99,6 +99,14 @@ func (f *Facade) run(op func(at simclock.Time) (simclock.Time, error)) error {
 	return err
 }
 
+// Advance executes op under the facade's virtual-clock sequencing: op gets
+// the current time and returns its completion time, which is published for
+// later callers. Replication apply/refresh paths use it to interleave with
+// served reads on one coherent clock.
+func (f *Facade) Advance(op func(at simclock.Time) (simclock.Time, error)) error {
+	return f.run(op)
+}
+
 // Begin starts a transaction.
 func (f *Facade) Begin() *txn.Tx { return f.db.Begin() }
 

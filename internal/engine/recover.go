@@ -66,83 +66,118 @@ func (db *DB) Recover(at simclock.Time) (simclock.Time, error) {
 		default:
 			continue
 		}
-		if hw := db.maxBlockRel[rec.Rel]; rec.TID.Block+1 > hw && rec.TID.Slot != ^uint16(0) {
-			db.maxBlockRel[rec.Rel] = rec.TID.Block + 1
-		}
+		db.noteHeapBlock(&rec)
 		if rr.lsn < redoFrom {
 			continue // already durable via the checkpoint
 		}
-		devPage, err := db.alloc.DevicePage(rec.Rel, rec.TID.Block)
-		if err != nil {
-			return t, fmt.Errorf("engine: redo %s rel %d block %d: %w", rec.Type, rec.Rel, rec.TID.Block, err)
-		}
-		f, t2, err := db.pool.Get(t, devPage, false)
-		t = t2
+		var err error
+		t, err = db.redoHeap(t, &rec)
 		if err != nil {
 			return t, err
 		}
-		pg := f.Data
-		if !pg.Initialized() || pg.RelID() != rec.Rel {
-			pg.Init(rec.Rel, 0)
-		}
-		dirty := false
-		switch rec.Type {
-		case wal.RecHeapInsert:
-			slot := int(rec.TID.Slot)
-			switch {
-			case pg.NumSlots() > slot:
-				// Already applied (page was flushed before the crash).
-			case pg.NumSlots() == slot:
-				if _, ierr := pg.Insert(rec.Data); ierr != nil {
-					db.pool.Release(f, false)
-					return t, fmt.Errorf("engine: redo insert %v: %v", rec.TID, ierr)
-				}
-				dirty = true
-			default:
-				db.pool.Release(f, false)
-				return t, fmt.Errorf("engine: redo insert %v: slot gap (page has %d slots)", rec.TID, pg.NumSlots())
-			}
-		case wal.RecHeapOverwrite:
-			if int(rec.TID.Slot) < pg.NumSlots() && !pg.Dead(int(rec.TID.Slot)) {
-				if oerr := pg.Overwrite(int(rec.TID.Slot), rec.Data); oerr != nil {
-					db.pool.Release(f, false)
-					return t, fmt.Errorf("engine: redo overwrite %v: %v", rec.TID, oerr)
-				}
-				dirty = true
-			}
-		case wal.RecHeapDead:
-			if rec.TID.Slot == ^uint16(0) {
-				// Whole block reclaimed by GC: reset the page so later
-				// appends into the reused block replay cleanly.
-				pg.Init(rec.Rel, pg.Flags())
-				dirty = true
-			} else if int(rec.TID.Slot) < pg.NumSlots() {
-				if derr := pg.MarkDead(int(rec.TID.Slot)); derr == nil {
-					// Vacuum compacts after marking dead; redo must too, or
-					// replayed inserts into the reclaimed space won't fit.
-					pg.Compact()
-					dirty = true
-				}
-			}
-		}
-		db.pool.Release(f, dirty)
 	}
 
 	// Pass 3: rebuild per-table volatile state from the heap.
+	t, err := db.rebuildVolatile(t)
+	if err != nil {
+		return t, err
+	}
+	db.recovered = nil
+	return t, nil
+}
+
+// noteHeapBlock advances the per-relation heap high-water mark for a heap
+// record (whole-block GC markers carry no block growth).
+func (db *DB) noteHeapBlock(rec *wal.Record) {
+	db.mu.Lock()
+	if hw := db.maxBlockRel[rec.Rel]; rec.TID.Block+1 > hw && rec.TID.Slot != ^uint16(0) {
+		db.maxBlockRel[rec.Rel] = rec.TID.Block + 1
+	}
+	db.mu.Unlock()
+}
+
+// redoHeap applies one heap record's after-image to the data pages. It is
+// idempotent — slots already present are skipped — which is what lets both
+// crash recovery and the replication follower drive it.
+func (db *DB) redoHeap(t simclock.Time, rec *wal.Record) (simclock.Time, error) {
+	devPage, err := db.alloc.DevicePage(rec.Rel, rec.TID.Block)
+	if err != nil {
+		return t, fmt.Errorf("engine: redo %s rel %d block %d: %w", rec.Type, rec.Rel, rec.TID.Block, err)
+	}
+	f, t2, err := db.pool.Get(t, devPage, false)
+	t = t2
+	if err != nil {
+		return t, err
+	}
+	pg := f.Data
+	if !pg.Initialized() || pg.RelID() != rec.Rel {
+		pg.Init(rec.Rel, 0)
+	}
+	dirty := false
+	switch rec.Type {
+	case wal.RecHeapInsert:
+		slot := int(rec.TID.Slot)
+		switch {
+		case pg.NumSlots() > slot:
+			// Already applied (page was flushed before the crash).
+		case pg.NumSlots() == slot:
+			if _, ierr := pg.Insert(rec.Data); ierr != nil {
+				db.pool.Release(f, false)
+				return t, fmt.Errorf("engine: redo insert %v: %v", rec.TID, ierr)
+			}
+			dirty = true
+		default:
+			db.pool.Release(f, false)
+			return t, fmt.Errorf("engine: redo insert %v: slot gap (page has %d slots)", rec.TID, pg.NumSlots())
+		}
+	case wal.RecHeapOverwrite:
+		if int(rec.TID.Slot) < pg.NumSlots() && !pg.Dead(int(rec.TID.Slot)) {
+			if oerr := pg.Overwrite(int(rec.TID.Slot), rec.Data); oerr != nil {
+				db.pool.Release(f, false)
+				return t, fmt.Errorf("engine: redo overwrite %v: %v", rec.TID, oerr)
+			}
+			dirty = true
+		}
+	case wal.RecHeapDead:
+		if rec.TID.Slot == ^uint16(0) {
+			// Whole block reclaimed by GC: reset the page so later
+			// appends into the reused block replay cleanly.
+			pg.Init(rec.Rel, pg.Flags())
+			dirty = true
+		} else if int(rec.TID.Slot) < pg.NumSlots() {
+			if derr := pg.MarkDead(int(rec.TID.Slot)); derr == nil {
+				// Vacuum compacts after marking dead; redo must too, or
+				// replayed inserts into the reclaimed space won't fit.
+				pg.Compact()
+				dirty = true
+			}
+		}
+	}
+	db.pool.Release(f, dirty)
+	return t, nil
+}
+
+// rebuildVolatile reconstructs every table's VIDmap/indexes/FSM from the
+// heap, using the redo high-water marks as block counts.
+func (db *DB) rebuildVolatile(at simclock.Time) (simclock.Time, error) {
 	db.mu.Lock()
 	tabs := append([]*Table(nil), db.order...)
 	db.mu.Unlock()
+	t := at
 	for _, tab := range tabs {
-		blocks := uint32(0)
 		if tab.sias != nil {
-			blocks = db.maxBlockRel[tab.sias.ID()]
+			db.mu.Lock()
+			blocks := db.maxBlockRel[tab.sias.ID()]
+			db.mu.Unlock()
 			var err error
 			t, err = tab.sias.RebuildFromHeap(t, blocks, tab.keyOfPayload)
 			if err != nil {
 				return t, fmt.Errorf("engine: rebuild %s: %w", tab.name, err)
 			}
 		} else {
-			blocks = db.maxBlockRel[tab.si.ID()]
+			db.mu.Lock()
+			blocks := db.maxBlockRel[tab.si.ID()]
+			db.mu.Unlock()
 			var err error
 			t, err = tab.si.RestoreBlockCount(t, blocks)
 			if err != nil {
@@ -154,7 +189,6 @@ func (db *DB) Recover(at simclock.Time) (simclock.Time, error) {
 			}
 		}
 	}
-	db.recovered = nil
 	return t, nil
 }
 

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"fmt"
+
+	"sias/internal/simclock"
+	"sias/internal/txn"
+	"sias/internal/wal"
+)
+
+// Replica mode turns a DB into a replication follower: the WAL it writes is
+// a byte-for-byte mirror of the primary's (received records are re-appended
+// verbatim via their deterministic encoding), the heap is maintained by
+// replaying those records through the same idempotent redo used by crash
+// recovery, and reads run as read-only snapshot transactions pinned at the
+// applied horizon. Everything that would append locally-originated records —
+// commit/abort records, checkpoint records, extent grants, GC — is
+// suppressed while the flag is set; promotion clears it and the engine
+// resumes normal operation with the replayed state as its starting point.
+
+// SetReplica switches replica mode. Turn it on before any table is created
+// on a follower: CreateTable allocates extents, which must come from the
+// unlogged scratch region. The flag can stay on across Recover — replayed
+// grants go through Restore, which bypasses allocation entirely.
+func (db *DB) SetReplica(on bool) {
+	db.replica.Store(on)
+	db.alloc.SetScratch(on)
+	if on {
+		next := uint64(db.txm.NextID())
+		db.replicaMaxTx.Store(next - 1)
+		db.replicaXMax.Store(next)
+	}
+}
+
+// Replica reports whether the DB is in replica mode.
+func (db *DB) Replica() bool { return db.replica.Load() }
+
+// ApplyRecord replays one primary WAL record on a follower: it updates the
+// CLOG/allocator/heap exactly as recovery pass 1+2 would, and the caller is
+// responsible for having appended the same bytes to the local log first (or
+// right after — the orders are equivalent because redo is idempotent).
+//
+// RecCheckpoint is special: the primary guarantees every record before the
+// checkpoint's redo point was on ITS device when the record was logged. The
+// follower re-establishes that invariant locally by flushing its own WAL and
+// data pages, so a follower crash after the checkpoint record recovers
+// correctly from the redo point it names.
+//
+// Not safe for concurrent use with reads; the repl.Follower serializes
+// applies against read transactions.
+func (db *DB) ApplyRecord(at simclock.Time, rec *wal.Record) (simclock.Time, error) {
+	if !db.replica.Load() {
+		return at, fmt.Errorf("engine: ApplyRecord on a non-replica")
+	}
+	if rec.Tx > 0 && uint64(rec.Tx) > db.replicaMaxTx.Load() {
+		db.replicaMaxTx.Store(uint64(rec.Tx))
+	}
+	t := at
+	var err error
+	switch rec.Type {
+	case wal.RecCommit:
+		db.txm.CLOG().Set(rec.Tx, txn.StatusCommitted)
+		db.replicaDirty.Store(true)
+	case wal.RecAbort:
+		db.txm.CLOG().Set(rec.Tx, txn.StatusAborted)
+		db.replicaDirty.Store(true)
+	case wal.RecAllocExtent:
+		db.alloc.Restore(rec.Rel, uint32(rec.Aux), int64(rec.Aux>>32))
+	case wal.RecCheckpoint:
+		t, err = db.walw.Flush(t, db.walw.NextLSN())
+		if err != nil {
+			return t, err
+		}
+		t, err = db.pool.FlushAll(t)
+		if err != nil {
+			return t, err
+		}
+	case wal.RecHeapInsert, wal.RecHeapOverwrite, wal.RecHeapDead:
+		db.noteHeapBlock(rec)
+		t, err = db.redoHeap(t, rec)
+		if err != nil {
+			return t, err
+		}
+		db.replicaDirty.Store(true)
+	}
+	return t, nil
+}
+
+// RefreshReplica rebuilds the follower's volatile state (VIDmap, indexes,
+// FSM, dead sets) from the replayed heap and advances the read snapshot
+// horizon to cover every applied transaction. It is the heavyweight half of
+// follower reads: applies mark the replica dirty cheaply, and the first read
+// after a batch pays for one rebuild. The repl.Follower calls it with all
+// applies excluded.
+func (db *DB) RefreshReplica(at simclock.Time) (simclock.Time, error) {
+	if !db.replica.Load() {
+		return at, fmt.Errorf("engine: RefreshReplica on a non-replica")
+	}
+	t, err := db.rebuildVolatile(at)
+	if err != nil {
+		return t, err
+	}
+	maxTx := db.replicaMaxTx.Load()
+	db.txm.SetNextID(txn.ID(maxTx + 1))
+	db.replicaXMax.Store(maxTx + 1)
+	db.replicaDirty.Store(false)
+	return t, nil
+}
+
+// ReplicaDirty reports whether records were applied since the last refresh.
+func (db *DB) ReplicaDirty() bool { return db.replicaDirty.Load() }
+
+// Promote leaves replica mode: refresh once more so the final applied state
+// is queryable, then clear the flag. The id allocator already sits past
+// every replayed transaction (RefreshReplica fast-forwards it), so new local
+// transactions sort after the primary's history. The WAL writer keeps
+// appending where the mirrored log ends — no generation gap, because the
+// mirror is exact.
+func (db *DB) Promote(at simclock.Time) (simclock.Time, error) {
+	t, err := db.RefreshReplica(at)
+	if err != nil {
+		return t, err
+	}
+	db.SetReplica(false)
+	return t, nil
+}

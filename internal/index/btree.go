@@ -151,6 +151,29 @@ func New(at simclock.Time, relID uint32, pool *buffer.Pool, alloc *space.Allocat
 // RelID reports the relation id holding the tree's pages.
 func (t *Tree) RelID() uint32 { return t.relID }
 
+// Reset empties the tree back to a single empty-leaf root, abandoning all
+// other blocks (extents stay granted and are reused as the tree regrows).
+// A replication follower resets its locally-built indexes before each
+// rebuild-from-heap; without it repeated rebuilds would stack duplicate
+// entries.
+func (t *Tree) Reset(at simclock.Time) (simclock.Time, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, tm, err := t.getBlock(at, 0, true)
+	if err != nil {
+		return tm, err
+	}
+	n := node{f.Data}
+	n.setLeaf(true)
+	n.setCount(0)
+	n.setAux(0)
+	t.pool.Release(f, true)
+	t.nextBlock = 1
+	t.height = 1
+	t.entries = 0
+	return tm, nil
+}
+
 // Len reports the number of entries.
 func (t *Tree) Len() int64 {
 	t.mu.RLock()

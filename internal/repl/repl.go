@@ -1,0 +1,374 @@
+// Package repl implements WAL log-shipping replication.
+//
+// The primary side lives in internal/server: a SUBSCRIBE request turns a
+// connection into a log stream, shipping CRC-framed WAL records (read off
+// the log device with wal.TailReader, below the durable LSN) as LOGBATCH
+// frames, one cursor per shard, with start-LSN resume.
+//
+// This package is the follower side. A Follower dials the primary,
+// subscribes from its own logs' current ends, and for every received batch
+//
+//  1. re-appends the records verbatim to its local WAL (the encoding is
+//     deterministic and the primary's inter-generation padding is mirrored
+//     with SkipTo, so the follower's log stays byte-identical to the
+//     primary's — which is what makes "lag" a plain LSN subtraction and
+//     lets a restarted follower resume from exactly where it stopped);
+//  2. replays them through the engine's idempotent recovery redo
+//     (engine.ApplyRecord).
+//
+// Reads on a follower run as read-only snapshot transactions at the applied
+// horizon; the first read after new records pays one rebuild of the volatile
+// structures (engine.RefreshReplica). Promotion — by operator PROMOTE frame
+// or automatically when the primary drains and ends the stream — stops the
+// subscription, finishes replay, and flips the engines writable.
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sias/internal/engine"
+	"sias/internal/simclock"
+	"sias/internal/wal"
+	"sias/internal/wire"
+)
+
+// errDrained signals a clean end-of-stream: the primary drained and this
+// follower should promote itself.
+var errDrained = errors.New("repl: primary drained")
+
+// Config configures a Follower.
+type Config struct {
+	// PrimaryAddr is the primary server's listen address.
+	PrimaryAddr string
+	// Announce is this follower's client-reachable address; the primary
+	// embeds it in SHUTTING_DOWN responses so clients fail over. Optional.
+	Announce string
+	// Shards are the follower's engines, in the same shard order as the
+	// primary's. Each must already be in replica mode (engine.SetReplica).
+	Shards []*engine.Facade
+	// DialTimeout bounds each connection attempt (default 3s).
+	DialTimeout time.Duration
+	// Logf logs replication progress (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Follower streams and replays a primary's WAL. One mutex serializes state
+// changes (apply, refresh, promote take it exclusively) against served reads
+// (the server holds it shared across each data op).
+type Follower struct {
+	cfg Config
+
+	mu sync.RWMutex // write: applyBatch/Refresh/Promote; read: served data ops
+
+	applied        []atomic.Uint64 // per-shard local log end = applied LSN
+	primaryDurable []atomic.Uint64 // per-shard last reported primary durable LSN
+
+	stopCh      chan struct{}
+	stopOnce    sync.Once
+	wg          sync.WaitGroup
+	promoted    atomic.Bool
+	promoteOnce sync.Once
+	promoteErr  error
+}
+
+// NewFollower validates cfg and returns a Follower (not yet running).
+func NewFollower(cfg Config) (*Follower, error) {
+	if cfg.PrimaryAddr == "" {
+		return nil, errors.New("repl: PrimaryAddr is required")
+	}
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("repl: at least one shard is required")
+	}
+	for i, fc := range cfg.Shards {
+		if fc == nil || !fc.DB().Replica() {
+			return nil, fmt.Errorf("repl: shard %d is not in replica mode", i)
+		}
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	f := &Follower{
+		cfg:            cfg,
+		applied:        make([]atomic.Uint64, len(cfg.Shards)),
+		primaryDurable: make([]atomic.Uint64, len(cfg.Shards)),
+		stopCh:         make(chan struct{}),
+	}
+	for i, fc := range cfg.Shards {
+		f.applied[i].Store(uint64(fc.DB().WAL().NextLSN()))
+	}
+	return f, nil
+}
+
+// Run starts the subscription loop in the background. It reconnects on
+// errors (resuming from the applied LSN) until promotion or a clean
+// end-of-stream from a draining primary, which triggers self-promotion.
+func (f *Follower) Run() {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			select {
+			case <-f.stopCh:
+				return
+			default:
+			}
+			err := f.stream()
+			if errors.Is(err, errDrained) {
+				// The primary checkpointed and ended the stream; everything
+				// it ever logged is applied. Promote from a fresh goroutine —
+				// Promote waits for this one to exit.
+				f.cfg.Logf("repl: primary drained; promoting")
+				go f.Promote()
+				return
+			}
+			select {
+			case <-f.stopCh:
+				return
+			case <-time.After(200 * time.Millisecond):
+				f.cfg.Logf("repl: stream ended (%v); reconnecting to %s", err, f.cfg.PrimaryAddr)
+			}
+		}
+	}()
+}
+
+// stream runs one subscription connection until error or drain.
+func (f *Follower) stream() error {
+	d := net.Dialer{Timeout: f.cfg.DialTimeout}
+	conn, err := d.Dial("tcp", f.cfg.PrimaryAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		// Unblock the read loop when Promote stops the follower.
+		select {
+		case <-f.stopCh:
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriter(conn)
+	var b wire.Buf
+	b.Bytes([]byte(f.cfg.Announce))
+	b.U32(uint32(len(f.cfg.Shards)))
+	for i := range f.cfg.Shards {
+		b.U64(f.applied[i].Load())
+	}
+	if err := wire.WriteFrame(bw, uint8(wire.OpSubscribe), b.B); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	code, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		return err
+	}
+	switch wire.Code(code) {
+	case wire.CodeOK:
+		r := wire.Reader{B: payload}
+		n, err := r.U32()
+		if err != nil || int(n) != len(f.cfg.Shards) {
+			return fmt.Errorf("repl: subscribe handshake: primary has %d shards, follower %d", n, len(f.cfg.Shards))
+		}
+		for i := 0; i < int(n); i++ {
+			d, err := r.U64()
+			if err != nil {
+				return fmt.Errorf("repl: subscribe handshake: %w", err)
+			}
+			f.primaryDurable[i].Store(d)
+		}
+	case wire.CodeShuttingDown:
+		return errDrained
+	default:
+		return fmt.Errorf("repl: subscribe rejected: %w", wire.ErrOf(wire.Code(code), string(payload)))
+	}
+
+	for {
+		code, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return err
+		}
+		switch wire.Code(code) {
+		case wire.CodeLogBatch:
+			r := wire.Reader{B: payload}
+			sh, err1 := r.U32()
+			start, err2 := r.U64()
+			pd, err3 := r.U64()
+			data, err4 := r.Bytes()
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return fmt.Errorf("repl: malformed LOG_BATCH")
+			}
+			if int(sh) >= len(f.cfg.Shards) {
+				return fmt.Errorf("repl: LOG_BATCH for unknown shard %d", sh)
+			}
+			if err := f.applyBatch(int(sh), wal.LSN(start), data, wal.LSN(pd)); err != nil {
+				return err
+			}
+		case wire.CodeShuttingDown:
+			return errDrained
+		default:
+			return fmt.Errorf("repl: unexpected frame %s on subscription", wire.Code(code))
+		}
+	}
+}
+
+// applyBatch mirrors one batch into the local WAL and replays it. Duplicate
+// prefixes (a reconnect race can re-ship records) are dropped; a gap between
+// the local log end and the batch start is primary generation padding and is
+// mirrored with SkipTo.
+func (f *Follower) applyBatch(shard int, start wal.LSN, data []byte, primaryDurable wal.LSN) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.primaryDurable[shard].Store(uint64(primaryDurable))
+	fc := f.cfg.Shards[shard]
+	db := fc.DB()
+	w := db.WAL()
+	if len(data) == 0 { // heartbeat
+		return nil
+	}
+	cur := w.NextLSN()
+	if start < cur {
+		if start+wal.LSN(len(data)) <= cur {
+			return nil // entirely replayed already
+		}
+		data = data[cur-start:]
+		start = cur
+	}
+	if start > cur {
+		w.SkipTo(start)
+	}
+	for len(data) > 0 {
+		rec, n, derr := wal.DecodeRecord(data)
+		if derr != nil {
+			return fmt.Errorf("repl: shard %d: corrupt record at LSN %d: %w", shard, start, derr)
+		}
+		w.Append(&rec)
+		if err := fc.Advance(func(at simclock.Time) (simclock.Time, error) {
+			return db.ApplyRecord(at, &rec)
+		}); err != nil {
+			return fmt.Errorf("repl: shard %d: apply at LSN %d: %w", shard, start, err)
+		}
+		data = data[n:]
+		start += wal.LSN(n)
+	}
+	// Force the mirrored records so a follower restart resumes past them.
+	if err := fc.Advance(func(at simclock.Time) (simclock.Time, error) {
+		return w.Flush(at, w.NextLSN())
+	}); err != nil {
+		return err
+	}
+	f.applied[shard].Store(uint64(w.NextLSN()))
+	return nil
+}
+
+// Refresh rebuilds the volatile read structures on every shard that applied
+// records since its last refresh. The server calls it on BEGIN so each new
+// snapshot sees everything applied so far; it is a no-op when nothing
+// changed, so read-only workloads pay for at most one rebuild per batch.
+func (f *Follower) Refresh() error {
+	dirty := false
+	for _, fc := range f.cfg.Shards {
+		if fc.DB().ReplicaDirty() {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, fc := range f.cfg.Shards {
+		db := fc.DB()
+		if !db.ReplicaDirty() {
+			continue
+		}
+		if err := fc.Advance(db.RefreshReplica); err != nil {
+			return fmt.Errorf("repl: refresh shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DataRLock takes the shared lock served data operations run under,
+// excluding concurrent applies and refreshes.
+func (f *Follower) DataRLock() { f.mu.RLock() }
+
+// DataRUnlock releases DataRLock.
+func (f *Follower) DataRUnlock() { f.mu.RUnlock() }
+
+// Promoted reports whether the follower has been promoted to a primary.
+func (f *Follower) Promoted() bool { return f.promoted.Load() }
+
+// Promote stops the subscription, finishes replay of everything received,
+// flips every shard engine writable, and marks the follower promoted.
+// Idempotent; safe from any goroutine except the subscription loop itself.
+func (f *Follower) Promote() error {
+	f.promoteOnce.Do(func() {
+		f.stopOnce.Do(func() { close(f.stopCh) })
+		f.wg.Wait()
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		for i, fc := range f.cfg.Shards {
+			db := fc.DB()
+			if err := fc.Advance(db.Promote); err != nil {
+				f.promoteErr = fmt.Errorf("repl: promote shard %d: %w", i, err)
+				return
+			}
+		}
+		f.promoted.Store(true)
+		f.cfg.Logf("repl: promoted; %d shard(s) now accept writes", len(f.cfg.Shards))
+	})
+	return f.promoteErr
+}
+
+// Stop ends the subscription without promoting (tests, shutdown).
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stopCh) })
+	f.wg.Wait()
+}
+
+// ShardLag is one shard's replication position.
+type ShardLag struct {
+	AppliedLSN        uint64 `json:"applied_lsn"`
+	PrimaryDurableLSN uint64 `json:"primary_durable_lsn"`
+	LagBytes          uint64 `json:"lag_bytes"`
+}
+
+// Stats is the follower's replication position, embedded in STATS replies.
+type Stats struct {
+	Primary  string     `json:"primary"`
+	Promoted bool       `json:"promoted"`
+	Shards   []ShardLag `json:"shards"`
+}
+
+// Stats snapshots replication lag. Lag is an exact byte count because the
+// follower's log mirrors the primary's byte for byte.
+func (f *Follower) Stats() Stats {
+	s := Stats{Primary: f.cfg.PrimaryAddr, Promoted: f.promoted.Load()}
+	for i := range f.applied {
+		a := f.applied[i].Load()
+		pd := f.primaryDurable[i].Load()
+		lag := uint64(0)
+		if pd > a {
+			lag = pd - a
+		}
+		s.Shards = append(s.Shards, ShardLag{AppliedLSN: a, PrimaryDurableLSN: pd, LagBytes: lag})
+	}
+	return s
+}

@@ -1,0 +1,456 @@
+package repl_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"sias/internal/client"
+	"sias/internal/device"
+	"sias/internal/engine"
+	"sias/internal/page"
+	"sias/internal/repl"
+	"sias/internal/server"
+	"sias/internal/shard"
+	"sias/internal/tuple"
+)
+
+func kvSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "k", Type: tuple.TypeInt64},
+		tuple.Column{Name: "v", Type: tuple.TypeBytes},
+	)
+}
+
+// openPrimary assembles one primary shard over the given devices, optionally
+// recovering an existing image (restart after a crash).
+func openPrimary(t *testing.T, data, walDev device.BlockDevice, recover bool) shard.Shard {
+	t.Helper()
+	opts := engine.DefaultOptions(data, walDev)
+	opts.Recover = recover
+	db, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _, err := db.CreateTable(0, "kv", kvSchema(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recover {
+		if _, err := db.Recover(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return shard.Shard{Facade: engine.NewFacade(db), Table: tab}
+}
+
+// openFollower assembles one follower shard: replica mode on before the
+// table exists (so its extents come from the scratch region), and on restart
+// the mirrored log is replayed and resumed at its exact byte position.
+func openFollower(t *testing.T, data, walDev device.BlockDevice, recover bool) shard.Shard {
+	t.Helper()
+	opts := engine.DefaultOptions(data, walDev)
+	opts.Recover = recover
+	opts.ResumeWAL = recover
+	db, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetReplica(true)
+	tab, _, err := db.CreateTable(0, "kv", kvSchema(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recover {
+		if _, err := db.Recover(0); err != nil {
+			t.Fatal(err)
+		}
+		// Recover fast-forwarded the id allocator; re-seed the read horizon.
+		db.SetReplica(true)
+	}
+	return shard.Shard{Facade: engine.NewFacade(db), Table: tab}
+}
+
+func routerOf(t *testing.T, shards ...shard.Shard) *shard.Router {
+	t.Helper()
+	r, err := shard.NewRouter(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// serveOn starts srv on ln and returns a channel carrying Serve's result.
+func serveOn(srv *server.Server, ln net.Listener) chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- srv.Serve(ln) }()
+	return ch
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// caughtUp reports whether every shard's applied LSN matches the primary's
+// durable LSN (and the primary has logged something at all).
+func caughtUp(f *repl.Follower) bool {
+	for _, s := range f.Stats().Shards {
+		if s.PrimaryDurableLSN == 0 || s.AppliedLSN != s.PrimaryDurableLSN {
+			return false
+		}
+	}
+	return true
+}
+
+// loadKeys commits keys [lo, hi) with values derived from tag.
+func loadKeys(t *testing.T, c *client.Client, lo, hi int64, tag string) {
+	t.Helper()
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := lo; i < hi; i++ {
+		if err := tx.Insert(i, []byte(fmt.Sprintf("%s%d", tag, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicationBasic streams a 2-shard primary's load to a live follower:
+// lag converges to zero, follower reads serve the replicated snapshot, and
+// writes are refused with the typed read-only error until promotion.
+func TestReplicationBasic(t *testing.T) {
+	prim := routerOf(t,
+		openPrimary(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false),
+		openPrimary(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false),
+	)
+	psrv, err := server.New(server.Config{Router: prim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pErr := serveOn(psrv, pln)
+	defer func() {
+		psrv.Shutdown(context.Background())
+		<-pErr
+	}()
+
+	follow := []shard.Shard{
+		openFollower(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false),
+		openFollower(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false),
+	}
+	f, err := repl.NewFollower(repl.Config{
+		PrimaryAddr: pln.Addr().String(),
+		Shards:      []*engine.Facade{follow[0].Facade, follow[1].Facade},
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run()
+	defer f.Stop()
+
+	fsrv, err := server.New(server.Config{Router: routerOf(t, follow...), Replica: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fErr := serveOn(fsrv, fln)
+	defer func() {
+		fsrv.Shutdown(context.Background())
+		<-fErr
+	}()
+
+	pc, err := client.Dial(pln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	const n = 100
+	loadKeys(t, pc, 0, n, "v")
+
+	waitFor(t, 10*time.Second, "replication lag to reach zero", func() bool { return caughtUp(f) })
+
+	fc, err := client.Dial(fln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	tx, err := fc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := tx.Scan(0, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != n {
+		t.Fatalf("follower scan returned %d rows, want %d", len(kvs), n)
+	}
+	for i, kv := range kvs {
+		if kv.Key != int64(i) || string(kv.Val) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("follower row %d: (%d,%q)", i, kv.Key, kv.Val)
+		}
+	}
+	if err := tx.Insert(1000, []byte("nope")); !errors.Is(err, engine.ErrReadOnly) {
+		t.Fatalf("follower write: %v, want engine.ErrReadOnly", err)
+	}
+	tx.Abort()
+
+	st, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repl == nil || st.Repl.Promoted || len(st.Repl.Shards) != 2 {
+		t.Fatalf("follower STATS repl section: %+v", st.Repl)
+	}
+	for i, s := range st.Repl.Shards {
+		if s.LagBytes != 0 || s.AppliedLSN == 0 {
+			t.Fatalf("shard %d lag: %+v", i, s)
+		}
+	}
+}
+
+// TestPrimaryKillResume SIGKILLs the primary (Server.Kill: no drain, no
+// checkpoint) mid-replication, restarts it over the same devices with crash
+// recovery, and requires the follower to resume from its applied LSN across
+// the generation gap — ending with every committed row present exactly once.
+func TestPrimaryKillResume(t *testing.T) {
+	pData := device.NewMem(page.Size, 1<<16)
+	pWAL := device.NewMem(page.Size, 1<<14)
+
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := pln.Addr().String()
+	psrv, err := server.New(server.Config{Router: routerOf(t, openPrimary(t, pData, pWAL, false))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pErr := serveOn(psrv, pln)
+
+	fsh := openFollower(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false)
+	f, err := repl.NewFollower(repl.Config{
+		PrimaryAddr: addr,
+		Shards:      []*engine.Facade{fsh.Facade},
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run()
+	defer f.Stop()
+
+	pc, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadKeys(t, pc, 0, 50, "a")
+	waitFor(t, 10*time.Second, "follower to catch up before the kill", func() bool { return caughtUp(f) })
+	appliedBefore := f.Stats().Shards[0].AppliedLSN
+
+	// Crash: connections (including the subscription) drop, nothing is
+	// checkpointed, and the unflushed log tail is lost.
+	psrv.Kill()
+	<-pErr
+	pc.Close()
+
+	// Restart over the same devices: recovery replays the durable log and the
+	// new generation starts at the next page boundary — a padding gap the
+	// follower must mirror, not a divergence.
+	pln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv2, err := server.New(server.Config{Router: routerOf(t, openPrimary(t, pData, pWAL, true))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pErr2 := serveOn(psrv2, pln2)
+	defer func() {
+		psrv2.Shutdown(context.Background())
+		<-pErr2
+	}()
+
+	pc2, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc2.Close()
+	loadKeys(t, pc2, 50, 100, "b")
+
+	waitFor(t, 10*time.Second, "follower to catch up after the restart", func() bool {
+		return caughtUp(f) && f.Stats().Shards[0].AppliedLSN > appliedBefore
+	})
+
+	// The follower serves both generations' rows, each exactly once.
+	fsrv, err := server.New(server.Config{Router: routerOf(t, fsh), Replica: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fErr := serveOn(fsrv, fln)
+	defer func() {
+		fsrv.Shutdown(context.Background())
+		<-fErr
+	}()
+	fc, err := client.Dial(fln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	tx, err := fc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := tx.Scan(0, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 100 {
+		t.Fatalf("follower has %d rows, want 100", len(kvs))
+	}
+	seen := map[int64]bool{}
+	for _, kv := range kvs {
+		if seen[kv.Key] {
+			t.Fatalf("duplicate key %d after resume", kv.Key)
+		}
+		seen[kv.Key] = true
+		tag := "a"
+		if kv.Key >= 50 {
+			tag = "b"
+		}
+		if want := fmt.Sprintf("%s%d", tag, kv.Key); string(kv.Val) != want {
+			t.Fatalf("key %d: %q, want %q", kv.Key, kv.Val, want)
+		}
+	}
+	tx.Abort()
+}
+
+// TestDrainHandoffFailover drains the primary while a follower is announced:
+// the SHUTTING_DOWN rejection carries the follower's address, the client
+// repoints itself, the follower auto-promotes on the end-of-stream frame,
+// and the client's next write commits there.
+func TestDrainHandoffFailover(t *testing.T) {
+	prim := routerOf(t, openPrimary(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false))
+	psrv, err := server.New(server.Config{Router: prim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pErr := serveOn(psrv, pln)
+
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsh := openFollower(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false)
+	f, err := repl.NewFollower(repl.Config{
+		PrimaryAddr: pln.Addr().String(),
+		Announce:    fln.Addr().String(),
+		Shards:      []*engine.Facade{fsh.Facade},
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv, err := server.New(server.Config{Router: routerOf(t, fsh), Replica: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fErr := serveOn(fsrv, fln)
+	defer func() {
+		fsrv.Shutdown(context.Background())
+		<-fErr
+	}()
+	f.Run()
+	defer f.Stop()
+
+	c, err := client.Dial(pln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	loadKeys(t, c, 0, 20, "v")
+	waitFor(t, 10*time.Second, "follower to catch up before the drain", func() bool { return caughtUp(f) })
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- psrv.Shutdown(context.Background()) }()
+
+	// Keep trying the write through the handoff window: the drain rejection
+	// redirects the client, and the follower accepts the write once the
+	// end-of-stream frame has triggered its self-promotion.
+	waitFor(t, 10*time.Second, "a post-failover write to commit", func() bool {
+		tx, err := c.Begin()
+		if err != nil {
+			return false
+		}
+		if err := tx.Insert(500, []byte("after")); err != nil {
+			tx.Abort()
+			return false
+		}
+		return tx.Commit() == nil
+	})
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("primary shutdown: %v", err)
+	}
+	if err := <-pErr; err != nil {
+		t.Fatalf("primary serve: %v", err)
+	}
+	if got := c.Addr(); got != fln.Addr().String() {
+		t.Fatalf("client targets %s, want follower %s", got, fln.Addr().String())
+	}
+	if !f.Promoted() {
+		t.Fatal("follower did not promote after the drain")
+	}
+
+	// Replicated and post-failover rows are both visible on the promoted
+	// follower.
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := tx.Scan(0, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 21 {
+		t.Fatalf("promoted follower has %d rows, want 21", len(kvs))
+	}
+	if got, err := tx.Get(500); err != nil || string(got) != "after" {
+		t.Fatalf("post-failover row: %q %v", got, err)
+	}
+	if got, err := tx.Get(7); err != nil || string(got) != "v7" {
+		t.Fatalf("replicated row: %q %v", got, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

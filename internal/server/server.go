@@ -32,8 +32,10 @@ import (
 	"time"
 
 	"sias/internal/engine"
+	"sias/internal/repl"
 	"sias/internal/shard"
 	"sias/internal/tuple"
+	"sias/internal/wal"
 	"sias/internal/wire"
 )
 
@@ -47,6 +49,11 @@ type Config struct {
 	// DrainTimeout bounds Shutdown's wait for in-flight transactions when
 	// the caller's context has no earlier deadline (default 5s).
 	DrainTimeout time.Duration
+	// Replica, when set, runs the server as a replication follower front
+	// end: writes are rejected with wire.CodeReadOnly until promotion, reads
+	// serve the applied snapshot, and PROMOTE flips it writable. The
+	// Follower's shard order must match the Router's.
+	Replica *repl.Follower
 }
 
 // Stats counts service-layer events, exposed through the STATS op next to
@@ -57,6 +64,7 @@ type Stats struct {
 	Overloaded    int64 // requests rejected by admission control
 	DrainRejected int64 // requests rejected because the server was draining
 	OpenTxns      int64 // transactions currently open across sessions
+	Subscribers   int64 // connections currently streaming the WAL (replication)
 }
 
 // Server serves the wire protocol over TCP.
@@ -65,10 +73,17 @@ type Server struct {
 	valCol int
 	sem    chan struct{}
 
-	mu       sync.Mutex
-	ln       net.Listener
-	sessions map[*session]struct{}
-	draining bool
+	mu           sync.Mutex
+	ln           net.Listener
+	sessions     map[*session]struct{}
+	subs         map[*session]struct{} // sessions that became replication streams
+	draining     bool
+	killed       bool
+	failoverAddr string // announced by a subscribed follower; given to drained clients
+
+	// drainedCh closes after Shutdown's checkpoint: subscribers ship the
+	// final log tail (which the checkpoint made durable) and end the stream.
+	drainedCh chan struct{}
 
 	wg sync.WaitGroup
 
@@ -106,21 +121,27 @@ func New(cfg Config) (*Server, error) {
 		cfg.DrainTimeout = 5 * time.Second
 	}
 	return &Server{
-		cfg:      cfg,
-		valCol:   valCol,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		sessions: map[*session]struct{}{},
+		cfg:       cfg,
+		valCol:    valCol,
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		sessions:  map[*session]struct{}{},
+		subs:      map[*session]struct{}{},
+		drainedCh: make(chan struct{}),
 	}, nil
 }
 
 // Stats snapshots the service-layer counters.
 func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	subs := int64(len(s.subs))
+	s.mu.Unlock()
 	return Stats{
 		Connections:   s.conns.Load(),
 		Requests:      s.requests.Load(),
 		Overloaded:    s.overloaded.Load(),
 		DrainRejected: s.drainRejected.Load(),
 		OpenTxns:      s.openTxns.Load(),
+		Subscribers:   subs,
 	}
 }
 
@@ -188,6 +209,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			sess.run()
 			s.mu.Lock()
 			delete(s.sessions, sess)
+			delete(s.subs, sess)
 			s.mu.Unlock()
 		}()
 	}
@@ -237,20 +259,98 @@ wait:
 		}
 	}
 
-	// Phase 2: force-close every connection. Stragglers that still hold a
-	// transaction past the deadline are aborted by their session's exit
-	// path; idle connections just hang up. Sessions mid-answer flush what
-	// they can — the client sees a typed error or a broken connection for
-	// that request, never a silent half-commit (the transaction either
-	// committed durably before its ack or is aborted here).
+	// Handoff linger: when a follower is announced, severed connections would
+	// lose the failover address — so keep sessions alive and keep answering
+	// their BEGINs with the typed "failover=" rejection until every regular
+	// connection has hung up (a redirected client closes its pooled
+	// connections) or the deadline expires.
+	if s.followerAddr() != "" {
+	linger:
+		for {
+			s.mu.Lock()
+			remaining := 0
+			for sess := range s.sessions {
+				if _, isSub := s.subs[sess]; !isSub {
+					remaining++
+				}
+			}
+			s.mu.Unlock()
+			if remaining == 0 {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				break linger
+			case <-tick.C:
+			}
+		}
+	}
+
+	// Phase 2: force-close every regular connection. Stragglers that still
+	// hold a transaction past the deadline are aborted by their session's
+	// exit path; idle connections just hang up. Sessions mid-answer flush
+	// what they can — the client sees a typed error or a broken connection
+	// for that request, never a silent half-commit (the transaction either
+	// committed durably before its ack or is aborted here). Replication
+	// subscribers stay connected: they get the checkpointed log tail below.
 	s.mu.Lock()
 	for sess := range s.sessions {
-		sess.conn.Close()
+		if _, isSub := s.subs[sess]; !isSub {
+			sess.conn.Close()
+		}
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	for {
+		s.mu.Lock()
+		remaining := 0
+		for sess := range s.sessions {
+			if _, isSub := s.subs[sess]; !isSub {
+				remaining++
+			}
+		}
+		s.mu.Unlock()
+		if remaining == 0 {
+			break
+		}
+		<-tick.C // sessions exit promptly once their connections close
+	}
 
-	return s.cfg.Router.Checkpoint()
+	// All writers are gone; checkpoint so the final commits' WAL pages are
+	// durable, then release the subscribers to ship the tail and end their
+	// streams with a typed SHUTTING_DOWN frame — the follower's cue to
+	// promote itself.
+	err := s.cfg.Router.Checkpoint()
+	close(s.drainedCh)
+	s.wg.Wait()
+	return err
+}
+
+// Kill force-closes the server without drain or checkpoint, simulating a
+// crash for failover tests: the listener and every connection (including
+// replication subscribers) drop immediately, and the WAL keeps only what
+// commits already flushed.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.killed = true
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.conn.Close()
+	}
+	close(s.drainedCh)
+	s.wg.Wait()
 }
 
 // session is one connection's state: a request loop plus the transactions
@@ -283,6 +383,12 @@ func (c *session) run() {
 		if err != nil {
 			return // EOF, client went away, or force-closed during drain
 		}
+		if wire.Op(op) == wire.OpSubscribe {
+			// The connection becomes a one-way log stream; it speaks no
+			// further request frames and never returns to this loop.
+			c.runSubscriber(payload)
+			return
+		}
 		c.srv.inflight.Add(1)
 		resp, herr := c.handle(wire.Op(op), payload)
 		if herr != nil {
@@ -308,6 +414,148 @@ func (c *session) run() {
 	}
 }
 
+// followerAddr reports the announce address of the most recent subscriber.
+func (s *Server) followerAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failoverAddr
+}
+
+// send writes one frame and flushes it under a write deadline, so a stalled
+// subscriber cannot wedge the stream goroutine (or a drain) forever.
+func (c *session) send(tag uint8, payload []byte) error {
+	c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	defer c.conn.SetWriteDeadline(time.Time{})
+	if err := wire.WriteFrame(c.bw, tag, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// replyErr sends a typed error frame (stream setup failures).
+func (c *session) replyErr(err error) {
+	var eb wire.Buf
+	eb.B = append(eb.B, err.Error()...)
+	_ = c.send(uint8(wire.CodeOf(err)), eb.B)
+}
+
+// runSubscriber services one SUBSCRIBE for the rest of the connection's
+// life: handshake with the current durable LSNs, then ship LOGBATCH frames
+// as the logs grow, heartbeat while idle, and end the stream with a typed
+// SHUTTING_DOWN frame once the drain checkpoint has run and every cursor has
+// caught up — the follower's cue to promote. The subscriber reads flushed
+// WAL pages only (never past the durable LSN), so no writer coordination is
+// needed beyond the LSN load.
+func (c *session) runSubscriber(payload []byte) {
+	srv := c.srv
+	r := wire.Reader{B: payload}
+	announce, err1 := r.Bytes()
+	n, err2 := r.U32()
+	if err1 != nil || err2 != nil {
+		c.replyErr(fmt.Errorf("%w: malformed SUBSCRIBE", wire.ErrBadRequest))
+		return
+	}
+	if int(n) != srv.cfg.Router.N() {
+		c.replyErr(fmt.Errorf("%w: SUBSCRIBE for %d shards, server has %d", wire.ErrBadRequest, n, srv.cfg.Router.N()))
+		return
+	}
+	cursors := make([]wal.LSN, n)
+	for i := range cursors {
+		v, err := r.U64()
+		if err != nil {
+			c.replyErr(fmt.Errorf("%w: malformed SUBSCRIBE cursors", wire.ErrBadRequest))
+			return
+		}
+		cursors[i] = wal.LSN(v)
+	}
+
+	srv.mu.Lock()
+	if len(announce) > 0 {
+		srv.failoverAddr = string(announce)
+	}
+	srv.subs[c] = struct{}{}
+	srv.mu.Unlock()
+
+	var hs wire.Buf
+	hs.U32(n)
+	readers := make([]*wal.TailReader, n)
+	for i := 0; i < int(n); i++ {
+		db := srv.cfg.Router.Shard(i).Facade.DB()
+		readers[i] = wal.NewTailReader(db.WALDevice())
+		hs.U64(uint64(db.WAL().Durable()))
+	}
+	if c.send(uint8(wire.CodeOK), hs.B) != nil {
+		return
+	}
+
+	heartbeat := time.NewTicker(200 * time.Millisecond)
+	defer heartbeat.Stop()
+	poll := time.NewTicker(5 * time.Millisecond)
+	defer poll.Stop()
+	for {
+		progressed := false
+		caughtUp := true
+		for i := 0; i < int(n); i++ {
+			db := srv.cfg.Router.Shard(i).Facade.DB()
+			durable := db.WAL().Durable()
+			if durable > cursors[i] {
+				start, data, next, err := readers[i].ReadBatch(cursors[i], durable, 0)
+				if err != nil {
+					return
+				}
+				if data != nil {
+					var lb wire.Buf
+					lb.U32(uint32(i))
+					lb.U64(uint64(start))
+					lb.U64(uint64(durable))
+					lb.Bytes(data)
+					if c.send(uint8(wire.CodeLogBatch), lb.B) != nil {
+						return
+					}
+					progressed = true
+				}
+				cursors[i] = next
+			}
+			if db.WAL().Durable() > cursors[i] {
+				caughtUp = false
+			}
+		}
+		if progressed {
+			continue
+		}
+		select {
+		case <-srv.drainedCh:
+			if caughtUp {
+				srv.mu.Lock()
+				killed := srv.killed
+				srv.mu.Unlock()
+				if !killed {
+					var eb wire.Buf
+					eb.B = append(eb.B, "primary drained; log shipped in full"...)
+					_ = c.send(uint8(wire.CodeShuttingDown), eb.B)
+				}
+				return
+			}
+		default:
+		}
+		select {
+		case <-heartbeat.C:
+			for i := 0; i < int(n); i++ {
+				db := srv.cfg.Router.Shard(i).Facade.DB()
+				var hb wire.Buf
+				hb.U32(uint32(i))
+				hb.U64(uint64(cursors[i]))
+				hb.U64(uint64(db.WAL().Durable()))
+				hb.Bytes(nil)
+				if c.send(uint8(wire.CodeLogBatch), hb.B) != nil {
+					return
+				}
+			}
+		case <-poll.C:
+		}
+	}
+}
+
 // admit acquires an in-flight slot without blocking.
 func (s *Server) admit() bool {
 	select {
@@ -326,12 +574,23 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 	srv.mu.Unlock()
 
 	// STATS is exempt from admission control so monitoring stays
-	// responsive under overload and during drain.
+	// responsive under overload and during drain. PROMOTE is exempt too:
+	// it must get through exactly when a follower is being failed over.
 	if op == wire.OpStats {
 		return c.handleStats()
 	}
+	if op == wire.OpPromote {
+		if srv.cfg.Replica == nil {
+			return nil, fmt.Errorf("%w: PROMOTE on a non-follower", wire.ErrBadRequest)
+		}
+		return nil, srv.cfg.Replica.Promote()
+	}
 	if draining && op == wire.OpBegin {
 		srv.drainRejected.Add(1)
+		if addr := srv.followerAddr(); addr != "" {
+			// Drain handoff: tell the client where to go instead.
+			return nil, fmt.Errorf("%w; failover=%s", wire.ErrShuttingDown, addr)
+		}
 		return nil, wire.ErrShuttingDown
 	}
 	if !srv.admit() {
@@ -339,6 +598,23 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 	}
 	defer func() { <-srv.sem }()
 	srv.requests.Add(1)
+
+	// Follower gating: before promotion, writes are rejected outright, a
+	// BEGIN first folds everything applied so far into the read snapshot,
+	// and data ops exclude concurrent replay (shared lock; replay holds it
+	// exclusively batch by batch).
+	if rep := srv.cfg.Replica; rep != nil && !rep.Promoted() {
+		switch op {
+		case wire.OpInsert, wire.OpUpdate, wire.OpDelete:
+			return nil, engine.ErrReadOnly
+		case wire.OpBegin:
+			if err := rep.Refresh(); err != nil {
+				return nil, err
+			}
+		}
+		rep.DataRLock()
+		defer rep.DataRUnlock()
+	}
 
 	r := wire.Reader{B: payload}
 	switch op {
@@ -487,14 +763,22 @@ type StatsReply struct {
 	Server Stats             `json:"server"`
 	Router shard.RouterStats `json:"router"`
 	Shards []engine.Stats    `json:"shards"`
+	// Repl is present only on a replication follower: per-shard applied vs
+	// primary-durable LSNs plus the promotion flag.
+	Repl *repl.Stats `json:"repl,omitempty"`
 }
 
 func (c *session) handleStats() ([]byte, error) {
 	per := c.srv.cfg.Router.Stats()
-	return json.Marshal(StatsReply{
+	reply := StatsReply{
 		Engine: shard.Aggregate(per),
 		Server: c.srv.Stats(),
 		Router: c.srv.cfg.Router.RouterStats(),
 		Shards: per,
-	})
+	}
+	if c.srv.cfg.Replica != nil {
+		rs := c.srv.cfg.Replica.Stats()
+		reply.Repl = &rs
+	}
+	return json.Marshal(reply)
 }

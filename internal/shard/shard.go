@@ -348,9 +348,9 @@ func (h mergeHeap) Less(i, j int) bool {
 	}
 	return h[i].src < h[j].src
 }
-func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeRow)) }
-func (h *mergeHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeRow)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
 // Range visits visible rows with lo <= primary key <= hi in global key
 // order, stopping when fn returns false. With one shard it is a plain

@@ -727,7 +727,18 @@ func (r *Relation) RebuildIndexes(at simclock.Time, keyOf func(payload []byte) i
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	clog := r.txm.CLOG()
-	t := at
+	// Drop any entries from a previous rebuild (a replication follower
+	// rebuilds repeatedly as replay advances); no-op on first recovery.
+	t, err := r.pk.Reset(at)
+	if err != nil {
+		return t, err
+	}
+	for _, sec := range r.secs {
+		t, err = sec.Reset(t)
+		if err != nil {
+			return t, err
+		}
+	}
 	for b := uint32(0); b < r.nextBlock; b++ {
 		f, t2, err := r.getPage(t, b, false)
 		t = t2

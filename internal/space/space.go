@@ -29,9 +29,14 @@ type extKey struct {
 type Allocator struct {
 	mu         sync.Mutex
 	extentSize int
-	next       int64 // next free device page
+	next       int64 // next free device page (bottom-up, WAL-logged grants)
 	capacity   int64 // device pages available
-	m          map[extKey]int64
+	// scratchNext is the top of the unlogged scratch region: scratch grants
+	// descend from it, logged grants may never reach it. It starts at
+	// capacity, so the region is empty until scratch mode is used.
+	scratchNext int64
+	scratch     bool
+	m           map[extKey]int64
 	// OnAlloc, if set, is invoked (with the lock held) whenever a new extent
 	// is granted, so the caller can log it before any page of the extent is
 	// written.
@@ -44,7 +49,19 @@ func NewAllocator(capacity int64, extentSize int) *Allocator {
 	if extentSize <= 0 {
 		extentSize = DefaultExtentSize
 	}
-	return &Allocator{extentSize: extentSize, capacity: capacity, m: map[extKey]int64{}}
+	return &Allocator{extentSize: extentSize, capacity: capacity, scratchNext: capacity, m: map[extKey]int64{}}
+}
+
+// SetScratch switches new-extent grants to the unlogged scratch region at the
+// top of the device. A replication follower allocates its locally-rebuilt
+// index and VID-map extents there: the grants are not WAL-logged (the
+// follower's log must stay byte-identical to the primary's), and growing
+// downward keeps them clear of the bottom-up region where replayed
+// RecAllocExtent grants from the primary will land.
+func (a *Allocator) SetScratch(on bool) {
+	a.mu.Lock()
+	a.scratch = on
+	a.mu.Unlock()
 }
 
 // ExtentSize reports the blocks-per-extent granularity.
@@ -58,14 +75,24 @@ func (a *Allocator) DevicePage(rel uint32, block uint32) (int64, error) {
 	defer a.mu.Unlock()
 	base, ok := a.m[k]
 	if !ok {
-		if a.next+int64(a.extentSize) > a.capacity {
-			return 0, fmt.Errorf("space: device full (capacity %d pages)", a.capacity)
-		}
-		base = a.next
-		a.next += int64(a.extentSize)
-		a.m[k] = base
-		if a.OnAlloc != nil {
-			a.OnAlloc(rel, k.ext, base)
+		if a.scratch {
+			if a.scratchNext-int64(a.extentSize) < a.next {
+				return 0, fmt.Errorf("space: device full (scratch region met logged region at page %d)", a.next)
+			}
+			a.scratchNext -= int64(a.extentSize)
+			base = a.scratchNext
+			a.m[k] = base
+			// Deliberately no OnAlloc: scratch grants are follower-local.
+		} else {
+			if a.next+int64(a.extentSize) > a.scratchNext {
+				return 0, fmt.Errorf("space: device full (capacity %d pages)", a.capacity)
+			}
+			base = a.next
+			a.next += int64(a.extentSize)
+			a.m[k] = base
+			if a.OnAlloc != nil {
+				a.OnAlloc(rel, k.ext, base)
+			}
 		}
 	}
 	return base + int64(block%uint32(a.extentSize)), nil

@@ -87,11 +87,16 @@ type Tx struct {
 	ID       ID
 	Snap     Snapshot
 	mgr      *Manager
+	readOnly bool
 	mu       sync.Mutex
 	status   Status
 	locks    []LockKey
 	onFinish []func(committed bool)
 }
+
+// ReadOnly reports whether t was started by BeginReadOnlyAt and therefore
+// never writes, holds no locks, and has no CLOG entry of its own.
+func (t *Tx) ReadOnly() bool { return t.readOnly }
 
 // Status returns the transaction's current state.
 func (t *Tx) Status() Status {
@@ -175,6 +180,28 @@ func (m *Manager) Begin() *Tx {
 	return t
 }
 
+// BeginReadOnlyAt starts a read-only transaction whose snapshot sees every
+// transaction with id < xmax whose CLOG status is committed, and nothing
+// else. A replication follower serves scans with it: xmax is one past the
+// highest replayed transaction id, the tx takes no id of its own (ID 0), is
+// never in the active map, and never writes the CLOG — replayed commit
+// statuses stay authoritative and the id space remains the primary's alone.
+func (m *Manager) BeginReadOnlyAt(xmax ID) *Tx {
+	return &Tx{
+		readOnly: true,
+		Snap:     Snapshot{XMin: xmax, XMax: xmax},
+		mgr:      m,
+		status:   StatusInProgress,
+	}
+}
+
+// NextID reports the id the next Begin would assign, without assigning it.
+func (m *Manager) NextID() ID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextID
+}
+
 // finish transitions a transaction to its final state.
 func (m *Manager) finish(t *Tx, st Status) error {
 	t.mu.Lock()
@@ -189,7 +216,9 @@ func (m *Manager) finish(t *Tx, st Status) error {
 	t.locks = nil
 	t.mu.Unlock()
 
-	m.clog.Set(t.ID, st)
+	if !t.readOnly {
+		m.clog.Set(t.ID, st)
+	}
 	// LIFO, like defer: when one transaction updated the same item several
 	// times, rollback must unwind the entrypoint swings newest-first so the
 	// VIDmap lands back on the pre-transaction version.

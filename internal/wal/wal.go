@@ -88,9 +88,18 @@ type Record struct {
 // header: crc(4) len(4) type(1) tx(8) rel(4) tid(6) aux(8) = 35 bytes
 const recHeaderSize = 4 + 4 + 1 + 8 + 4 + page.TIDSize + 8
 
+// maxRecordSize bounds one encoded record. Heap after-images never exceed a
+// page, so anything claiming to be larger is corruption — the bound lets the
+// scanner classify a garbage length field as corrupt instead of waiting
+// forever for bytes that will never arrive.
+const maxRecordSize = 1 << 20
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-func encodeRecord(r *Record) []byte {
+// EncodeRecord frames r as it appears in the log stream. The encoding is
+// deterministic, which is what lets a replication follower re-append
+// received records and keep its log byte-identical to the primary's.
+func EncodeRecord(r *Record) []byte {
 	b := make([]byte, recHeaderSize+len(r.Data))
 	binary.LittleEndian.PutUint32(b[4:], uint32(recHeaderSize+len(r.Data)))
 	b[8] = byte(r.Type)
@@ -106,6 +115,17 @@ func encodeRecord(r *Record) []byte {
 // ErrEndOfLog is returned by the scanner at the end of valid records.
 var ErrEndOfLog = errors.New("wal: end of log")
 
+// Decode failures split into two classes so the scanner can tell "wait for
+// the rest of the page" from "these bytes can never become a record":
+// errNeedMore means the (plausible) record extends past the available bytes;
+// errCorrupt means the framing itself is invalid — a length below the header
+// size (which includes zero padding), a length above maxRecordSize, or a CRC
+// mismatch over a fully-available record.
+var (
+	errNeedMore = errors.New("wal: record needs more bytes")
+	errCorrupt  = errors.New("wal: corrupt record framing")
+)
+
 func allZeros(b []byte) bool {
 	for _, v := range b {
 		if v != 0 {
@@ -115,20 +135,24 @@ func allZeros(b []byte) bool {
 	return true
 }
 
-func decodeRecord(b []byte) (Record, int, error) {
+// DecodeRecord parses one framed record from the head of b, returning the
+// record and its encoded length. It fails with errNeedMore when b is a
+// plausible prefix of a record, and errCorrupt when the bytes can never
+// decode (zero padding, garbage, or a torn tail with all its bytes present).
+func DecodeRecord(b []byte) (Record, int, error) {
 	if len(b) < recHeaderSize {
-		return Record{}, 0, ErrEndOfLog
+		return Record{}, 0, errNeedMore
 	}
 	length := int(binary.LittleEndian.Uint32(b[4:]))
-	if length < recHeaderSize || length > len(b) {
-		return Record{}, 0, ErrEndOfLog
+	if length < recHeaderSize || length > maxRecordSize {
+		return Record{}, 0, errCorrupt
+	}
+	if length > len(b) {
+		return Record{}, 0, errNeedMore
 	}
 	crc := binary.LittleEndian.Uint32(b[0:])
-	if crc == 0 && length == recHeaderSize && b[8] == 0 {
-		return Record{}, 0, ErrEndOfLog // zeroed space
-	}
 	if crc32.Checksum(b[4:length], castagnoli) != crc {
-		return Record{}, 0, ErrEndOfLog // torn tail
+		return Record{}, 0, errCorrupt // torn tail or stale debris
 	}
 	r := Record{
 		Type: RecType(b[8]),
@@ -185,10 +209,50 @@ func NewWriterAt(dev device.BlockDevice, start LSN) *Writer {
 	}
 }
 
+// NewWriterResume returns a writer that continues an existing log whose
+// intact records end exactly at end — no page rounding, no new generation.
+// Flush rewrites whole pages, so the partial tail page is reloaded from the
+// device first; otherwise the first flush after resume would zero the bytes
+// before end. A replication follower resumes this way so its stream offsets
+// stay byte-identical to the primary's.
+func NewWriterResume(dev device.BlockDevice, end LSN) (*Writer, error) {
+	ps := dev.PageSize()
+	floor := LSN(int64(end) / int64(ps) * int64(ps))
+	w := &Writer{
+		dev:        dev,
+		pageSize:   ps,
+		pendingOff: floor,
+		nextLSN:    end,
+		durable:    end,
+	}
+	if end > floor {
+		buf := make([]byte, ps)
+		if _, err := dev.ReadPage(0, int64(floor)/int64(ps), buf); err != nil {
+			return nil, fmt.Errorf("wal: resume read tail page: %w", err)
+		}
+		w.pending = append([]byte(nil), buf[:end-floor]...)
+	}
+	return w, nil
+}
+
+// SkipTo zero-fills the stream up to lsn. A follower mirrors the primary's
+// inter-generation padding with it (the primary rounds each generation up to
+// a page boundary after recovery), so both logs keep identical offsets. A
+// no-op when lsn is not ahead of the stream.
+func (w *Writer) SkipTo(lsn LSN) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn <= w.nextLSN {
+		return
+	}
+	w.pending = append(w.pending, make([]byte, lsn-w.nextLSN)...)
+	w.nextLSN = lsn
+}
+
 // Append buffers a record and returns the LSN just past it. The record is
 // not durable until Flush reaches that LSN.
 func (w *Writer) Append(r *Record) LSN {
-	b := encodeRecord(r)
+	b := EncodeRecord(r)
 	w.mu.Lock()
 	w.pending = append(w.pending, b...)
 	w.nextLSN += LSN(len(b))
@@ -333,7 +397,7 @@ func Scan(dev device.BlockDevice, fn func(lsn LSN, rec Record) error) (LSN, erro
 		}
 		stream = append(stream, buf...)
 		for {
-			rec, n, derr := decodeRecord(stream)
+			rec, n, derr := DecodeRecord(stream)
 			if derr == nil {
 				if err := fn(base, rec); err != nil {
 					return end, err
@@ -345,19 +409,27 @@ func Scan(dev device.BlockDevice, fn func(lsn LSN, rec Record) error) (LSN, erro
 			}
 			// Decode failed. Within a generation the stream is contiguous,
 			// so this is either (a) an incomplete record awaiting the next
-			// page, (b) the torn tail, or (c) inter-generation padding:
-			// zeros up to the next page boundary where a new generation
-			// begins. Skip case (c) only.
+			// page, (b) the torn tail of an old generation, or (c)
+			// inter-generation padding: zeros up to the next page boundary
+			// where a new generation begins. Cases (b) and (c) both end at
+			// the next page boundary (generations start page-aligned), so
+			// skip to it and keep scanning — a later generation may hold
+			// newer records. `end` only advances on intact records, and the
+			// CRC keeps stale debris from decoding, so this never resurrects
+			// torn data. Case (a) waits for the next page.
 			pad := (pageSize - int(base)%pageSize) % pageSize
 			if pad == 0 {
 				pad = pageSize // at a boundary: a fully zero page may gap generations
 			}
-			if len(stream) >= pad && allZeros(stream[:pad]) {
+			if len(stream) < pad {
+				break // incomplete record awaiting the next page
+			}
+			if allZeros(stream[:pad]) || errors.Is(derr, errCorrupt) {
 				stream = stream[pad:]
 				base += LSN(pad)
 				continue
 			}
-			break // need more bytes, or torn tail
+			break // incomplete record awaiting the next page
 		}
 	}
 	return end, nil

@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"sias/internal/engine"
 	"sias/internal/txn"
@@ -25,6 +26,13 @@ const (
 	CodeShuttingDown Code = 7 // server is draining; reconnect elsewhere/later
 	CodeBadRequest   Code = 8 // malformed frame or unknown opcode
 	CodeInternal     Code = 9 // unexpected server-side failure
+
+	// CodeLogBatch tags a replication stream frame on a subscribed
+	// connection: {shard u32, start LSN u64, primary durable LSN u64, bytes
+	// data}. Empty data is a heartbeat carrying only the durable LSN.
+	CodeLogBatch Code = 10
+	// CodeReadOnly rejects writes on an unpromoted replication follower.
+	CodeReadOnly Code = 11
 )
 
 func (c Code) String() string {
@@ -49,6 +57,10 @@ func (c Code) String() string {
 		return "BAD_REQUEST"
 	case CodeInternal:
 		return "INTERNAL"
+	case CodeLogBatch:
+		return "LOG_BATCH"
+	case CodeReadOnly:
+		return "READ_ONLY"
 	}
 	return fmt.Sprintf("code(%d)", uint8(c))
 }
@@ -92,6 +104,8 @@ func CodeOf(err error) Code {
 		return CodeOverloaded
 	case errors.Is(err, ErrShuttingDown):
 		return CodeShuttingDown
+	case errors.Is(err, engine.ErrReadOnly):
+		return CodeReadOnly
 	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrTruncated), errors.Is(err, ErrFrameTooLarge):
 		return CodeBadRequest
 	}
@@ -120,6 +134,8 @@ func ErrOf(code Code, msg string) error {
 		base = ErrOverloaded
 	case CodeShuttingDown:
 		base = ErrShuttingDown
+	case CodeReadOnly:
+		base = engine.ErrReadOnly
 	case CodeBadRequest:
 		base = ErrBadRequest
 	default:
@@ -129,4 +145,23 @@ func ErrOf(code Code, msg string) error {
 		return base
 	}
 	return fmt.Errorf("%w: %s", base, msg)
+}
+
+// FailoverAddr extracts the follower address a draining primary embeds in
+// its SHUTTING_DOWN message ("...; failover=<addr>"). Empty when err is not
+// a shutdown rejection or no address was announced.
+func FailoverAddr(err error) string {
+	if err == nil || !errors.Is(err, ErrShuttingDown) {
+		return ""
+	}
+	msg := err.Error()
+	i := strings.LastIndex(msg, "failover=")
+	if i < 0 {
+		return ""
+	}
+	addr := msg[i+len("failover="):]
+	if j := strings.IndexAny(addr, " ;"); j >= 0 {
+		addr = addr[:j]
+	}
+	return strings.TrimSpace(addr)
 }

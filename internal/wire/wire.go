@@ -39,6 +39,17 @@ const (
 	OpDelete Op = 7 // handle u64, key i64 -> ()
 	OpScan   Op = 8 // handle u64, lo i64, hi i64, limit u32 -> count u32, {key i64, val bytes}*
 	OpStats  Op = 9 // () -> JSON bytes
+
+	// OpSubscribe turns the connection into a replication log stream. Request:
+	// announce string (the subscriber's client-reachable address, may be
+	// empty), shard count u32, then per shard a start LSN u64 (resume cursor).
+	// Response: CodeOK {shard count u32, per shard durable LSN u64}, then an
+	// unbounded sequence of CodeLogBatch frames until the primary drains. The
+	// connection speaks no other ops afterwards.
+	OpSubscribe Op = 10
+	// OpPromote asks a follower to stop replicating, finish replay, and begin
+	// accepting writes. () -> (). Idempotent; rejected on a non-follower.
+	OpPromote Op = 11
 )
 
 func (o Op) String() string {
@@ -61,6 +72,10 @@ func (o Op) String() string {
 		return "SCAN"
 	case OpStats:
 		return "STATS"
+	case OpSubscribe:
+		return "SUBSCRIBE"
+	case OpPromote:
+		return "PROMOTE"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# wait_port.sh HOST PORT [TIMEOUT_SECONDS]
+#
+# Polls until a TCP connect to HOST:PORT succeeds (default timeout 10s).
+# Exits 0 once the port accepts, 1 on timeout. Shared by the CI jobs that
+# start siasserver in the background so the readiness loop lives in one
+# place instead of being copy-pasted per job.
+set -u
+host=${1:?usage: wait_port.sh HOST PORT [TIMEOUT_SECONDS]}
+port=${2:?usage: wait_port.sh HOST PORT [TIMEOUT_SECONDS]}
+timeout=${3:-10}
+
+deadline=$(($(date +%s) + timeout))
+while ! (echo > "/dev/tcp/$host/$port") 2>/dev/null; do
+  if [ "$(date +%s)" -ge "$deadline" ]; then
+    echo "wait_port: $host:$port not reachable after ${timeout}s" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
