@@ -10,9 +10,16 @@
 //
 //	siasload [-addr :4544] [-workers 8] [-txns 2000] [-keys 1024]
 //	         [-value 64] [-read-frac 0.5] [-ops-per-txn 2] [-json FILE]
+//	         [-metrics-addr HOST:PORT]
 //
 // With -json, a machine-readable result (the same numbers as the text
 // report) is written to FILE for scripts/bench.sh to aggregate.
+//
+// With -metrics-addr pointed at the server's observability listener, the
+// tool scrapes /metrics before and after the measured run and folds the
+// server-side latency histograms — per-op p50/p95/p99 and the WAL fsync
+// distribution, as deltas covering exactly the measured window — into the
+// report next to the client-observed latencies.
 package main
 
 import (
@@ -20,15 +27,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"sias/internal/client"
 	"sias/internal/engine"
+	"sias/internal/obs"
 	"sias/internal/repl"
 	"sias/internal/server"
 	"sias/internal/shard"
@@ -48,6 +59,7 @@ func main() {
 	poolSize := flag.Int("pool", 0, "client connection pool size (default workers)")
 	jsonPath := flag.String("json", "", "write a machine-readable result JSON to this file")
 	statsOnly := flag.Bool("stats-only", false, "fetch STATS, print the raw reply JSON (to -json FILE if set, else stdout), and exit")
+	metricsAddr := flag.String("metrics-addr", "", "server metrics listener to scrape for server-side latency histograms (empty = skip)")
 	flag.Parse()
 	if *poolSize <= 0 {
 		*poolSize = *workers
@@ -62,7 +74,7 @@ func main() {
 	cfg := loadConfig{
 		Addr: *addr, Workers: *workers, Txns: *txns, Keys: *keys,
 		ValueSize: *valueSize, ReadFrac: *readFrac, OpsPerTxn: *opsPerTxn,
-		PoolSize: *poolSize, Affinity: *affinity,
+		PoolSize: *poolSize, Affinity: *affinity, MetricsAddr: *metricsAddr,
 	}
 	if err := run(cfg, *jsonPath); err != nil {
 		log.Fatal(err)
@@ -104,6 +116,9 @@ type loadConfig struct {
 	Affinity  bool    `json:"affinity"`
 	PoolSize  int     `json:"pool_size"`
 	Shards    int     `json:"shards"` // reported by the server
+	// MetricsAddr is the server's observability listener; non-empty enables
+	// the before/after /metrics scrape.
+	MetricsAddr string `json:"metrics_addr,omitempty"`
 }
 
 // latencyMs summarizes a latency distribution in milliseconds.
@@ -164,6 +179,89 @@ type result struct {
 	// Repl is present when the target server is a replication follower:
 	// its per-shard applied-vs-primary-durable position after the run.
 	Repl *repl.Stats `json:"repl,omitempty"`
+	// Server carries server-side histogram percentiles scraped from
+	// /metrics (-metrics-addr), as deltas over the measured window.
+	Server *serverSide `json:"server,omitempty"`
+}
+
+// serverSide is the /metrics slice of the report: what the server itself
+// measured while the run executed, complementing the client-observed
+// latencies (which include the network and the client runtime).
+type serverSide struct {
+	// Ops maps wire op name to its server-side latency over the run.
+	Ops map[string]serverLat `json:"op_latency,omitempty"`
+	// WALFsync is the WAL flush latency distribution, merged across shards.
+	WALFsync *serverLat `json:"wal_fsync,omitempty"`
+}
+
+// serverLat summarizes one scraped histogram delta.
+type serverLat struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+}
+
+// scrapeHists fetches /metrics from the server's observability listener and
+// parses every histogram series.
+func scrapeHists(addr string) (map[string]*obs.ParsedHist, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: HTTP %d", addr, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseHistograms(string(body))
+}
+
+// foldServerSide subtracts the before scrape from the after scrape and
+// summarizes the op-latency and WAL-fsync histograms. A nil before (first
+// scrape failed) degrades to since-server-start numbers.
+func foldServerSide(before, after map[string]*obs.ParsedHist) *serverSide {
+	sum := func(p *obs.ParsedHist) serverLat {
+		return serverLat{
+			Count: p.Count,
+			P50:   p.Quantile(0.50) * 1e3,
+			P95:   p.Quantile(0.95) * 1e3,
+			P99:   p.Quantile(0.99) * 1e3,
+		}
+	}
+	out := &serverSide{}
+	var fsync *obs.ParsedHist
+	for key, p := range after {
+		d := p.Sub(before[key])
+		switch {
+		case strings.HasPrefix(key, `sias_server_op_seconds{op="`):
+			if d.Count == 0 {
+				continue
+			}
+			op := strings.TrimSuffix(strings.TrimPrefix(key, `sias_server_op_seconds{op="`), `"}`)
+			if out.Ops == nil {
+				out.Ops = map[string]serverLat{}
+			}
+			out.Ops[op] = sum(d)
+		case strings.HasPrefix(key, "sias_wal_fsync_seconds"):
+			if fsync == nil {
+				fsync = d
+			} else {
+				fsync.Merge(d)
+			}
+		}
+	}
+	if fsync != nil && fsync.Count > 0 {
+		lat := sum(fsync)
+		out.WALFsync = &lat
+	}
+	if out.Ops == nil && out.WALFsync == nil {
+		return nil
+	}
+	return out
 }
 
 // txnSample is one committed transaction's outcome for latency attribution:
@@ -218,6 +316,16 @@ func run(cfg loadConfig, jsonPath string) error {
 	cfg.Shards = before.Router.Shards
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
+	}
+
+	// Snapshot the server-side histograms so the post-run scrape can be
+	// reduced to exactly the measured window. A failed first scrape is
+	// reported but not fatal — the run itself is unaffected.
+	var mBefore map[string]*obs.ParsedHist
+	if cfg.MetricsAddr != "" {
+		if mBefore, err = scrapeHists(cfg.MetricsAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics scrape (before): %v\n", err)
+		}
 	}
 
 	var (
@@ -276,6 +384,13 @@ func run(cfg loadConfig, jsonPath string) error {
 	}
 
 	res := summarize(cfg, elapsed, samples, before, after)
+	if cfg.MetricsAddr != "" {
+		if mAfter, err := scrapeHists(cfg.MetricsAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics scrape (after): %v\n", err)
+		} else {
+			res.Server = foldServerSide(mBefore, mAfter)
+		}
+	}
 	res.Conflicts = conflicts
 	res.Drained = drained
 	res.Failures = failures
@@ -442,6 +557,23 @@ func printResult(res result) {
 		}
 		fmt.Printf("  cross-shard txns %d (p50 %.2f ms, p99 %.2f ms)\n",
 			res.CrossShard.Txns, res.CrossShard.Latency.P50, res.CrossShard.Latency.P99)
+	}
+
+	if res.Server != nil {
+		fmt.Printf("\nserver-side latency over the run (from /metrics):\n")
+		ops := make([]string, 0, len(res.Server.Ops))
+		for op := range res.Server.Ops {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		fmt.Printf("  %-8s %10s %9s %9s %9s\n", "op", "count", "p50 ms", "p95 ms", "p99 ms")
+		for _, op := range ops {
+			l := res.Server.Ops[op]
+			fmt.Printf("  %-8s %10d %9.3f %9.3f %9.3f\n", op, l.Count, l.P50, l.P95, l.P99)
+		}
+		if f := res.Server.WALFsync; f != nil {
+			fmt.Printf("  WAL fsync: %d flushes, p50 %.3f ms, p99 %.3f ms\n", f.Count, f.P50, f.P99)
+		}
 	}
 
 	if res.Repl != nil {

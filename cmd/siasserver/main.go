@@ -8,6 +8,15 @@
 //	siasserver [-addr :4544] [-shards N] [-engine sias|si] [-policy t2|t1]
 //	           [-pool FRAMES] [-pool-partitions P] [-max-inflight N]
 //	           [-drain SECONDS] [-data DIR] [-follow ADDR] [-announce ADDR]
+//	           [-metrics-addr :9544] [-slow-op-ms MS]
+//
+// With -metrics-addr, a side HTTP listener serves /metrics (Prometheus text
+// exposition of every layer: per-op latency histograms, WAL append/fsync
+// timings, buffer pool hit ratios, device write amplification, replication
+// lag), /healthz (readiness: 200 while serving and not draining), /debug/pprof
+// (CPU/heap/goroutine profiles) and /debug/slowops. -slow-op-ms additionally
+// logs every request slower than MS milliseconds with its op, shard and
+// transaction handle, and keeps the recent tail at /debug/slowops.
 //
 // With -follow, the server runs as a replication follower: it subscribes to
 // the primary at ADDR (which must run the same shard count), mirrors its
@@ -31,9 +40,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -43,6 +55,7 @@ import (
 
 	"sias/internal/device"
 	"sias/internal/engine"
+	"sias/internal/obs"
 	"sias/internal/page"
 	"sias/internal/repl"
 	"sias/internal/server"
@@ -67,6 +80,8 @@ func main() {
 	gcBatch := flag.Int("gc-batch", 16, "group-commit batch size target while lingering")
 	follow := flag.String("follow", "", "run as a replication follower of the primary at this address")
 	announce := flag.String("announce", "", "follower address announced to the primary for client failover (default: loopback form of -addr)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+	slowOpMs := flag.Int("slow-op-ms", 0, "log requests slower than this many milliseconds (0 = disabled)")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -76,6 +91,7 @@ func main() {
 		dataDir: *dataDir, dataPages: *dataPages, walPages: *walPages, walSync: *walSync,
 		gcLinger: *gcLinger, gcBatch: *gcBatch,
 		follow: *follow, announce: *announce,
+		metricsAddr: *metricsAddr, slowOpMs: *slowOpMs,
 	}
 	if cfg.follow != "" && cfg.announce == "" {
 		cfg.announce = cfg.addr
@@ -104,6 +120,8 @@ type serverConfig struct {
 	gcBatch      int
 	follow       string // primary address; non-empty = follower mode
 	announce     string // follower address handed to clients on drain
+	metricsAddr  string // HTTP side listener; empty = observability off
+	slowOpMs     int    // slow-op log threshold; 0 = disabled
 }
 
 // openShard assembles one engine shard. Device sizes and pool frames are
@@ -257,15 +275,42 @@ func run(cfg serverConfig) error {
 			return err
 		}
 	}
+	// Observability: one registry wires every layer (server, engine, WAL,
+	// pool, devices, replication); a side HTTP listener exposes it so the
+	// wire port stays pure protocol. The slow-op log works even without the
+	// listener — it logs through the standard logger either way.
+	var reg *obs.Registry
+	var slow *obs.SlowOpLog
+	if cfg.metricsAddr != "" || cfg.slowOpMs > 0 {
+		reg = obs.NewRegistry()
+		slow = obs.NewSlowOpLog(time.Duration(cfg.slowOpMs)*time.Millisecond, log.Printf)
+	}
 	srv, err := server.New(server.Config{
 		Router:       router,
 		MaxInFlight:  cfg.maxInflight,
 		DrainTimeout: time.Duration(cfg.drainSec * float64(time.Second)),
 		Replica:      follower,
+		Obs:          reg,
+		SlowOps:      slow,
 	})
 	if err != nil {
 		closeAll(closers)
 		return err
+	}
+	if cfg.metricsAddr != "" {
+		mln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			closeAll(closers)
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer mln.Close()
+		go func() {
+			log.Printf("siasserver: metrics on http://%s/metrics (healthz, debug/pprof, debug/slowops)", mln.Addr())
+			msrv := &http.Server{Handler: obs.Handler(reg, slow, srv.Ready)}
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
+				log.Printf("siasserver: metrics listener: %v", err)
+			}
+		}()
 	}
 	if follower != nil {
 		log.Printf("siasserver: follower of %s (announce %s); read-only until promotion", cfg.follow, cfg.announce)

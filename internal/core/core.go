@@ -253,6 +253,13 @@ func (r *Relation) Stats() Stats {
 	return r.stats.snapshot()
 }
 
+// VMapResidency reports the VIDmap residency cache's hit/miss probe counts.
+// Both are zero when the residency budget is unlimited: the Touch fast path
+// never counts, so callers should treat 0/0 as "fully resident", not 0%.
+func (r *Relation) VMapResidency() (hits, misses int64) {
+	return r.resi.Stats()
+}
+
 // Blocks reports the number of heap blocks ever allocated (the append
 // high-water mark).
 func (r *Relation) Blocks() uint32 {

@@ -494,11 +494,29 @@ type Stats struct {
 	// WALDurableLSN is the durable end of the log: what a replication
 	// subscriber can ship, and what lag is measured against.
 	WALDurableLSN uint64
+	// VMapResidency* count residency-cache probes across all SIAS tables;
+	// both stay zero with an unlimited budget (the fast path never counts),
+	// which VMapHitRatio reports as 1.0 — fully resident, not 0% hits.
+	VMapResidencyHits   int64
+	VMapResidencyMisses int64
+	VMapHitRatio        float64
 }
 
 // Stats returns a snapshot.
 func (db *DB) Stats() Stats {
 	ps := db.pool.Stats()
+	var vmapHits, vmapMisses int64
+	for _, tab := range db.Tables() {
+		if rel := tab.SIAS(); rel != nil {
+			h, m := rel.VMapResidency()
+			vmapHits += h
+			vmapMisses += m
+		}
+	}
+	vmapRatio := 1.0
+	if vmapHits+vmapMisses > 0 {
+		vmapRatio = float64(vmapHits) / float64(vmapHits+vmapMisses)
+	}
 	return Stats{
 		Commits:        db.commits.Load(),
 		Aborts:         db.aborts.Load(),
@@ -513,6 +531,10 @@ func (db *DB) Stats() Stats {
 		WALPageWrites:  db.walw.PageWrites(),
 		AllocatedPages: db.alloc.AllocatedPages(),
 		WALDurableLSN:  uint64(db.walw.Durable()),
+
+		VMapResidencyHits:   vmapHits,
+		VMapResidencyMisses: vmapMisses,
+		VMapHitRatio:        vmapRatio,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sias/internal/obs"
 	"sias/internal/simclock"
 	"sias/internal/tuple"
 	"sias/internal/txn"
@@ -42,6 +43,20 @@ type Facade struct {
 	lingerNeed int
 
 	tickMu sync.Mutex // at most one goroutine runs maintenance at a time
+
+	// Commit-path instruments (nil = not collected): batch size per group
+	// commit flush and wall-clock linger wait per lingered batch.
+	batchHist  *obs.Histogram
+	lingerHist *obs.Histogram
+}
+
+// SetCommitMetrics attaches group-commit instruments: batch observes the
+// size of every flushed batch, linger the wall-clock time a leader spent
+// growing one (only batches that actually lingered are observed). Must be
+// called before the facade is shared between goroutines.
+func (f *Facade) SetCommitMetrics(batch, linger *obs.Histogram) {
+	f.batchHist = batch
+	f.lingerHist = linger
 }
 
 type commitWaiter struct {
@@ -133,6 +148,9 @@ func (f *Facade) Commit(tx *txn.Tx) error {
 		f.gcMu.Unlock()
 
 		batch = f.lingerForBatch(batch)
+		if f.batchHist != nil {
+			f.batchHist.Observe(float64(len(batch)))
+		}
 
 		txs := make([]*txn.Tx, len(batch))
 		for i, b := range batch {
@@ -172,6 +190,10 @@ func (f *Facade) lingerForBatch(batch []*commitWaiter) []*commitWaiter {
 	// bounded: the timer is the backstop for stragglers and aborts.
 	if f.db.Txns().ActiveCount() <= len(batch) {
 		return batch
+	}
+	if f.lingerHist != nil {
+		t0 := time.Now()
+		defer f.lingerHist.ObserveSince(t0)
 	}
 	target := f.minBatch
 	timer := time.NewTimer(f.linger)

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler assembles the observability side-listener:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/healthz        200 "ok" while ready() returns nil, else 503 with the error
+//	/debug/slowops  JSON tail of the slow-op ring, newest first
+//	/debug/pprof/*  net/http/pprof (profile, heap, goroutine, trace, ...)
+//
+// It registers pprof on its own mux rather than importing the package for
+// its DefaultServeMux side effect, so the main wire listener never exposes
+// profiling endpoints. ready and slow may be nil.
+func Handler(reg *Registry, slow *SlowOpLog, ready func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			ThresholdMs int64    `json:"threshold_ms"`
+			Total       int      `json:"total"`
+			Recent      []SlowOp `json:"recent"`
+		}{slow.Threshold().Milliseconds(), slow.Total(), slow.Recent()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -69,6 +69,8 @@ type Follower struct {
 
 	applied        []atomic.Uint64 // per-shard local log end = applied LSN
 	primaryDurable []atomic.Uint64 // per-shard last reported primary durable LSN
+	recvRecs       []atomic.Int64  // per-shard records decoded off the stream
+	appliedRecs    []atomic.Int64  // per-shard records replayed through the engine
 
 	stopCh      chan struct{}
 	stopOnce    sync.Once
@@ -101,6 +103,8 @@ func NewFollower(cfg Config) (*Follower, error) {
 		cfg:            cfg,
 		applied:        make([]atomic.Uint64, len(cfg.Shards)),
 		primaryDurable: make([]atomic.Uint64, len(cfg.Shards)),
+		recvRecs:       make([]atomic.Int64, len(cfg.Shards)),
+		appliedRecs:    make([]atomic.Int64, len(cfg.Shards)),
 		stopCh:         make(chan struct{}),
 	}
 	for i, fc := range cfg.Shards {
@@ -257,12 +261,14 @@ func (f *Follower) applyBatch(shard int, start wal.LSN, data []byte, primaryDura
 		if derr != nil {
 			return fmt.Errorf("repl: shard %d: corrupt record at LSN %d: %w", shard, start, derr)
 		}
+		f.recvRecs[shard].Add(1)
 		w.Append(&rec)
 		if err := fc.Advance(func(at simclock.Time) (simclock.Time, error) {
 			return db.ApplyRecord(at, &rec)
 		}); err != nil {
 			return fmt.Errorf("repl: shard %d: apply at LSN %d: %w", shard, start, err)
 		}
+		f.appliedRecs[shard].Add(1)
 		data = data[n:]
 		start += wal.LSN(n)
 	}
@@ -343,11 +349,16 @@ func (f *Follower) Stop() {
 	f.wg.Wait()
 }
 
-// ShardLag is one shard's replication position.
+// ShardLag is one shard's replication position. LagBytes measures how far
+// the mirrored log trails the primary's durable end; LagRecords is the
+// replay backlog — records decoded off the stream but not yet applied
+// (apply is synchronous per batch, so it exceeds zero only mid-apply).
 type ShardLag struct {
 	AppliedLSN        uint64 `json:"applied_lsn"`
 	PrimaryDurableLSN uint64 `json:"primary_durable_lsn"`
 	LagBytes          uint64 `json:"lag_bytes"`
+	AppliedRecords    int64  `json:"applied_records"`
+	LagRecords        int64  `json:"lag_records"`
 }
 
 // Stats is the follower's replication position, embedded in STATS replies.
@@ -368,7 +379,15 @@ func (f *Follower) Stats() Stats {
 		if pd > a {
 			lag = pd - a
 		}
-		s.Shards = append(s.Shards, ShardLag{AppliedLSN: a, PrimaryDurableLSN: pd, LagBytes: lag})
+		ar := f.appliedRecs[i].Load()
+		lr := f.recvRecs[i].Load() - ar
+		if lr < 0 {
+			lr = 0
+		}
+		s.Shards = append(s.Shards, ShardLag{
+			AppliedLSN: a, PrimaryDurableLSN: pd, LagBytes: lag,
+			AppliedRecords: ar, LagRecords: lr,
+		})
 	}
 	return s
 }

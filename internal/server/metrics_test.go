@@ -1,0 +1,110 @@
+package server_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sias/internal/client"
+	"sias/internal/obs"
+	"sias/internal/server"
+)
+
+// TestMetricsMatchStatsFrame runs traffic against an instrumented sharded
+// server and asserts the /metrics exposition and the STATS wire frame report
+// identical counters — the single-source-of-truth property the collected
+// families exist for.
+func TestMetricsMatchStatsFrame(t *testing.T) {
+	reg := obs.NewRegistry()
+	slow := obs.NewSlowOpLog(time.Hour, nil) // threshold no op ever reaches
+	r := memRouter(t, 3)
+	_, addr := startServer(t, r, func(cfg *server.Config) {
+		cfg.Obs = reg
+		cfg.SlowOps = slow
+	})
+
+	c, err := client.Dial(addr, client.Options{PoolSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := int64(0); i < 200; i++ {
+		tx, err := c.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Insert(i, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Get(i); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	// Per-shard engine commits: exact equality, series by series.
+	for i, sh := range st.Shards {
+		want := fmt.Sprintf("sias_engine_commits_total{shard=%q} %d\n", fmt.Sprint(i), sh.Commits)
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Server-layer counters.
+	for _, want := range []string{
+		fmt.Sprintf("sias_server_requests_total %d\n", st.Server.Requests),
+		fmt.Sprintf("sias_server_connections_total %d\n", st.Server.Connections),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Histograms observed real traffic and the STATS frame summarizes the
+	// same instruments.
+	hists, err := obs.ParseHistograms(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := hists[`sias_server_op_seconds{op="COMMIT"}`]
+	if commit == nil || commit.Count != 200 {
+		t.Fatalf("COMMIT histogram count = %v, want 200", commit)
+	}
+	if st.Ops["COMMIT"].Count != commit.Count {
+		t.Fatalf("STATS Ops[COMMIT].Count = %d, exposition has %d", st.Ops["COMMIT"].Count, commit.Count)
+	}
+	var fsync int64
+	for key, p := range hists {
+		if strings.HasPrefix(key, "sias_wal_fsync_seconds") {
+			fsync += p.Count
+		}
+	}
+	// Every commit flush writes pages and is observed; maintenance flushes
+	// may add more, so the histogram bounds the commit-flush counter from
+	// above.
+	var flushes int64
+	for _, sh := range st.Shards {
+		flushes += sh.CommitFlushes
+	}
+	if flushes == 0 || fsync < flushes {
+		t.Fatalf("WAL fsync observations = %d, want >= commit flushes = %d (> 0)", fsync, flushes)
+	}
+	// Repl families must expose HELP/TYPE even on a primary (CI greps them).
+	if !strings.Contains(text, "# TYPE sias_repl_lag_records gauge") {
+		t.Error("sias_repl_lag_records family absent on a primary")
+	}
+	if slow.Total() != 0 {
+		t.Errorf("slow-op log recorded %d ops under an unreachable threshold", slow.Total())
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"sias/internal/engine"
+	"sias/internal/obs"
 	"sias/internal/repl"
 	"sias/internal/shard"
 	"sias/internal/tuple"
@@ -54,6 +55,13 @@ type Config struct {
 	// serve the applied snapshot, and PROMOTE flips it writable. The
 	// Follower's shard order must match the Router's.
 	Replica *repl.Follower
+	// Obs, when set, wires the whole deployment into this metrics registry
+	// (see metrics.go) and times every data op. The registry is typically
+	// served on a side HTTP listener via obs.Handler.
+	Obs *obs.Registry
+	// SlowOps, when set with Obs, records over-threshold requests. Nil (or a
+	// nil-returning NewSlowOpLog) disables the slow path entirely.
+	SlowOps *obs.SlowOpLog
 }
 
 // Stats counts service-layer events, exposed through the STATS op next to
@@ -93,6 +101,13 @@ type Server struct {
 	drainRejected atomic.Int64
 	openTxns      atomic.Int64
 	inflight      atomic.Int64 // requests read but not yet fully answered
+
+	// Observability (nil/zero when Config.Obs is unset): per-op latency
+	// histograms indexed by wire op code, and the slow-op log. timeOps
+	// gates the time.Now pair in the request loop.
+	opHist  [maxOp]*obs.Histogram
+	slow    *obs.SlowOpLog
+	timeOps bool
 }
 
 // New validates cfg and returns a Server.
@@ -120,14 +135,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		valCol:    valCol,
 		sem:       make(chan struct{}, cfg.MaxInFlight),
 		sessions:  map[*session]struct{}{},
 		subs:      map[*session]struct{}{},
 		drainedCh: make(chan struct{}),
-	}, nil
+	}
+	if cfg.Obs != nil {
+		s.setupMetrics(cfg.Obs, cfg.SlowOps)
+		s.timeOps = true
+	}
+	return s, nil
 }
 
 // Stats snapshots the service-layer counters.
@@ -390,7 +410,14 @@ func (c *session) run() {
 			return
 		}
 		c.srv.inflight.Add(1)
+		var t0 time.Time
+		if c.srv.timeOps {
+			t0 = time.Now()
+		}
 		resp, herr := c.handle(wire.Op(op), payload)
+		if c.srv.timeOps {
+			c.srv.observeOp(wire.Op(op), payload, time.Since(t0))
+		}
 		if herr != nil {
 			var eb wire.Buf
 			eb.B = append(eb.B, herr.Error()...)
@@ -766,6 +793,9 @@ type StatsReply struct {
 	// Repl is present only on a replication follower: per-shard applied vs
 	// primary-durable LSNs plus the promotion flag.
 	Repl *repl.Stats `json:"repl,omitempty"`
+	// Ops summarizes server-side latency per wire op, read from the same
+	// histograms /metrics exposes. Present only when metrics are wired.
+	Ops map[string]OpLatency `json:"ops,omitempty"`
 }
 
 func (c *session) handleStats() ([]byte, error) {
@@ -775,6 +805,7 @@ func (c *session) handleStats() ([]byte, error) {
 		Server: c.srv.Stats(),
 		Router: c.srv.cfg.Router.RouterStats(),
 		Shards: per,
+		Ops:    c.srv.opLatencies(),
 	}
 	if c.srv.cfg.Replica != nil {
 		rs := c.srv.cfg.Replica.Stats()

@@ -172,8 +172,14 @@ func Aggregate(ss []engine.Stats) engine.Stats {
 		a.PoolPartitions += s.PoolPartitions
 		a.Data = addDev(a.Data, s.Data)
 		a.WALDevice = addDev(a.WALDevice, s.WALDevice)
+		a.VMapResidencyHits += s.VMapResidencyHits
+		a.VMapResidencyMisses += s.VMapResidencyMisses
 	}
 	a.PoolHitRatio = a.Pool.HitRatio()
+	a.VMapHitRatio = 1.0
+	if t := a.VMapResidencyHits + a.VMapResidencyMisses; t > 0 {
+		a.VMapHitRatio = float64(a.VMapResidencyHits) / float64(t)
+	}
 	return a
 }
 

@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
 	"sias/internal/device"
+	"sias/internal/obs"
 	"sias/internal/page"
 	"sias/internal/simclock"
 	"sias/internal/txn"
@@ -187,6 +189,22 @@ type Writer struct {
 	nextLSN    LSN
 	durable    LSN
 	fullSynced int64 // count of page writes issued
+
+	// Wall-clock duration instruments (nil = not collected). Set once at
+	// assembly time via SetDurationMetrics, before the writer is shared.
+	appendHist *obs.Histogram
+	flushHist  *obs.Histogram
+}
+
+// SetDurationMetrics attaches wall-clock latency histograms: appendH
+// observes each Append (buffer copy under the latch, including latch
+// wait), flushH observes each Flush that reached the device (page writes
+// plus fsync, including the wait to become the flusher — the durability
+// latency a committing transaction actually experiences). Must be called
+// before the writer is shared between goroutines.
+func (w *Writer) SetDurationMetrics(appendH, flushH *obs.Histogram) {
+	w.appendHist = appendH
+	w.flushHist = flushH
 }
 
 // NewWriter returns a writer logging to dev starting at stream offset 0.
@@ -252,12 +270,19 @@ func (w *Writer) SkipTo(lsn LSN) {
 // Append buffers a record and returns the LSN just past it. The record is
 // not durable until Flush reaches that LSN.
 func (w *Writer) Append(r *Record) LSN {
+	var t0 time.Time
+	if w.appendHist != nil {
+		t0 = time.Now()
+	}
 	b := EncodeRecord(r)
 	w.mu.Lock()
 	w.pending = append(w.pending, b...)
 	w.nextLSN += LSN(len(b))
 	lsn := w.nextLSN
 	w.mu.Unlock()
+	if w.appendHist != nil {
+		w.appendHist.ObserveSince(t0)
+	}
 	return lsn
 }
 
@@ -270,6 +295,10 @@ func (w *Writer) Append(r *Record) LSN {
 // bytes beyond the snapshot are never dropped because the post-I/O trim
 // keeps everything past the last fully-written page.
 func (w *Writer) Flush(at simclock.Time, lsn LSN) (simclock.Time, error) {
+	var t0 time.Time
+	if w.flushHist != nil {
+		t0 = time.Now()
+	}
 	w.flushMu.Lock()
 	defer w.flushMu.Unlock()
 
@@ -336,6 +365,9 @@ func (w *Writer) Flush(at simclock.Time, lsn LSN) (simclock.Time, error) {
 	}
 	w.fullSynced += pages
 	w.mu.Unlock()
+	if w.flushHist != nil && pages > 0 {
+		w.flushHist.ObserveSince(t0)
+	}
 	return t, nil
 }
 

@@ -28,6 +28,11 @@
 #   BENCH_REPS=3 BENCH_WORKERS=32 BENCH_TXNS=400 BENCH_VALUE=8000
 #   BENCH_KEYS=4096 BENCH_SHARDS="1 2 4" BENCH_ADDR=127.0.0.1:4599
 #   BENCH_LINGER=2ms BENCH_READ_FRACS="0 50 95 100"
+#   BENCH_METRICS_ADDR=127.0.0.1:4597
+#
+# Every server runs with -metrics-addr and every measured siasload scrapes
+# it, so each per-rep JSON (and therefore the medians picked below) carries
+# the server-side op latency and WAL fsync percentiles under "server".
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,6 +40,7 @@ MODE="${BENCH_MODE:-write}"
 ADDR="${BENCH_ADDR:-127.0.0.1:4599}"
 PORT="${ADDR##*:}"
 HOST="${ADDR%:*}"
+MADDR="${BENCH_METRICS_ADDR:-127.0.0.1:4597}"
 REPS="${BENCH_REPS:-3}"
 WORKERS="${BENCH_WORKERS:-32}"
 LINGER="${BENCH_LINGER:-2ms}"
@@ -77,14 +83,14 @@ echo "building binaries..."
 (cd "$ROOT" && go build -o "$WORK/siasserver" ./cmd/siasserver)
 (cd "$ROOT" && go build -o "$WORK/siasload" ./cmd/siasload)
 
-wait_port() {
+wait_port() { # port
     for _ in $(seq 1 100); do
-        if (echo >"/dev/tcp/$HOST/$PORT") 2>/dev/null; then
+        if (echo >"/dev/tcp/$HOST/$1") 2>/dev/null; then
             return 0
         fi
         sleep 0.1
     done
-    echo "server did not come up on $ADDR" >&2
+    echo "server did not come up on $HOST:$1" >&2
     return 1
 }
 
@@ -105,9 +111,11 @@ run_one() {
     "$WORK/siasserver" -addr "$ADDR" -shards "$shards" -data "$data" \
         -pool "$POOL" -pool-partitions "$parts" -max-inflight 512 \
         -data-pages 524288 -wal-pages 262144 \
+        -metrics-addr "$MADDR" \
         -gc-linger "$LINGER" >"$log" 2>&1 &
     SERVER_PID=$!
-    wait_port || die_with_log "server never listened" "$log"
+    wait_port "$PORT" || die_with_log "server never listened" "$log"
+    wait_port "${MADDR##*:}" || die_with_log "metrics endpoint never listened" "$log"
     local frac
     frac=$(awk "BEGIN{print $frac_pct/100}")
     # Warmup: preloads the keyspace and touches every code path once so
@@ -118,7 +126,7 @@ run_one() {
         die_with_log "warmup siasload exited non-zero (shards=$shards parts=$parts frac=$frac_pct)" "$log"
     "$WORK/siasload" -addr "$ADDR" -workers "$WORKERS" -txns "$TXNS" \
         -ops-per-txn 1 -read-frac "$frac" -keys "$KEYS" -value "$VALUE" \
-        -json "$out" >/dev/null ||
+        -metrics-addr "$MADDR" -json "$out" >/dev/null ||
         die_with_log "measured siasload exited non-zero (shards=$shards parts=$parts frac=$frac_pct)" "$log"
     [ -s "$out" ] || die_with_log "siasload produced no JSON at $out" "$log"
     kill -TERM "$SERVER_PID" 2>/dev/null || true
@@ -165,6 +173,7 @@ for shards in sorted(runs):
         "wal_flushes_per_commit": round(e["flushes_per_commit"], 4),
         "wal_page_writes": e["wal_page_writes"],
         "group_commit_saved_pct": round(e["group_commit_saved_pct"], 1),
+        "server_side": med.get("server"),
         "config": med["config"],
     })
 if 1 in median and 4 in median:
@@ -239,6 +248,7 @@ for key in sorted(runs):
         "latency_p99_ms": med["latency"]["p99_ms"],
         "pool_hit_ratio": round(e.get("pool_hit_ratio", 0), 4),
         "pool_evictions": e.get("pool_evictions", 0),
+        "server_side": med.get("server"),
         "config": med["config"],
     })
 
