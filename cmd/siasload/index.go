@@ -1,0 +1,407 @@
+// Index workload (-workload index): typed rows in a catalog table with a
+// secondary index, exercising the SIAS claim the kv workload cannot — that
+// non-indexed-column updates write zero index pages — plus AS OF reads.
+//
+// The workload creates table "load_orders" (id pk, grp indexed, note) and
+// index "by_grp", preloads -keys rows spread over groups, snapshots the
+// database, then runs the closed loop: reads are secondary-index lookups of
+// a random group, writes are row updates (mostly of the non-indexed note
+// column; 1 in 8 moves the row to a new group through the index). After the
+// run it re-reads a sample of groups AS OF the pre-churn snapshot and
+// verifies the counts are unchanged.
+//
+// With -state-out FILE the snapshot tokens and per-group counts are written
+// to FILE; a later `siasload -verify-state FILE` run — typically against a
+// server that was SIGKILLed and restarted — checks that the catalog, the
+// index and the AS OF snapshot all survived recovery.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"sias/internal/client"
+	"sias/internal/engine"
+	"sias/internal/shard"
+	"sias/internal/tuple"
+	"sias/internal/txn"
+	"sias/internal/wire"
+)
+
+const (
+	idxTable = "load_orders"
+	idxIndex = "by_grp"
+	idxCol   = "grp"
+)
+
+func idxSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Column{Name: "id", Type: tuple.TypeInt64},
+		tuple.Column{Name: idxCol, Type: tuple.TypeInt64},
+		tuple.Column{Name: "note", Type: tuple.TypeString},
+	)
+}
+
+// indexReport is the -workload index slice of the result JSON.
+type indexReport struct {
+	Table         string  `json:"table"`
+	Index         string  `json:"index"`
+	Groups        int64   `json:"groups"`
+	IndexLookups  int64   `json:"index_lookups"` // engine counter delta
+	IndexInserts  int64   `json:"index_inserts"` // engine counter delta
+	RowsReturned  int64   `json:"rows_returned"` // rows gathered by lookups
+	LookupsPerSec float64 `json:"lookups_per_sec"`
+	// AsOfGroupsChecked sampled groups were re-read AS OF the pre-churn
+	// snapshot after the run; AsOfVerified is whether every count matched.
+	AsOfGroupsChecked int  `json:"asof_groups_checked"`
+	AsOfVerified      bool `json:"asof_verified"`
+}
+
+// indexState is the -state-out file: everything -verify-state needs to prove
+// the catalog and a pre-crash snapshot survived a restart.
+type indexState struct {
+	Table  string           `json:"table"`
+	Index  string           `json:"index"`
+	Tokens []uint64         `json:"tokens"`
+	Groups map[string]int64 `json:"group_counts"` // group -> rows at the snapshot
+}
+
+// groupsFor sizes the group space so lookups return a handful of rows each.
+func groupsFor(keys int64) int64 {
+	g := keys / 64
+	if g < 4 {
+		g = 4
+	}
+	return g
+}
+
+// sampleGroups picks a deterministic spread of groups to track.
+func sampleGroups(groups int64) []int64 {
+	n := int64(8)
+	if n > groups {
+		n = groups
+	}
+	out := make([]int64, 0, n)
+	for i := int64(0); i < n; i++ {
+		out = append(out, i*groups/n)
+	}
+	return out
+}
+
+// groupCounts reads the tracked groups' row counts through the index.
+func groupCounts(tx *client.Tx, groups []int64) (map[string]int64, error) {
+	out := make(map[string]int64, len(groups))
+	for _, g := range groups {
+		rows, err := tx.IndexLookup(idxTable, idxIndex, g)
+		if err != nil {
+			return nil, fmt.Errorf("lookup group %d: %w", g, err)
+		}
+		out[strconv.FormatInt(g, 10)] = int64(len(rows))
+	}
+	return out, nil
+}
+
+func runIndex(cfg loadConfig, jsonPath, statePath string) error {
+	c, err := client.Dial(cfg.Addr, client.Options{PoolSize: cfg.PoolSize})
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", cfg.Addr, err)
+	}
+	defer c.Close()
+
+	// DDL is idempotent across runs: an existing table/index is reused.
+	if err := c.CreateTable(idxTable, idxSchema(), "id"); err != nil && !errors.Is(err, engine.ErrExists) {
+		return fmt.Errorf("create table: %w", err)
+	}
+	if err := c.CreateIndex(idxTable, idxIndex, idxCol); err != nil && !errors.Is(err, engine.ErrExists) {
+		return fmt.Errorf("create index: %w", err)
+	}
+
+	groups := groupsFor(cfg.Keys)
+	preStart := time.Now()
+	const batch = 256
+	for lo := int64(0); lo < cfg.Keys; lo += batch {
+		hi := lo + batch
+		if hi > cfg.Keys {
+			hi = cfg.Keys
+		}
+		tx, err := c.Begin()
+		if err != nil {
+			return fmt.Errorf("preload begin: %w", err)
+		}
+		for k := lo; k < hi; k++ {
+			row := tuple.Row{k, k % groups, "seed"}
+			if err := tx.InsertRow(idxTable, row); err != nil {
+				if uerr := tx.UpdateRow(idxTable, row); uerr != nil {
+					tx.Abort()
+					return fmt.Errorf("preload row %d: %w", k, err)
+				}
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return fmt.Errorf("preload commit: %w", err)
+		}
+	}
+	fmt.Printf("preloaded %d rows across %d groups in %.2fs\n", cfg.Keys, groups, time.Since(preStart).Seconds())
+
+	// The AS OF baseline: snapshot tokens and the tracked groups' counts.
+	tokens, err := c.Snapshot()
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	tracked := sampleGroups(groups)
+	base, err := c.Begin()
+	if err != nil {
+		return err
+	}
+	baseCounts, err := groupCounts(base, tracked)
+	if err != nil {
+		base.Abort()
+		return err
+	}
+	if err := base.Commit(); err != nil {
+		return err
+	}
+
+	before, err := c.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	cfg.Shards = before.Router.Shards
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+
+	var (
+		mu        sync.Mutex
+		conflicts int64
+		drained   int64
+		failures  int64
+		rowsOut   int64
+		lookups   int64
+	)
+	samples := make([][]txnSample, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			out := make([]txnSample, 0, cfg.Txns)
+			for i := 0; i < cfg.Txns; i++ {
+				t0 := time.Now()
+				home, nRows, nLook, err := runIdxTxn(c, rng, cfg, groups)
+				switch {
+				case err == nil:
+					out = append(out, txnSample{lat: time.Since(t0), shard: home})
+					mu.Lock()
+					rowsOut += nRows
+					lookups += nLook
+					mu.Unlock()
+				case errors.Is(err, txn.ErrSerialization) || errors.Is(err, txn.ErrLockTimeout):
+					mu.Lock()
+					conflicts++
+					mu.Unlock()
+				case errors.Is(err, wire.ErrShuttingDown), errors.Is(err, engine.ErrReadOnly):
+					mu.Lock()
+					drained++
+					mu.Unlock()
+				default:
+					mu.Lock()
+					failures++
+					n := failures
+					mu.Unlock()
+					if n <= 5 {
+						fmt.Fprintf(os.Stderr, "worker %d txn %d: %v\n", w, i, err)
+					}
+				}
+			}
+			samples[w] = out
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := c.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+
+	// AS OF the pre-churn snapshot: the tracked groups must count exactly as
+	// they did before the run, no matter what the churn moved.
+	asOf, err := c.BeginAt(tokens)
+	if err != nil {
+		return fmt.Errorf("begin AS OF: %w", err)
+	}
+	asOfCounts, err := groupCounts(asOf, tracked)
+	asOf.Abort()
+	if err != nil {
+		return fmt.Errorf("AS OF lookups: %w", err)
+	}
+	verified := true
+	for g, want := range baseCounts {
+		if asOfCounts[g] != want {
+			verified = false
+			fmt.Fprintf(os.Stderr, "AS OF mismatch: group %s has %d rows at snapshot, expected %d\n", g, asOfCounts[g], want)
+		}
+	}
+
+	res := summarize(cfg, elapsed, samples, before, after)
+	res.Conflicts = conflicts
+	res.Drained = drained
+	res.Failures = failures
+	d := deltaEngine(shardAgg(before), shardAgg(after))
+	res.Index = &indexReport{
+		Table:             idxTable,
+		Index:             idxIndex,
+		Groups:            groups,
+		IndexLookups:      d.IndexLookups,
+		IndexInserts:      d.IndexInserts,
+		RowsReturned:      rowsOut,
+		LookupsPerSec:     float64(lookups) / elapsed.Seconds(),
+		AsOfGroupsChecked: len(tracked),
+		AsOfVerified:      verified,
+	}
+	printResult(res)
+	fmt.Printf("\nindex workload (%s/%s, %d groups):\n", idxTable, idxIndex, groups)
+	fmt.Printf("  index lookups    %d (%.0f/s, %d rows returned)\n", d.IndexLookups, res.Index.LookupsPerSec, rowsOut)
+	fmt.Printf("  index inserts    %d\n", d.IndexInserts)
+	fmt.Printf("  AS OF verify     %d groups, match=%v\n", len(tracked), verified)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	if statePath != "" {
+		blob, err := json.MarshalIndent(indexState{
+			Table: idxTable, Index: idxIndex, Tokens: tokens, Groups: baseCounts,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(statePath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote snapshot state %s\n", statePath)
+	}
+	if !verified {
+		return fmt.Errorf("AS OF verification failed")
+	}
+	return nil
+}
+
+// runIdxTxn executes one typed transaction: index lookups for reads, row
+// updates for writes (1 in 8 moves the row to another group, the rest touch
+// only the non-indexed note column — the zero-index-page-write path).
+func runIdxTxn(c *client.Client, rng *rand.Rand, cfg loadConfig, groups int64) (home int, rows, lookups int64, err error) {
+	tx, err := c.Begin()
+	if err != nil {
+		return -1, 0, 0, err
+	}
+	home = -2
+	for i := 0; i < cfg.OpsPerTxn; i++ {
+		if rng.Float64() < cfg.ReadFrac {
+			got, lerr := tx.IndexLookup(idxTable, idxIndex, rng.Int63n(groups))
+			if lerr != nil {
+				tx.Abort()
+				return -1, rows, lookups, lerr
+			}
+			rows += int64(len(got))
+			lookups++
+			home = -1 // index lookups fan out across every shard
+			continue
+		}
+		id := rng.Int63n(cfg.Keys)
+		grp := id % groups
+		if rng.Intn(8) == 0 {
+			grp = rng.Int63n(groups) // indexed-column update: row changes group
+		}
+		if uerr := tx.UpdateRow(idxTable, tuple.Row{id, grp, "churn"}); uerr != nil {
+			tx.Abort()
+			return -1, rows, lookups, uerr
+		}
+		switch s := shard.Of(id, cfg.Shards); {
+		case home == -2:
+			home = s
+		case home != s:
+			home = -1
+		}
+	}
+	if home == -2 {
+		home = -1
+	}
+	return home, rows, lookups, tx.Commit()
+}
+
+// verifyState checks a recovered server against a -state-out file: the
+// catalog still lists the table and index, live lookups work, and an AS OF
+// read at the pre-crash tokens reproduces the recorded group counts.
+func verifyState(addr, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var st indexState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("decode %s: %w", path, err)
+	}
+	c, err := client.Dial(addr, client.Options{PoolSize: 2})
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer c.Close()
+
+	tds, err := c.ListTables()
+	if err != nil {
+		return fmt.Errorf("list tables: %w", err)
+	}
+	found := false
+	for _, td := range tds {
+		if td.Name != st.Table {
+			continue
+		}
+		for _, ix := range td.Indexes {
+			if ix.Name == st.Index {
+				found = true
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("recovered catalog lost %s/%s", st.Table, st.Index)
+	}
+
+	asOf, err := c.BeginAt(st.Tokens)
+	if err != nil {
+		return fmt.Errorf("begin AS OF %v: %w", st.Tokens, err)
+	}
+	defer asOf.Abort()
+	checked := 0
+	for g, want := range st.Groups {
+		grp, err := strconv.ParseInt(g, 10, 64)
+		if err != nil {
+			return fmt.Errorf("state file group %q: %w", g, err)
+		}
+		rows, err := asOf.IndexLookup(st.Table, st.Index, grp)
+		if err != nil {
+			return fmt.Errorf("AS OF lookup group %d: %w", grp, err)
+		}
+		if int64(len(rows)) != want {
+			return fmt.Errorf("AS OF group %d: %d rows after recovery, state file recorded %d", grp, len(rows), want)
+		}
+		checked++
+	}
+	fmt.Printf("verify ok: %s/%s recovered; %d groups match AS OF snapshot %v\n", st.Table, st.Index, checked, st.Tokens)
+	return nil
+}

@@ -10,10 +10,18 @@
 //
 //	siasload [-addr :4544] [-workers 8] [-txns 2000] [-keys 1024]
 //	         [-value 64] [-read-frac 0.5] [-ops-per-txn 2] [-json FILE]
-//	         [-metrics-addr HOST:PORT]
+//	         [-metrics-addr HOST:PORT] [-workload kv|index]
+//	         [-state-out FILE] [-verify-state FILE]
 //
 // With -json, a machine-readable result (the same numbers as the text
 // report) is written to FILE for scripts/bench.sh to aggregate.
+//
+// With -workload index, the loop runs against a catalog table with a
+// secondary index instead of the kv table: reads are index lookups, writes
+// are typed row updates (mostly of a non-indexed column), and the run ends
+// with an AS OF verification against a pre-churn snapshot; see index.go.
+// -state-out/-verify-state persist and check that snapshot across a server
+// restart, which is how CI proves catalog DDL and AS OF survive a crash.
 //
 // With -metrics-addr pointed at the server's observability listener, the
 // tool scrapes /metrics before and after the measured run and folds the
@@ -60,6 +68,9 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable result JSON to this file")
 	statsOnly := flag.Bool("stats-only", false, "fetch STATS, print the raw reply JSON (to -json FILE if set, else stdout), and exit")
 	metricsAddr := flag.String("metrics-addr", "", "server metrics listener to scrape for server-side latency histograms (empty = skip)")
+	workload := flag.String("workload", "kv", "workload: kv (key/value ops) or index (typed table with secondary-index lookups and AS OF verification)")
+	stateOut := flag.String("state-out", "", "index workload: write snapshot tokens and group counts to this file for a later -verify-state run")
+	verifyPath := flag.String("verify-state", "", "verify a recovered server against a -state-out file and exit")
 	flag.Parse()
 	if *poolSize <= 0 {
 		*poolSize = *workers
@@ -70,14 +81,30 @@ func main() {
 		}
 		return
 	}
+	if *verifyPath != "" {
+		if err := verifyState(*addr, *verifyPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := loadConfig{
 		Addr: *addr, Workers: *workers, Txns: *txns, Keys: *keys,
 		ValueSize: *valueSize, ReadFrac: *readFrac, OpsPerTxn: *opsPerTxn,
 		PoolSize: *poolSize, Affinity: *affinity, MetricsAddr: *metricsAddr,
+		Workload: *workload,
 	}
-	if err := run(cfg, *jsonPath); err != nil {
-		log.Fatal(err)
+	switch *workload {
+	case "kv":
+		if err := run(cfg, *jsonPath); err != nil {
+			log.Fatal(err)
+		}
+	case "index":
+		if err := runIndex(cfg, *jsonPath, *stateOut); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -workload %q (want kv or index)", *workload)
 	}
 }
 
@@ -115,7 +142,8 @@ type loadConfig struct {
 	OpsPerTxn int     `json:"ops_per_txn"`
 	Affinity  bool    `json:"affinity"`
 	PoolSize  int     `json:"pool_size"`
-	Shards    int     `json:"shards"` // reported by the server
+	Workload  string  `json:"workload,omitempty"` // kv (default) or index
+	Shards    int     `json:"shards"`             // reported by the server
 	// MetricsAddr is the server's observability listener; non-empty enables
 	// the before/after /metrics scrape.
 	MetricsAddr string `json:"metrics_addr,omitempty"`
@@ -176,6 +204,9 @@ type result struct {
 		Txns    int64     `json:"txns"`
 		Latency latencyMs `json:"latency"`
 	} `json:"cross_shard"`
+	// Index is present for -workload index: secondary-index counter deltas
+	// and the AS OF verification outcome.
+	Index *indexReport `json:"index,omitempty"`
 	// Repl is present when the target server is a replication follower:
 	// its per-shard applied-vs-primary-durable position after the run.
 	Repl *repl.Stats `json:"repl,omitempty"`
@@ -640,6 +671,8 @@ func deltaEngine(a, b engine.Stats) engine.Stats {
 	var d engine.Stats
 	d.Commits = b.Commits - a.Commits
 	d.Aborts = b.Aborts - a.Aborts
+	d.IndexLookups = b.IndexLookups - a.IndexLookups
+	d.IndexInserts = b.IndexInserts - a.IndexInserts
 	d.CommitFlushes = b.CommitFlushes - a.CommitFlushes
 	d.CommitBatches = b.CommitBatches - a.CommitBatches
 	d.WALPageWrites = b.WALPageWrites - a.WALPageWrites

@@ -8,7 +8,7 @@
 //	siasserver [-addr :4544] [-shards N] [-engine sias|si] [-policy t2|t1]
 //	           [-pool FRAMES] [-pool-partitions P] [-max-inflight N]
 //	           [-drain SECONDS] [-data DIR] [-follow ADDR] [-announce ADDR]
-//	           [-metrics-addr :9544] [-slow-op-ms MS]
+//	           [-metrics-addr :9544] [-slow-op-ms MS] [-asof-retention N]
 //
 // With -metrics-addr, a side HTTP listener serves /metrics (Prometheus text
 // exposition of every layer: per-op latency histograms, WAL append/fsync
@@ -34,8 +34,12 @@
 // stays constant as the shard count varies. With -data, each shard's heap
 // and WAL live in files under DIR/shard-<i> and a restart recovers the
 // committed state through per-shard WAL replay, run in parallel; without
-// it the store is in-memory and vanishes with the process. The served
-// relation is a single key/value table ("kv": int64 key, bytes value).
+// it the store is in-memory and vanishes with the process. The server
+// bootstraps with one key/value table ("kv": int64 key, bytes value);
+// clients create further tables and secondary indexes over the wire, and
+// that DDL is WAL-logged so it recovers and replicates like row data.
+// -asof-retention bounds time travel: AS OF snapshot tokens stay fully
+// resolvable until the transaction horizon passes them by N ids.
 package main
 
 import (
@@ -78,6 +82,7 @@ func main() {
 	walSync := flag.Bool("wal-sync", true, "fsync the WAL device on every page write (file-backed only)")
 	gcLinger := flag.Duration("gc-linger", 0, "max extra wait for a group-commit batch to grow (0 = flush immediately)")
 	gcBatch := flag.Int("gc-batch", 16, "group-commit batch size target while lingering")
+	asofRetention := flag.Uint64("asof-retention", 1<<16, "retain superseded versions written by the most recent N transactions so AS OF snapshot tokens inside the window stay resolvable (0 = keep only what live snapshots need)")
 	follow := flag.String("follow", "", "run as a replication follower of the primary at this address")
 	announce := flag.String("announce", "", "follower address announced to the primary for client failover (default: loopback form of -addr)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
@@ -89,7 +94,7 @@ func main() {
 		addr: *addr, shards: *shards, kind: *kind, policy: *policy,
 		pool: *pool, poolParts: *poolParts, maxInflight: *maxInflight, drainSec: *drainSec,
 		dataDir: *dataDir, dataPages: *dataPages, walPages: *walPages, walSync: *walSync,
-		gcLinger: *gcLinger, gcBatch: *gcBatch,
+		gcLinger: *gcLinger, gcBatch: *gcBatch, asofRetention: *asofRetention,
 		follow: *follow, announce: *announce,
 		metricsAddr: *metricsAddr, slowOpMs: *slowOpMs,
 	}
@@ -105,23 +110,24 @@ func main() {
 }
 
 type serverConfig struct {
-	addr         string
-	shards       int
-	kind, policy string
-	pool         int
-	poolParts    int
-	maxInflight  int
-	drainSec     float64
-	dataDir      string
-	dataPages    int64
-	walPages     int64
-	walSync      bool
-	gcLinger     time.Duration
-	gcBatch      int
-	follow       string // primary address; non-empty = follower mode
-	announce     string // follower address handed to clients on drain
-	metricsAddr  string // HTTP side listener; empty = observability off
-	slowOpMs     int    // slow-op log threshold; 0 = disabled
+	addr          string
+	shards        int
+	kind, policy  string
+	pool          int
+	poolParts     int
+	maxInflight   int
+	drainSec      float64
+	dataDir       string
+	dataPages     int64
+	walPages      int64
+	walSync       bool
+	gcLinger      time.Duration
+	gcBatch       int
+	asofRetention uint64 // engine.Options.GCRetention for every shard
+	follow        string // primary address; non-empty = follower mode
+	announce      string // follower address handed to clients on drain
+	metricsAddr   string // HTTP side listener; empty = observability off
+	slowOpMs      int    // slow-op log threshold; 0 = disabled
 }
 
 // openShard assembles one engine shard. Device sizes and pool frames are
@@ -131,6 +137,7 @@ func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 	opts := engine.Options{
 		PoolFrames:     max(cfg.pool/cfg.shards, 64),
 		PoolPartitions: cfg.poolParts,
+		GCRetention:    cfg.asofRetention,
 	}
 	switch cfg.kind {
 	case "sias":

@@ -1,0 +1,87 @@
+package catalog
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sias/internal/tuple"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cases := []DDL{
+		{
+			Kind: KindCreateTable, Table: "orders", PKCol: "id",
+			Cols: []tuple.Column{
+				{Name: "id", Type: tuple.TypeInt64},
+				{Name: "region", Type: tuple.TypeInt64},
+				{Name: "note", Type: tuple.TypeString},
+				{Name: "blob", Type: tuple.TypeBytes},
+				{Name: "open", Type: tuple.TypeBool},
+				{Name: "total", Type: tuple.TypeFloat64},
+			},
+			HeapID: 7, PKID: 8,
+		},
+		{Kind: KindCreateTable, Table: "empty", PKCol: "k",
+			Cols: []tuple.Column{{Name: "k", Type: tuple.TypeInt64}}, HeapID: 1, PKID: 2},
+		{Kind: KindDropTable, Table: "orders"},
+		{Kind: KindCreateIndex, Table: "orders", Index: "by_region", Column: "region", IndexID: 9},
+		{Kind: KindDropIndex, Table: "orders", Index: "by_region"},
+	}
+	for _, want := range cases {
+		got, err := Decode(Encode(&want))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Fatalf("%s: round trip mismatch:\n got %+v\nwant %+v", want.Kind, *got, want)
+		}
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	good := Encode(&DDL{Kind: KindCreateIndex, Table: "t", Index: "i", Column: "c", IndexID: 3})
+	cases := map[string][]byte{
+		"empty":        {},
+		"unknown kind": {99, 1, 0, 'x'},
+		"truncated":    good[:len(good)-1],
+		"trailing":     append(append([]byte{}, good...), 0),
+	}
+	for name, b := range cases {
+		if _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+	// Every truncation point of every kind must fail cleanly, never panic.
+	for _, d := range []DDL{
+		{Kind: KindCreateTable, Table: "t", PKCol: "k",
+			Cols: []tuple.Column{{Name: "k", Type: tuple.TypeInt64}}, HeapID: 1, PKID: 2},
+		{Kind: KindDropTable, Table: "t"},
+		{Kind: KindCreateIndex, Table: "t", Index: "i", Column: "c", IndexID: 3},
+		{Kind: KindDropIndex, Table: "t", Index: "i"},
+	} {
+		b := Encode(&d)
+		for i := 0; i < len(b); i++ {
+			if _, err := Decode(b[:i]); err == nil {
+				t.Errorf("%s: truncation at %d decoded successfully", d.Kind, i)
+			}
+		}
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	for _, ok := range []string{"a", "kv", "by_region", "_tmp", "T1", "x9_z"} {
+		if err := ValidateName(ok); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", ok, err)
+		}
+	}
+	long := make([]byte, MaxNameLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "9lives", "has space", "semi;colon", "dash-ed", string(long)} {
+		if err := ValidateName(bad); !errors.Is(err, ErrBadName) {
+			t.Errorf("ValidateName(%q) = %v, want ErrBadName", bad, err)
+		}
+	}
+}

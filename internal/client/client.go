@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"sias/internal/server"
+	"sias/internal/tuple"
 	"sias/internal/wire"
 )
 
@@ -41,9 +42,10 @@ type Client struct {
 	addr string
 	opts Options
 
-	mu     sync.Mutex
-	idle   []*conn
-	closed bool
+	mu      sync.Mutex
+	idle    []*conn
+	closed  bool
+	schemas map[string]*tuple.Schema // typed-row codec cache, by table name
 }
 
 type conn struct {

@@ -52,6 +52,7 @@ type Stats struct {
 	ChainWalks    int64 // visibility chain traversals started
 	ChainHops     int64 // predecessor fetches during walks
 	IndexInserts  int64
+	IndexLookups  int64 // secondary-index point and range lookups
 	GCPages       int64 // append pages reclaimed
 	GCRelocations int64 // live entrypoints re-appended by GC
 	GCDiscarded   int64 // dead versions discarded by GC
@@ -70,6 +71,7 @@ type relStats struct {
 	chainWalks    atomic.Int64
 	chainHops     atomic.Int64
 	indexInserts  atomic.Int64
+	indexLookups  atomic.Int64
 	gcPages       atomic.Int64
 	gcRelocations atomic.Int64
 	gcDiscarded   atomic.Int64
@@ -86,6 +88,7 @@ func (s *relStats) snapshot() Stats {
 		ChainWalks:    s.chainWalks.Load(),
 		ChainHops:     s.chainHops.Load(),
 		IndexInserts:  s.indexInserts.Load(),
+		IndexLookups:  s.indexLookups.Load(),
 		GCPages:       s.gcPages.Load(),
 		GCRelocations: s.gcRelocations.Load(),
 		GCDiscarded:   s.gcDiscarded.Load(),
@@ -226,17 +229,96 @@ func New(at simclock.Time, cfg Config) (*Relation, simclock.Time, error) {
 	}, t, nil
 }
 
-// AddSecondary attaches a secondary <key, VID> index.
+// AddSecondary attaches a secondary <key, VID> index and returns its
+// position. The slices are replaced copy-on-write under r.mu so concurrent
+// readers holding a snapshot never observe a partial mutation.
 func (r *Relation) AddSecondary(at simclock.Time, relID uint32, fn SecondaryKey) (simclock.Time, error) {
 	t, tm, err := index.New(at, relID, r.idxPool, r.idxAlloc)
 	if err != nil {
 		return tm, err
 	}
 	r.mu.Lock()
-	r.secs = append(r.secs, t)
-	r.secFns = append(r.secFns, fn)
+	secs := append(append([]*index.Tree(nil), r.secs...), t)
+	secFns := append(append([]SecondaryKey(nil), r.secFns...), fn)
+	r.secs, r.secFns = secs, secFns
 	r.mu.Unlock()
 	return tm, nil
+}
+
+// DropSecondary detaches secondary index idx. The slot is tombstoned with a
+// nil entry (not removed) so other indexes keep their positions; the tree's
+// pages are abandoned, not reclaimed.
+func (r *Relation) DropSecondary(idx int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx < 0 || idx >= len(r.secs) || r.secs[idx] == nil {
+		return fmt.Errorf("sias: no secondary index %d", idx)
+	}
+	secs := append([]*index.Tree(nil), r.secs...)
+	secFns := append([]SecondaryKey(nil), r.secFns...)
+	secs[idx], secFns[idx] = nil, nil
+	r.secs, r.secFns = secs, secFns
+	return nil
+}
+
+// secSnapshot returns a consistent view of the secondary-index slices.
+// Dropped slots are nil; callers skip them.
+func (r *Relation) secSnapshot() ([]*index.Tree, []SecondaryKey) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.secs, r.secFns
+}
+
+// SecondaryPageWrites reports how many pages secondary index idx has
+// dirtied (0 when idx is out of range or dropped) — the §6 zero-index-write
+// claim is asserted against this.
+func (r *Relation) SecondaryPageWrites(idx int) int64 {
+	secs, _ := r.secSnapshot()
+	if idx < 0 || idx >= len(secs) || secs[idx] == nil {
+		return 0
+	}
+	return secs[idx].PageWrites()
+}
+
+// PKEntries reports the primary index entry count (>= live rows: entries for
+// superseded key epochs and tombstoned items linger until GC/rebuild).
+func (r *Relation) PKEntries() int64 { return r.pk.Len() }
+
+// SecondaryEntries sums entry counts across live secondary indexes.
+func (r *Relation) SecondaryEntries() int64 {
+	secs, _ := r.secSnapshot()
+	var n int64
+	for _, sec := range secs {
+		if sec != nil {
+			n += sec.Len()
+		}
+	}
+	return n
+}
+
+// SecondaryInserts sums cumulative insert counts across live secondary
+// indexes (rebuild inserts included).
+func (r *Relation) SecondaryInserts() int64 {
+	secs, _ := r.secSnapshot()
+	var n int64
+	for _, sec := range secs {
+		if sec != nil {
+			n += sec.Inserts()
+		}
+	}
+	return n
+}
+
+// SecondaryCount reports the number of live (non-dropped) secondary indexes.
+func (r *Relation) SecondaryCount() int {
+	secs, _ := r.secSnapshot()
+	n := 0
+	for _, sec := range secs {
+		if sec != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Name returns the relation name.
@@ -489,8 +571,12 @@ func (r *Relation) Insert(tx *txn.Tx, at simclock.Time, key int64, payload []byt
 		return 0, t, err
 	}
 	r.stats.indexInserts.Add(1)
-	for i, sec := range r.secs {
-		if k, ok := r.secFns[i](payload); ok {
+	secs, secFns := r.secSnapshot()
+	for i, sec := range secs {
+		if sec == nil {
+			continue
+		}
+		if k, ok := secFns[i](payload); ok {
 			t, err = sec.Insert(t, k, vid)
 			if err != nil {
 				return 0, t, err
@@ -583,16 +669,38 @@ func (r *Relation) UpdateByVID(tx *txn.Tx, at simclock.Time, vid uint64, oldKey 
 	if newKey != oldKey {
 		// Key change: add the new <key, VID> entry; the old entry remains
 		// valid for transactions that still see old versions (Figure 2).
-		t, err = r.pk.Insert(t, newKey, vid)
+		// Entries are a set per <key, VID>: a row returning to a key it held
+		// before finds its old entry still there and must not duplicate it,
+		// or multi-version lookups would count the row once per stint.
+		var have bool
+		have, t, err = r.pk.Contains(t, newKey, vid)
 		if err != nil {
 			return t, err
 		}
-		r.stats.indexInserts.Add(1)
+		if !have {
+			t, err = r.pk.Insert(t, newKey, vid)
+			if err != nil {
+				return t, err
+			}
+			r.stats.indexInserts.Add(1)
+		}
 	}
-	for i, sec := range r.secs {
-		oldK, oldOk := r.secFns[i](payload)
-		newK, newOk := r.secFns[i](newPayload)
+	secs, secFns := r.secSnapshot()
+	for i, sec := range secs {
+		if sec == nil {
+			continue
+		}
+		oldK, oldOk := secFns[i](payload)
+		newK, newOk := secFns[i](newPayload)
 		if newOk && (!oldOk || newK != oldK) {
+			var have bool
+			have, t, err = sec.Contains(t, newK, vid)
+			if err != nil {
+				return t, err
+			}
+			if have {
+				continue
+			}
 			t, err = sec.Insert(t, newK, vid)
 			if err != nil {
 				return t, err
@@ -789,10 +897,12 @@ func (r *Relation) RangeByKey(tx *txn.Tx, at simclock.Time, lo, hi int64, fn fun
 
 // SearchSecondary resolves a secondary-index key to visible payloads.
 func (r *Relation) SearchSecondary(tx *txn.Tx, at simclock.Time, idx int, key int64) ([][]byte, simclock.Time, error) {
-	if idx < 0 || idx >= len(r.secs) {
+	secs, _ := r.secSnapshot()
+	if idx < 0 || idx >= len(secs) || secs[idx] == nil {
 		return nil, at, fmt.Errorf("sias: no secondary index %d", idx)
 	}
-	vids, t, err := r.secs[idx].Search(at, key)
+	r.stats.indexLookups.Add(1)
+	vids, t, err := secs[idx].Search(at, key)
 	if err != nil {
 		return nil, t, err
 	}
@@ -807,4 +917,42 @@ func (r *Relation) SearchSecondary(tx *txn.Tx, at simclock.Time, idx int, key in
 		}
 	}
 	return out, t, nil
+}
+
+// RangeBySecondary resolves the secondary-index key range [lo, hi] to
+// visible versions in index-key order. Entries outlive indexed-column
+// changes (exactly like the primary index), so fn receives the index key and
+// callers re-check the predicate against the decoded row.
+func (r *Relation) RangeBySecondary(tx *txn.Tx, at simclock.Time, idx int, lo, hi int64, fn func(indexKey int64, vid uint64, payload []byte) bool) (simclock.Time, error) {
+	secs, _ := r.secSnapshot()
+	if idx < 0 || idx >= len(secs) || secs[idx] == nil {
+		return at, fmt.Errorf("sias: no secondary index %d", idx)
+	}
+	r.stats.indexLookups.Add(1)
+	type ent struct {
+		key int64
+		vid uint64
+	}
+	var ents []ent
+	t, err := secs[idx].Range(at, lo, hi, func(k int64, vid uint64) bool {
+		ents = append(ents, ent{k, vid})
+		return true
+	})
+	if err != nil {
+		return t, err
+	}
+	for _, e := range ents {
+		hdr, payload, t2, found, err := r.chainLookup(tx, t, e.vid)
+		t = t2
+		if err != nil {
+			return t, err
+		}
+		if !found || hdr.Tombstone() {
+			continue
+		}
+		if !fn(e.key, e.vid, payload) {
+			return t, nil
+		}
+	}
+	return t, nil
 }

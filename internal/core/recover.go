@@ -23,17 +23,15 @@ import (
 // the primary key from a payload.
 func (r *Relation) RebuildFromHeap(at simclock.Time, blocks uint32, keyOf func(payload []byte) int64) (simclock.Time, error) {
 	clog := r.txm.CLOG()
-	type entry struct {
+	type version struct {
 		tid     page.TID
+		vid     uint64
 		create  txn.ID
 		tomb    bool
 		payload []byte
 	}
-	best := map[uint64]entry{}
-	var committed []struct {
-		tid page.TID
-		vid uint64
-	}
+	var committed []version
+	best := map[uint64]int{} // VID -> index of its entrypoint in committed
 	var losers []page.TID
 
 	r.mu.Lock()
@@ -52,7 +50,11 @@ func (r *Relation) RebuildFromHeap(at simclock.Time, blocks uint32, keyOf func(p
 	if err != nil {
 		return t, err
 	}
-	for _, sec := range r.secs {
+	secs, secFns := r.secSnapshot()
+	for _, sec := range secs {
+		if sec == nil {
+			continue
+		}
 		t, err = sec.Reset(t)
 		if err != nil {
 			return t, err
@@ -84,13 +86,10 @@ func (r *Relation) RebuildFromHeap(at simclock.Time, blocks uint32, keyOf func(p
 				losers = append(losers, tid)
 				return true
 			}
-			committed = append(committed, struct {
-				tid page.TID
-				vid uint64
-			}{tid, hdr.VID})
-			if cur, ok := best[hdr.VID]; !ok || hdr.Create > cur.create ||
-				(hdr.Create == cur.create && !hdr.Pred.Valid()) {
-				best[hdr.VID] = entry{tid, hdr.Create, hdr.Tombstone(), append([]byte(nil), payload...)}
+			committed = append(committed, version{tid, hdr.VID, hdr.Create, hdr.Tombstone(), append([]byte(nil), payload...)})
+			if cur, ok := best[hdr.VID]; !ok || hdr.Create > committed[cur].create ||
+				(hdr.Create == committed[cur].create && !hdr.Pred.Valid()) {
+				best[hdr.VID] = len(committed) - 1
 			}
 			return true
 		})
@@ -101,18 +100,19 @@ func (r *Relation) RebuildFromHeap(at simclock.Time, blocks uint32, keyOf func(p
 	}
 
 	// Entrypoints into the VIDmap.
-	for vid, e := range best {
-		r.vmap.Set(vid, e.tid)
+	for vid, i := range best {
+		r.vmap.Set(vid, committed[i].tid)
 	}
 	if hasVID {
 		r.vmap.SetNextVID(maxVID + 1)
 	}
 
-	// Everything committed that is not the entrypoint is superseded (no
-	// active snapshots survive a restart); losers are garbage outright.
+	// Everything committed that is not the entrypoint is superseded; losers
+	// are garbage outright. Superseded versions stay readable through the
+	// chain until vacuum reclaims them — that is the AS OF retention limit.
 	r.mu.Lock()
-	for _, c := range committed {
-		if best[c.vid].tid != c.tid {
+	for i, c := range committed {
+		if best[c.vid] != i {
 			r.markDeadLocked(c.tid)
 		}
 	}
@@ -121,22 +121,47 @@ func (r *Relation) RebuildFromHeap(at simclock.Time, blocks uint32, keyOf func(p
 	}
 	r.mu.Unlock()
 
-	// Rebuild indexes from entrypoints (tombstoned items stay unindexed).
-	for vid, e := range best {
-		if e.tomb {
+	// Rebuild indexes from EVERY committed version, not just entrypoints: an
+	// update that changed an indexed column left the old <key, VID> entry in
+	// place for transactions that still see old versions (Figure 2), and AS
+	// OF tokens survive a restart, so the rebuilt trees must carry those
+	// historical entries too. Tombstone versions carry no payload and add no
+	// entries — but, as in the live path, they don't remove the older
+	// versions' entries either. Versions sharing a key contribute one entry.
+	type treeKey struct {
+		tree int // -1 is the primary index
+		key  int64
+		vid  uint64
+	}
+	seen := map[treeKey]struct{}{}
+	for _, c := range committed {
+		if c.tomb {
 			continue
 		}
 		var err error
-		t, err = r.pk.Insert(t, keyOf(e.payload), vid)
-		if err != nil {
-			return t, err
+		pk := treeKey{-1, keyOf(c.payload), c.vid}
+		if _, dup := seen[pk]; !dup {
+			seen[pk] = struct{}{}
+			t, err = r.pk.Insert(t, pk.key, c.vid)
+			if err != nil {
+				return t, err
+			}
 		}
-		for i, sec := range r.secs {
-			if k, ok := r.secFns[i](e.payload); ok {
-				t, err = sec.Insert(t, k, vid)
-				if err != nil {
-					return t, err
-				}
+		for i, sec := range secs {
+			if sec == nil {
+				continue
+			}
+			k, ok := secFns[i](c.payload)
+			if !ok {
+				continue
+			}
+			if _, dup := seen[treeKey{i, k, c.vid}]; dup {
+				continue
+			}
+			seen[treeKey{i, k, c.vid}] = struct{}{}
+			t, err = sec.Insert(t, k, c.vid)
+			if err != nil {
+				return t, err
 			}
 		}
 	}

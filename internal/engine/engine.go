@@ -83,6 +83,14 @@ type Options struct {
 	// MaintenanceInterval paces GC (SIAS) / vacuum (SI).
 	MaintenanceInterval simclock.Duration
 
+	// GCRetention holds GC/vacuum back by this many transaction ids:
+	// superseded versions written by the most recent GCRetention committed
+	// transactions are retained even when no live snapshot needs them, so an
+	// AS OF token (SnapshotToken) stays fully resolvable until the horizon
+	// has advanced GCRetention ids past it — the store's time-travel
+	// retention limit. 0 reclaims everything live snapshots cannot reach.
+	GCRetention uint64
+
 	// VMapResidentBuckets bounds resident VIDmap buckets (0 = unlimited).
 	VMapResidentBuckets int
 
@@ -450,12 +458,22 @@ func (db *DB) Checkpoint(at simclock.Time) (simclock.Time, error) {
 	return t, nil
 }
 
-// RunMaintenance runs GC (SIAS) or vacuum (SI) on every table.
+// RunMaintenance runs GC (SIAS) or vacuum (SI) on every table. The horizon
+// it reclaims under is the transaction manager's (which live AS OF snapshots
+// pin), held back a further GCRetention ids so recently issued snapshot
+// tokens stay resolvable without a live pin.
 func (db *DB) RunMaintenance(at simclock.Time) (simclock.Time, error) {
 	db.mu.Lock()
 	tabs := append([]*Table(nil), db.order...)
 	db.mu.Unlock()
 	horizon := db.txm.Horizon()
+	if r := txn.ID(db.opts.GCRetention); r > 0 {
+		if horizon > r {
+			horizon -= r
+		} else {
+			horizon = 1 // ids start at 1: retain every superseded version
+		}
+	}
 	t := at
 	var err error
 	for _, tab := range tabs {
@@ -500,18 +518,55 @@ type Stats struct {
 	VMapResidencyHits   int64
 	VMapResidencyMisses int64
 	VMapHitRatio        float64
+	// IndexLookups / IndexInserts total secondary-index probe and entry
+	// counts across all tables; Tables breaks the same figures out per table
+	// in creation order.
+	IndexLookups int64
+	IndexInserts int64
+	Tables       []TableStats
+}
+
+// TableStats reports one table's catalog and index figures.
+type TableStats struct {
+	Name string
+	// Rows is the primary-index entry count: >= live rows, since entries for
+	// superseded key epochs and tombstoned items linger until GC/rebuild.
+	Rows int64
+	// Indexes counts live (non-dropped) secondary indexes; IndexEntries and
+	// IndexInserts sum their entry counts and cumulative inserts.
+	Indexes      int64
+	IndexEntries int64
+	IndexLookups int64
+	IndexInserts int64
 }
 
 // Stats returns a snapshot.
 func (db *DB) Stats() Stats {
 	ps := db.pool.Stats()
 	var vmapHits, vmapMisses int64
+	var idxLookups, idxInserts int64
+	var tables []TableStats
 	for _, tab := range db.Tables() {
+		ts := TableStats{Name: tab.Name()}
 		if rel := tab.SIAS(); rel != nil {
 			h, m := rel.VMapResidency()
 			vmapHits += h
 			vmapMisses += m
+			ts.Rows = rel.PKEntries()
+			ts.Indexes = int64(rel.SecondaryCount())
+			ts.IndexEntries = rel.SecondaryEntries()
+			ts.IndexLookups = rel.Stats().IndexLookups
+			ts.IndexInserts = rel.SecondaryInserts()
+		} else if rel := tab.SI(); rel != nil {
+			ts.Rows = rel.PKEntries()
+			ts.Indexes = int64(rel.SecondaryCount())
+			ts.IndexEntries = rel.SecondaryEntries()
+			ts.IndexLookups = rel.Stats().IndexLookups
+			ts.IndexInserts = rel.SecondaryInserts()
 		}
+		idxLookups += ts.IndexLookups
+		idxInserts += ts.IndexInserts
+		tables = append(tables, ts)
 	}
 	vmapRatio := 1.0
 	if vmapHits+vmapMisses > 0 {
@@ -535,6 +590,10 @@ func (db *DB) Stats() Stats {
 		VMapResidencyHits:   vmapHits,
 		VMapResidencyMisses: vmapMisses,
 		VMapHitRatio:        vmapRatio,
+
+		IndexLookups: idxLookups,
+		IndexInserts: idxInserts,
+		Tables:       tables,
 	}
 }
 

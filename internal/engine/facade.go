@@ -301,3 +301,61 @@ func (f *Facade) RangeByKey(tab *Table, tx *txn.Tx, lo, hi int64, fn func(tuple.
 		return tab.RangeByKey(tx, at, lo, hi, fn)
 	})
 }
+
+// LookupSecondary returns visible rows of tab matching key in secondary
+// index idx.
+func (f *Facade) LookupSecondary(tab *Table, tx *txn.Tx, idx int, key int64) ([]tuple.Row, error) {
+	var rows []tuple.Row
+	err := f.run(func(at simclock.Time) (simclock.Time, error) {
+		r, t, err := tab.LookupSecondary(tx, at, idx, key)
+		rows = r
+		return t, err
+	})
+	return rows, err
+}
+
+// RangeBySecondary visits visible rows of tab with lo <= indexed value <= hi
+// through secondary index idx, in index order.
+func (f *Facade) RangeBySecondary(tab *Table, tx *txn.Tx, idx int, lo, hi int64, fn func(indexKey int64, row tuple.Row) bool) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return tab.RangeBySecondary(tx, at, idx, lo, hi, fn)
+	})
+}
+
+// SnapshotToken returns a stable AS OF snapshot token (see DB.SnapshotToken).
+func (f *Facade) SnapshotToken() uint64 { return f.db.SnapshotToken() }
+
+// BeginAt starts a read-only transaction pinned at an AS OF snapshot token.
+func (f *Facade) BeginAt(token uint64) *txn.Tx { return f.db.BeginReadOnlyAt(token) }
+
+// CreateTable creates a table through the logged DDL path.
+func (f *Facade) CreateTable(name string, schema *tuple.Schema, pkCol string) (*Table, error) {
+	var tab *Table
+	err := f.run(func(at simclock.Time) (simclock.Time, error) {
+		tb, t, err := f.db.CreateTableLogged(at, name, schema, pkCol)
+		tab = tb
+		return t, err
+	})
+	return tab, err
+}
+
+// DropTable drops a table through the logged DDL path.
+func (f *Facade) DropTable(name string) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return f.db.DropTableLogged(at, name)
+	})
+}
+
+// CreateIndex creates a named column index through the logged DDL path.
+func (f *Facade) CreateIndex(table, index, column string) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return f.db.CreateIndexLogged(at, table, index, column)
+	})
+}
+
+// DropIndex drops a named index through the logged DDL path.
+func (f *Facade) DropIndex(table, index string) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return f.db.DropIndexLogged(at, table, index)
+	})
+}

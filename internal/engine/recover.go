@@ -10,8 +10,10 @@ import (
 )
 
 // Recover replays the pre-scanned WAL into the data pages and rebuilds every
-// table's volatile structures. Call it after recreating the schema
-// (CreateTable in the original order) on a DB opened with Options.Recover.
+// table's volatile structures. Call it after recreating the bootstrap schema
+// (CreateTable in the original order) on a DB opened with Options.Recover;
+// tables and indexes created through the logged DDL path need no such help —
+// their RecDDL records replay in pass 1.
 //
 // Redo is physiological and idempotent:
 //
@@ -50,6 +52,16 @@ func (db *DB) Recover(at simclock.Time) (simclock.Time, error) {
 			clog.Set(rec.Tx, txn.StatusAborted)
 		case wal.RecAllocExtent:
 			db.alloc.Restore(rec.Rel, uint32(rec.Aux), int64(rec.Aux>>32))
+		case wal.RecDDL:
+			// Logged catalog changes replay in log order, after the alloc
+			// records that preceded them, so a re-created index tree lands on
+			// its restored extents. Schema must exist before heap redo (pass
+			// 2) and the volatile rebuild (pass 3) — both iterate tables.
+			var err error
+			t, err = db.applyDDL(t, &rec)
+			if err != nil {
+				return t, err
+			}
 		case wal.RecCheckpoint:
 			redoFrom = wal.LSN(rec.Aux)
 		}

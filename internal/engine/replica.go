@@ -66,6 +66,17 @@ func (db *DB) ApplyRecord(at simclock.Time, rec *wal.Record) (simclock.Time, err
 		db.replicaDirty.Store(true)
 	case wal.RecAllocExtent:
 		db.alloc.Restore(rec.Rel, uint32(rec.Aux), int64(rec.Aux>>32))
+	case wal.RecDDL:
+		// The primary's alloc records for the new relation's extents precede
+		// the DDL in the stream, so the re-created tree reuses restored
+		// extents instead of drawing from the scratch region. A new index
+		// over existing rows starts empty until the next refresh rebuilds
+		// volatile state, hence the dirty mark.
+		t, err = db.applyDDL(t, rec)
+		if err != nil {
+			return t, err
+		}
+		db.replicaDirty.Store(true)
 	case wal.RecCheckpoint:
 		t, err = db.walw.Flush(t, db.walw.NextLSN())
 		if err != nil {

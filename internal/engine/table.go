@@ -26,12 +26,40 @@ type Table struct {
 	sias *core.Relation
 	si   *si.Relation
 
-	secNames []string
-	secFns   []func(tuple.Row) (int64, bool)
+	// Secondary-index metadata, positionally aligned with the relation's
+	// secondary slice. Mutated under db.mu (DDL is rare); read paths copy
+	// what they need under the same lock. secCols[i] is the indexed column
+	// name for column indexes ("" for programmatic keyFn indexes, which are
+	// test-only and not replayable); secDropped[i] tombstones DROP INDEX.
+	secNames   []string
+	secCols    []string
+	secIDs     []uint32
+	secDropped []bool
+	secFns     []func(tuple.Row) (int64, bool)
 }
 
-// CreateTable registers a new table with the configured engine kind.
+// CreateTable registers a new table with the configured engine kind without
+// logging a DDL record: it is the bootstrap path for schema the process
+// recreates deterministically on every start (the server's default table,
+// tests). Wire-level DDL goes through CreateTableLogged, which persists the
+// change in the WAL.
 func (db *DB) CreateTable(at simclock.Time, name string, schema *tuple.Schema, pkCol string) (*Table, simclock.Time, error) {
+	db.mu.Lock()
+	if _, dup := db.tables[name]; dup {
+		db.mu.Unlock()
+		return nil, at, fmt.Errorf("%w: table %s", ErrExists, name)
+	}
+	heapID := db.nextRelID
+	pkID := db.nextRelID + 1
+	db.nextRelID += 2
+	db.mu.Unlock()
+	return db.createTableWithIDs(at, name, schema, pkCol, heapID, pkID)
+}
+
+// createTableWithIDs builds a table over pre-assigned relation ids. Both the
+// bootstrap path (ids fresh off the counter) and DDL replay (ids recorded in
+// the log) land here.
+func (db *DB) createTableWithIDs(at simclock.Time, name string, schema *tuple.Schema, pkCol string, heapID, pkID uint32) (*Table, simclock.Time, error) {
 	pi := schema.Col(pkCol)
 	if pi < 0 {
 		return nil, at, fmt.Errorf("engine: table %s: no column %q", name, pkCol)
@@ -39,16 +67,6 @@ func (db *DB) CreateTable(at simclock.Time, name string, schema *tuple.Schema, p
 	if schema.Cols[pi].Type != tuple.TypeInt64 {
 		return nil, at, fmt.Errorf("engine: table %s: primary key %q must be int64", name, pkCol)
 	}
-	db.mu.Lock()
-	if _, dup := db.tables[name]; dup {
-		db.mu.Unlock()
-		return nil, at, fmt.Errorf("engine: table %s already exists", name)
-	}
-	heapID := db.nextRelID
-	pkID := db.nextRelID + 1
-	db.nextRelID += 2
-	db.mu.Unlock()
-
 	tab := &Table{db: db, name: name, schema: schema, pkCol: pi}
 	var t simclock.Time
 	var err error
@@ -74,6 +92,7 @@ func (db *DB) CreateTable(at simclock.Time, name string, schema *tuple.Schema, p
 			WAL:     db.walw,
 			Txns:    db.txm,
 			PKRelID: pkID,
+			Retain:  txn.ID(db.opts.GCRetention),
 		})
 	default:
 		err = fmt.Errorf("engine: unknown kind %v", db.opts.Kind)
@@ -82,6 +101,10 @@ func (db *DB) CreateTable(at simclock.Time, name string, schema *tuple.Schema, p
 		return nil, t, err
 	}
 	db.mu.Lock()
+	if _, dup := db.tables[name]; dup {
+		db.mu.Unlock()
+		return nil, t, fmt.Errorf("%w: table %s", ErrExists, name)
+	}
 	db.tables[name] = tab
 	db.order = append(db.order, tab)
 	db.mu.Unlock()
@@ -89,12 +112,20 @@ func (db *DB) CreateTable(at simclock.Time, name string, schema *tuple.Schema, p
 }
 
 // AddSecondaryIndex attaches a secondary index computed by keyFn over rows.
-// Returns the index id to pass to LookupSecondary.
+// Returns the index id to pass to LookupSecondary. Not logged: an arbitrary
+// Go function cannot be replayed from the WAL — durable indexes are created
+// by column through CreateIndexLogged.
 func (t *Table) AddSecondaryIndex(at simclock.Time, name string, keyFn func(tuple.Row) (int64, bool)) (int, simclock.Time, error) {
 	t.db.mu.Lock()
 	relID := t.db.nextRelID
 	t.db.nextRelID++
 	t.db.mu.Unlock()
+	return t.addSecondary(at, name, "", relID, keyFn)
+}
+
+// addSecondary attaches the index to the relation and records its metadata.
+// col is the indexed column name ("" for programmatic indexes).
+func (t *Table) addSecondary(at simclock.Time, name, col string, relID uint32, keyFn func(tuple.Row) (int64, bool)) (int, simclock.Time, error) {
 	payloadFn := func(payload []byte) (int64, bool) {
 		row, err := t.schema.DecodeRow(payload)
 		if err != nil {
@@ -112,9 +143,15 @@ func (t *Table) AddSecondaryIndex(at simclock.Time, name string, keyFn func(tupl
 	if err != nil {
 		return 0, tm, err
 	}
+	t.db.mu.Lock()
 	t.secNames = append(t.secNames, name)
+	t.secCols = append(t.secCols, col)
+	t.secIDs = append(t.secIDs, relID)
+	t.secDropped = append(t.secDropped, false)
 	t.secFns = append(t.secFns, keyFn)
-	return len(t.secNames) - 1, tm, nil
+	idx := len(t.secNames) - 1
+	t.db.mu.Unlock()
+	return idx, tm, nil
 }
 
 // Name returns the table name.
@@ -122,6 +159,9 @@ func (t *Table) Name() string { return t.name }
 
 // Schema returns the table schema.
 func (t *Table) Schema() *tuple.Schema { return t.schema }
+
+// PKCol returns the primary key column's name.
+func (t *Table) PKCol() string { return t.schema.Cols[t.pkCol].Name }
 
 // SIAS exposes the underlying SIAS relation (nil for SI tables).
 func (t *Table) SIAS() *core.Relation { return t.sias }
@@ -361,4 +401,39 @@ func (t *Table) LookupSecondary(tx *txn.Tx, at simclock.Time, idx int, key int64
 		rows = append(rows, row)
 	}
 	return rows, tm, nil
+}
+
+// RangeBySecondary visits visible rows with lo <= indexed value <= hi in
+// index order. Stale entries (the row's current indexed value moved out from
+// under the entry after an update) are re-checked and skipped, mirroring
+// LookupSecondary.
+func (t *Table) RangeBySecondary(tx *txn.Tx, at simclock.Time, idx int, lo, hi int64, fn func(indexKey int64, row tuple.Row) bool) (simclock.Time, error) {
+	visit := func(indexKey int64, payload []byte) bool {
+		row, err := t.schema.DecodeRow(payload)
+		if err != nil {
+			return true
+		}
+		if idx < len(t.secFns) {
+			if k, ok := t.secFns[idx](row); !ok || k != indexKey {
+				return true
+			}
+		}
+		return fn(indexKey, row)
+	}
+	if t.sias != nil {
+		return t.sias.RangeBySecondary(tx, at, idx, lo, hi, func(indexKey int64, _ uint64, payload []byte) bool {
+			return visit(indexKey, payload)
+		})
+	}
+	return t.si.RangeBySecondary(tx, at, idx, lo, hi, visit)
+}
+
+// SecondaryPageWrites reports the cumulative page writes of one secondary
+// index tree — the measurable half of the paper's Section 6 claim that
+// non-key updates write zero index pages under SIAS.
+func (t *Table) SecondaryPageWrites(idx int) int64 {
+	if t.sias != nil {
+		return t.sias.SecondaryPageWrites(idx)
+	}
+	return t.si.SecondaryPageWrites(idx)
 }

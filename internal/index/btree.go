@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sias/internal/buffer"
 	"sias/internal/page"
@@ -131,7 +132,29 @@ type Tree struct {
 	nextBlock uint32
 	height    int
 	entries   int64
+
+	pageWrites atomic.Int64
+	inserts    atomic.Int64
 }
+
+// release returns a frame to the pool, counting dirty releases so callers
+// can observe how many index pages an operation wrote. The paper's Section 6
+// claim — a non-key update never touches the index — is asserted against
+// this counter.
+func (t *Tree) release(f *buffer.Frame, dirty bool) {
+	if dirty {
+		t.pageWrites.Add(1)
+	}
+	t.pool.Release(f, dirty)
+}
+
+// PageWrites reports the cumulative number of index pages this tree has
+// dirtied since creation (structure writes included).
+func (t *Tree) PageWrites() int64 { return t.pageWrites.Load() }
+
+// Inserts reports the cumulative number of successful Insert calls over the
+// tree's lifetime (rebuild inserts included); unlike Len it never decreases.
+func (t *Tree) Inserts() int64 { return t.inserts.Load() }
 
 // New creates an empty tree (root = empty leaf at block 0).
 func New(at simclock.Time, relID uint32, pool *buffer.Pool, alloc *space.Allocator) (*Tree, simclock.Time, error) {
@@ -144,7 +167,7 @@ func New(at simclock.Time, relID uint32, pool *buffer.Pool, alloc *space.Allocat
 	n.setLeaf(true)
 	n.setCount(0)
 	n.setAux(0)
-	t.pool.Release(f, true)
+	t.release(f, true)
 	return t, tm, nil
 }
 
@@ -167,7 +190,7 @@ func (t *Tree) Reset(at simclock.Time) (simclock.Time, error) {
 	n.setLeaf(true)
 	n.setCount(0)
 	n.setAux(0)
-	t.pool.Release(f, true)
+	t.release(f, true)
 	t.nextBlock = 1
 	t.height = 1
 	t.entries = 0
@@ -266,7 +289,7 @@ func (t *Tree) Insert(at simclock.Time, key int64, payload uint64) (simclock.Tim
 		}
 		mf, tm3, err := t.getBlock(tm2, moved, true)
 		if err != nil {
-			t.pool.Release(rf, false)
+			t.release(rf, false)
 			return tm3, err
 		}
 		copy(mf.Data, rf.Data)
@@ -276,12 +299,13 @@ func (t *Tree) Insert(at simclock.Time, key int64, payload uint64) (simclock.Tim
 		root.setCount(0)
 		root.setAux(moved)
 		root.insertIntAt(0, promoKey, promoChild)
-		t.pool.Release(mf, true)
-		t.pool.Release(rf, true)
+		t.release(mf, true)
+		t.release(rf, true)
 		t.height++
 		tm = tm3
 	}
 	t.entries++
+	t.inserts.Add(1)
 	return tm, nil
 }
 
@@ -295,20 +319,20 @@ func (t *Tree) insertRec(at simclock.Time, block uint32, level int, key int64, p
 	n := node{f.Data}
 	if level == 1 {
 		if !n.isLeaf() {
-			t.pool.Release(f, false)
+			t.release(f, false)
 			return 0, 0, false, tm, fmt.Errorf("index: block %d: expected leaf", block)
 		}
 		i := lowerBoundLeaf(n, key, payload)
 		n.insertLeafAt(i, key, payload)
 		if n.count() < leafCap {
-			t.pool.Release(f, true)
+			t.release(f, true)
 			return 0, 0, false, tm, nil
 		}
 		// Split leaf: right half moves to a new block.
 		right := t.allocBlock()
 		rf, tm2, err := t.getBlock(tm, right, true)
 		if err != nil {
-			t.pool.Release(f, false)
+			t.release(f, false)
 			return 0, 0, false, tm2, err
 		}
 		rn := node{rf.Data}
@@ -322,14 +346,14 @@ func (t *Tree) insertRec(at simclock.Time, block uint32, level int, key int64, p
 		n.setCount(half)
 		n.setAux(right + 1) // sibling link is block+1 (0 = none)
 		sep := rn.leafKey(0)
-		t.pool.Release(rf, true)
-		t.pool.Release(f, true)
+		t.release(rf, true)
+		t.release(f, true)
 		return sep, right, true, tm2, nil
 	}
 	// Internal node.
 	ci := childIndex(n, key)
 	child := childBlock(n, ci)
-	t.pool.Release(f, false)
+	t.release(f, false)
 	pk, pc, split, tm2, err := t.insertRec(tm, child, level-1, key, payload)
 	if err != nil || !split {
 		return 0, 0, false, tm2, err
@@ -342,14 +366,14 @@ func (t *Tree) insertRec(at simclock.Time, block uint32, level int, key int64, p
 	i := childIndex(n, pk)
 	n.insertIntAt(i, pk, pc)
 	if n.count() < intCap {
-		t.pool.Release(f, true)
+		t.release(f, true)
 		return 0, 0, false, tm3, nil
 	}
 	// Split internal node.
 	right := t.allocBlock()
 	rf, tm4, err := t.getBlock(tm3, right, true)
 	if err != nil {
-		t.pool.Release(f, false)
+		t.release(f, false)
 		return 0, 0, false, tm4, err
 	}
 	rn := node{rf.Data}
@@ -362,8 +386,8 @@ func (t *Tree) insertRec(at simclock.Time, block uint32, level int, key int64, p
 		f.Data[entriesOff+(half+1)*intEntSize:entriesOff+n.count()*intEntSize])
 	rn.setCount(moveN)
 	n.setCount(half)
-	t.pool.Release(rf, true)
-	t.pool.Release(f, true)
+	t.release(rf, true)
+	t.release(f, true)
 	return sep, right, true, tm4, nil
 }
 
@@ -394,7 +418,7 @@ func (t *Tree) descendToLeaf(at simclock.Time, key int64) (uint32, simclock.Time
 			lo--
 		}
 		block = childBlock(n, lo)
-		t.pool.Release(f, false)
+		t.release(f, false)
 		at = tm
 	}
 	return block, at, nil
@@ -408,6 +432,22 @@ func (t *Tree) Search(at simclock.Time, key int64) ([]uint64, simclock.Time, err
 		return true
 	})
 	return out, tm, err
+}
+
+// Contains reports whether the tree holds the exact <key, payload> entry.
+// SIAS indexes are sets of <key, VID> pairs that are never removed by
+// updates: a row that leaves a key and later re-enters it must probe before
+// inserting, or multi-version lookups would count the row once per stint.
+func (t *Tree) Contains(at simclock.Time, key int64, payload uint64) (bool, simclock.Time, error) {
+	found := false
+	tm, err := t.Range(at, key, key, func(_ int64, v uint64) bool {
+		if v == payload {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, tm, err
 }
 
 // Range invokes fn for every entry with lo <= key <= hi in ascending order;
@@ -433,16 +473,16 @@ func (t *Tree) rangeLocked(at simclock.Time, lo, hi int64, fn func(key int64, pa
 		for ; i < n.count(); i++ {
 			k := n.leafKey(i)
 			if k > hi {
-				t.pool.Release(f, false)
+				t.release(f, false)
 				return tm2, nil
 			}
 			if !fn(k, n.leafVal(i)) {
-				t.pool.Release(f, false)
+				t.release(f, false)
 				return tm2, nil
 			}
 		}
 		next := n.aux()
-		t.pool.Release(f, false)
+		t.release(f, false)
 		tm = tm2
 		if next == 0 {
 			return tm, nil
@@ -470,17 +510,17 @@ func (t *Tree) Delete(at simclock.Time, key int64, payload uint64) (simclock.Tim
 		i := lowerBoundLeaf(n, key, payload)
 		if i < n.count() && n.leafKey(i) == key && n.leafVal(i) == payload {
 			n.removeLeafAt(i)
-			t.pool.Release(f, true)
+			t.release(f, true)
 			t.entries--
 			return tm2, nil
 		}
 		// Duplicates may continue in the right sibling.
 		if i < n.count() || n.aux() == 0 {
-			t.pool.Release(f, false)
+			t.release(f, false)
 			return tm2, ErrNotFound
 		}
 		next := n.aux() - 1
-		t.pool.Release(f, false)
+		t.release(f, false)
 		block, tm = next, tm2
 	}
 }

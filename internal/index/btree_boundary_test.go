@@ -1,0 +1,166 @@
+package index
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRangeAtSplitBoundaries interleaves full- and boundary-range
+// scans with writers that churn keys exactly at leaf-capacity boundaries:
+// every writer fills its region's first leaf to leafCap during prefill, so
+// its first churn insert splits that leaf, and its periodic drain/restore
+// cycles empty a run of boundary keys (leaving a sparse or empty leaf the
+// scanners must cross) before refilling it. Deterministically seeded; run
+// under -race this doubles as a locking test for the split and
+// empty-leaf-traversal paths.
+//
+// Invariants checked while the churn runs (scans hold the tree mutex, so
+// each scan sees an atomic snapshot):
+//   - keys arrive in non-decreasing order;
+//   - sentinel keys, which no writer touches, appear in every full scan
+//     exactly once;
+//   - every observed key belongs to a region's key space.
+func TestConcurrentRangeAtSplitBoundaries(t *testing.T) {
+	tr := newTree(t)
+	const (
+		regions   = 4
+		sentinels = 8
+		iters     = 250
+		drainRun  = 16 // boundary keys drained and restored per cycle
+	)
+	stride := int64(leafCap * 4)
+	churn := int64(leafCap) // churn zone starts one full leaf into the region
+	maxKey := int64(regions) * stride
+
+	// Prefill: each region's base leaf is packed to exactly leafCap entries,
+	// so the first churn insert in that region must split it. Sentinels live
+	// above the churn zone and are never written again.
+	prefill := make(map[int64]bool)
+	for r := int64(0); r < regions; r++ {
+		base := r * stride
+		for k := base; k < base+int64(leafCap); k++ {
+			if _, err := tr.Insert(0, k, uint64(k)); err != nil {
+				t.Fatal(err)
+			}
+			prefill[k] = true
+		}
+		for j := int64(0); j < sentinels; j++ {
+			k := base + 2*churn + j
+			if _, err := tr.Insert(0, k, uint64(k)); err != nil {
+				t.Fatal(err)
+			}
+			prefill[k] = true
+		}
+	}
+
+	var wg sync.WaitGroup
+	for r := int64(0); r < regions; r++ {
+		wg.Add(1)
+		go func(r int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(42 + r)) // deterministic per writer
+			base := r * stride
+			for i := 0; i < iters; i++ {
+				// Splits: grow the churn leaf past capacity.
+				k := base + churn + rng.Int63n(churn)
+				if _, err := tr.Insert(0, k, uint64(k)); err != nil {
+					t.Errorf("insert %d: %v", k, err)
+					return
+				}
+				if rng.Intn(4) == 0 {
+					// Drain a run of boundary keys out of the packed base
+					// leaf (scanners cross the hole), then restore them.
+					lo := base + rng.Int63n(int64(leafCap-drainRun))
+					for j := lo; j < lo+drainRun; j++ {
+						if _, err := tr.Delete(0, j, uint64(j)); err != nil {
+							t.Errorf("drain %d: %v", j, err)
+							return
+						}
+					}
+					for j := lo; j < lo+drainRun; j++ {
+						if _, err := tr.Insert(0, j, uint64(j)); err != nil {
+							t.Errorf("restore %d: %v", j, err)
+							return
+						}
+					}
+				}
+				if _, err := tr.Delete(0, k, uint64(k)); err != nil {
+					t.Errorf("delete %d: %v", k, err)
+					return
+				}
+			}
+		}(r)
+	}
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				prev := int64(-1)
+				seen := 0
+				_, err := tr.Range(0, 0, maxKey, func(k int64, v uint64) bool {
+					if k < prev {
+						t.Errorf("scan %d/%d: key %d after %d", s, i, k, prev)
+						return false
+					}
+					prev = k
+					if off := k % stride; off >= 2*churn && off < 2*churn+sentinels {
+						seen++
+					}
+					if k%stride >= 2*churn+sentinels {
+						t.Errorf("scan %d/%d: key %d outside any region", s, i, k)
+						return false
+					}
+					return true
+				})
+				if err != nil {
+					t.Errorf("scan %d/%d: %v", s, i, err)
+					return
+				}
+				if seen != regions*sentinels {
+					t.Errorf("scan %d/%d: saw %d sentinels, want %d", s, i, seen, regions*sentinels)
+					return
+				}
+				// A short scan straddling one region's split boundary.
+				b := int64(i%regions)*stride + churn
+				_, err = tr.Range(0, b-5, b+5, func(k int64, v uint64) bool {
+					if k < b-5 || k > b+5 {
+						t.Errorf("boundary scan: key %d outside [%d,%d]", k, b-5, b+5)
+						return false
+					}
+					return true
+				})
+				if err != nil {
+					t.Errorf("boundary scan %d/%d: %v", s, i, err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Churn is balanced: the final tree is exactly the prefill set.
+	if got, want := tr.Len(), int64(len(prefill)); got != want {
+		t.Fatalf("Len = %d after balanced churn, want %d", got, want)
+	}
+	rest := make(map[int64]bool, len(prefill))
+	if _, err := tr.Range(0, 0, maxKey, func(k int64, v uint64) bool {
+		if rest[k] {
+			t.Errorf("duplicate key %d in final scan", k)
+			return false
+		}
+		rest[k] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for k := range prefill {
+		if !rest[k] {
+			t.Fatalf("key %d lost during boundary churn", k)
+		}
+	}
+	if len(rest) != len(prefill) {
+		t.Fatalf("final scan has %d keys, want %d", len(rest), len(prefill))
+	}
+}

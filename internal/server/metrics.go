@@ -24,14 +24,17 @@ import (
 //     repl.Follower.Stats) — so /metrics and STATS agree by construction.
 
 // timedOps are the request ops measured into sias_server_op_seconds and
-// eligible for the slow-op log. STATS/SUBSCRIBE/PROMOTE are control plane.
+// eligible for the slow-op log. STATS/SUBSCRIBE/PROMOTE and the catalog
+// control plane (SNAPSHOT, DDL, LIST_TABLES) are not timed.
 var timedOps = [...]wire.Op{
 	wire.OpBegin, wire.OpCommit, wire.OpAbort, wire.OpGet,
 	wire.OpInsert, wire.OpUpdate, wire.OpDelete, wire.OpScan,
+	wire.OpBeginAt, wire.OpInsertRow, wire.OpGetRow, wire.OpUpdateRow,
+	wire.OpDeleteRow, wire.OpScanTable, wire.OpIndexLookup, wire.OpIndexRange,
 }
 
 // maxOp bounds the opHist lookup array (wire op codes are small and dense).
-const maxOp = 16
+const maxOp = 32
 
 // setupMetrics registers every family and injects the static instruments.
 // Called once from New, before any connection exists.
@@ -126,6 +129,34 @@ func (s *Server) setupMetrics(reg *obs.Registry, slow *obs.SlowOpLog) {
 		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
 			emit(l, float64(st.AllocatedPages))
 		}))
+
+	// --- secondary indexes and per-table catalog gauges ------------------
+	reg.CollectCounter("sias_index_lookups_total",
+		"Secondary index probes (point lookups and range scans).",
+		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
+			emit(l, float64(st.IndexLookups))
+		}))
+	reg.CollectCounter("sias_index_inserts_total",
+		"Secondary index entry inserts, including recovery rebuilds.",
+		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
+			emit(l, float64(st.IndexInserts))
+		}))
+	perTable := func(fn func(ts engine.TableStats) float64) func(emit func(obs.Labels, float64)) {
+		return perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
+			for _, ts := range st.Tables {
+				emit(obs.Labels{"shard": l["shard"], "table": ts.Name}, fn(ts))
+			}
+		})
+	}
+	reg.CollectGauge("sias_table_rows",
+		"Visible primary index entries per table.",
+		perTable(func(ts engine.TableStats) float64 { return float64(ts.Rows) }))
+	reg.CollectGauge("sias_table_indexes",
+		"Live secondary indexes per table.",
+		perTable(func(ts engine.TableStats) float64 { return float64(ts.Indexes) }))
+	reg.CollectGauge("sias_table_index_entries",
+		"Live secondary index entries per table (lazy deletes included until maintenance).",
+		perTable(func(ts engine.TableStats) float64 { return float64(ts.IndexEntries) }))
 
 	reg.CollectCounter("sias_pool_hits_total", "Buffer pool page hits.",
 		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
@@ -331,7 +362,9 @@ func (s *Server) slowOpMeta(op wire.Op, payload []byte) (shard int, txn uint64) 
 	shard = -1
 	r := wire.Reader{B: payload}
 	switch op {
-	case wire.OpCommit, wire.OpAbort, wire.OpScan:
+	case wire.OpCommit, wire.OpAbort, wire.OpScan,
+		wire.OpInsertRow, wire.OpUpdateRow, wire.OpScanTable,
+		wire.OpIndexLookup, wire.OpIndexRange:
 		txn, _ = r.U64()
 	case wire.OpGet, wire.OpInsert, wire.OpUpdate, wire.OpDelete:
 		h, err := r.U64()
@@ -339,6 +372,18 @@ func (s *Server) slowOpMeta(op wire.Op, payload []byte) (shard int, txn uint64) 
 			return
 		}
 		txn = h
+		if key, err := r.I64(); err == nil {
+			shard = s.cfg.Router.ShardOf(key)
+		}
+	case wire.OpGetRow, wire.OpDeleteRow:
+		h, err := r.U64()
+		if err != nil {
+			return
+		}
+		txn = h
+		if _, err := r.Bytes(); err != nil { // table name
+			return
+		}
 		if key, err := r.I64(); err == nil {
 			shard = s.cfg.Router.ShardOf(key)
 		}

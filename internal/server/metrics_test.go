@@ -9,6 +9,7 @@ import (
 	"sias/internal/client"
 	"sias/internal/obs"
 	"sias/internal/server"
+	"sias/internal/tuple"
 )
 
 // TestMetricsMatchStatsFrame runs traffic against an instrumented sharded
@@ -44,6 +45,28 @@ func TestMetricsMatchStatsFrame(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Catalog traffic so the index counters and per-table gauges are live.
+	if err := c.CreateTable("orders", ordersSchema(), "id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("orders", "by_customer", "customer"); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 40; i++ {
+		if err := tx.InsertRow("orders", tuple.Row{i, i % 4, "m"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.IndexLookup("orders", "by_customer", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
 
 	st, err := c.Stats()
 	if err != nil {
@@ -62,6 +85,37 @@ func TestMetricsMatchStatsFrame(t *testing.T) {
 			t.Errorf("exposition missing %q", want)
 		}
 	}
+	// Secondary index counters and per-table gauges: exact equality against
+	// the same STATS snapshot, series by series. The typed traffic above
+	// guarantees they are nonzero.
+	var lookups, inserts int64
+	for i, sh := range st.Shards {
+		shard := fmt.Sprint(i)
+		lookups += sh.IndexLookups
+		inserts += sh.IndexInserts
+		for _, wantLine := range []string{
+			fmt.Sprintf("sias_index_lookups_total{shard=%q} %d\n", shard, sh.IndexLookups),
+			fmt.Sprintf("sias_index_inserts_total{shard=%q} %d\n", shard, sh.IndexInserts),
+		} {
+			if !strings.Contains(text, wantLine) {
+				t.Errorf("exposition missing %q", wantLine)
+			}
+		}
+		for _, ts := range sh.Tables {
+			for _, wantLine := range []string{
+				fmt.Sprintf("sias_table_rows{shard=%q,table=%q} %d\n", shard, ts.Name, ts.Rows),
+				fmt.Sprintf("sias_table_indexes{shard=%q,table=%q} %d\n", shard, ts.Name, ts.Indexes),
+				fmt.Sprintf("sias_table_index_entries{shard=%q,table=%q} %d\n", shard, ts.Name, ts.IndexEntries),
+			} {
+				if !strings.Contains(text, wantLine) {
+					t.Errorf("exposition missing %q", wantLine)
+				}
+			}
+		}
+	}
+	if lookups == 0 || inserts == 0 {
+		t.Errorf("index counters flat after typed traffic: lookups=%d inserts=%d", lookups, inserts)
+	}
 	// Server-layer counters.
 	for _, want := range []string{
 		fmt.Sprintf("sias_server_requests_total %d\n", st.Server.Requests),
@@ -77,9 +131,10 @@ func TestMetricsMatchStatsFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// 200 kv transactions + 1 typed-row transaction.
 	commit := hists[`sias_server_op_seconds{op="COMMIT"}`]
-	if commit == nil || commit.Count != 200 {
-		t.Fatalf("COMMIT histogram count = %v, want 200", commit)
+	if commit == nil || commit.Count != 201 {
+		t.Fatalf("COMMIT histogram count = %v, want 201", commit)
 	}
 	if st.Ops["COMMIT"].Count != commit.Count {
 		t.Fatalf("STATS Ops[COMMIT].Count = %d, exposition has %d", st.Ops["COMMIT"].Count, commit.Count)

@@ -612,13 +612,19 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 		}
 		return nil, srv.cfg.Replica.Promote()
 	}
-	if draining && op == wire.OpBegin {
-		srv.drainRejected.Add(1)
-		if addr := srv.followerAddr(); addr != "" {
-			// Drain handoff: tell the client where to go instead.
-			return nil, fmt.Errorf("%w; failover=%s", wire.ErrShuttingDown, addr)
+	// Drain refuses new work: transactions (BEGIN/BEGIN_AT) and auto-commit
+	// DDL. Ops on already-open transactions complete during the drain window.
+	if draining {
+		switch op {
+		case wire.OpBegin, wire.OpBeginAt,
+			wire.OpCreateTable, wire.OpDropTable, wire.OpCreateIndex, wire.OpDropIndex:
+			srv.drainRejected.Add(1)
+			if addr := srv.followerAddr(); addr != "" {
+				// Drain handoff: tell the client where to go instead.
+				return nil, fmt.Errorf("%w; failover=%s", wire.ErrShuttingDown, addr)
+			}
+			return nil, wire.ErrShuttingDown
 		}
-		return nil, wire.ErrShuttingDown
 	}
 	if !srv.admit() {
 		return nil, wire.ErrOverloaded
@@ -632,9 +638,11 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 	// exclusively batch by batch).
 	if rep := srv.cfg.Replica; rep != nil && !rep.Promoted() {
 		switch op {
-		case wire.OpInsert, wire.OpUpdate, wire.OpDelete:
+		case wire.OpInsert, wire.OpUpdate, wire.OpDelete,
+			wire.OpInsertRow, wire.OpUpdateRow, wire.OpDeleteRow,
+			wire.OpCreateTable, wire.OpDropTable, wire.OpCreateIndex, wire.OpDropIndex:
 			return nil, engine.ErrReadOnly
-		case wire.OpBegin:
+		case wire.OpBegin, wire.OpBeginAt, wire.OpSnapshot:
 			if err := rep.Refresh(); err != nil {
 				return nil, err
 			}
@@ -738,7 +746,25 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 		b.U32(count)
 		b.B = append(b.B, entries.B...)
 		return b.B, nil
+
+	case wire.OpSnapshot:
+		return c.handleSnapshot()
+
+	case wire.OpBeginAt:
+		return c.handleBeginAt(&r)
+
+	case wire.OpCreateTable, wire.OpDropTable, wire.OpCreateIndex, wire.OpDropIndex:
+		return c.handleDDL(op, &r)
+
+	case wire.OpInsertRow, wire.OpGetRow, wire.OpUpdateRow, wire.OpDeleteRow,
+		wire.OpScanTable, wire.OpIndexLookup, wire.OpIndexRange:
+		return c.handleRowOp(op, &r)
+
+	case wire.OpListTables:
+		return c.handleListTables()
 	}
+	// Unknown opcode: answer ERR_BAD_OP (wire.CodeBadOp) on the same
+	// connection — a protocol error, never a dropped session.
 	return nil, fmt.Errorf("%w: %s", wire.ErrBadRequest, op)
 }
 

@@ -1,0 +1,384 @@
+package shard
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sias/internal/engine"
+	"sias/internal/tuple"
+	"sias/internal/txn"
+)
+
+// Catalog DDL fans out to every shard: each shard's engine logs its own
+// RecDDL in its own WAL, so per-shard recovery and per-shard replication
+// streams stay self-contained. DDL is applied serially in shard order and is
+// NOT atomic across shards; CreateTable/CreateIndex undo completed shards
+// best-effort on failure so the catalogs stay aligned, and a failed drop
+// reports the first error (a retry is idempotent per shard: already-dropped
+// shards answer ErrNoTable/ErrNoIndex, which the retry treats as done).
+
+// CreateTable creates the table on every shard through the logged DDL path.
+func (r *Router) CreateTable(name string, schema *tuple.Schema, pkCol string) error {
+	for i, s := range r.shards {
+		if _, err := s.Facade.CreateTable(name, schema, pkCol); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				r.shards[j].Facade.DropTable(name)
+			}
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DropTable drops the table on every shard.
+func (r *Router) DropTable(name string) error {
+	var first error
+	for i, s := range r.shards {
+		if err := s.Facade.DropTable(name); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// CreateIndex creates the named column index on every shard.
+func (r *Router) CreateIndex(table, index, column string) error {
+	for i, s := range r.shards {
+		if err := s.Facade.CreateIndex(table, index, column); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				r.shards[j].Facade.DropIndex(table, index)
+			}
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DropIndex drops the named index on every shard.
+func (r *Router) DropIndex(table, index string) error {
+	var first error
+	for i, s := range r.shards {
+		if err := s.Facade.DropIndex(table, index); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// TableMeta resolves the named table on shard 0 for schema introspection
+// (catalogs are identical across shards by construction).
+func (r *Router) TableMeta(name string) (*engine.Table, error) {
+	tab := r.shards[0].Facade.DB().Table(name)
+	if tab == nil {
+		return nil, fmt.Errorf("%w: %s", engine.ErrNoTable, name)
+	}
+	return tab, nil
+}
+
+// SnapshotTokens captures one stable AS OF token per shard. Each shard has
+// its own transaction-id space, so a point-in-time snapshot of the sharded
+// store is a vector, not a scalar; the vector is causally consistent per
+// shard (everything below each token is decided) but makes no cross-shard
+// ordering claim — exactly the atomicity scope multi-shard commits have.
+func (r *Router) SnapshotTokens() []uint64 {
+	out := make([]uint64, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = s.Facade.SnapshotToken()
+	}
+	return out
+}
+
+// BeginAt starts a read-only transaction pinned at a token vector from
+// SnapshotTokens. Sub-transactions still open lazily; writes are rejected
+// with engine.ErrReadOnly.
+func (r *Router) BeginAt(tokens []uint64) (*Txn, error) {
+	if len(tokens) != len(r.shards) {
+		return nil, fmt.Errorf("shard: token vector has %d entries, want %d", len(tokens), len(r.shards))
+	}
+	return &Txn{
+		r:      r,
+		sub:    make([]*txn.Tx, len(r.shards)),
+		asOf:   true,
+		tokens: append([]uint64(nil), tokens...),
+	}, nil
+}
+
+// AsOf reports whether the transaction is a pinned AS OF snapshot.
+func (t *Txn) AsOf() bool { return t.asOf }
+
+// table resolves the named table on shard i.
+func (t *Txn) table(i int, name string) (*engine.Table, error) {
+	tab := t.r.shards[i].Facade.DB().Table(name)
+	if tab == nil {
+		return nil, fmt.Errorf("%w: %s", engine.ErrNoTable, name)
+	}
+	return tab, nil
+}
+
+// InsertRow stores row in the named table under its primary key's shard.
+func (t *Txn) InsertRow(table string, row tuple.Row) error {
+	if t.done {
+		return ErrFinished
+	}
+	if t.asOf {
+		return engine.ErrReadOnly
+	}
+	meta, err := t.table(0, table)
+	if err != nil {
+		return err
+	}
+	i := t.r.ShardOf(meta.Key(row))
+	tab, err := t.table(i, table)
+	if err != nil {
+		return err
+	}
+	return t.r.shards[i].Facade.Insert(tab, t.at(i), row)
+}
+
+// GetRow returns the visible row of key in the named table.
+func (t *Txn) GetRow(table string, key int64) (tuple.Row, error) {
+	if t.done {
+		return nil, ErrFinished
+	}
+	i := t.r.ShardOf(key)
+	tab, err := t.table(i, table)
+	if err != nil {
+		return nil, err
+	}
+	return t.r.shards[i].Facade.Get(tab, t.at(i), key)
+}
+
+// UpdateRow replaces the visible row sharing row's primary key (full-row
+// replace; the wire protocol has no partial update).
+func (t *Txn) UpdateRow(table string, row tuple.Row) error {
+	if t.done {
+		return ErrFinished
+	}
+	if t.asOf {
+		return engine.ErrReadOnly
+	}
+	meta, err := t.table(0, table)
+	if err != nil {
+		return err
+	}
+	key := meta.Key(row)
+	i := t.r.ShardOf(key)
+	tab, err := t.table(i, table)
+	if err != nil {
+		return err
+	}
+	return t.r.shards[i].Facade.Update(tab, t.at(i), key, func(tuple.Row) (tuple.Row, error) {
+		return row, nil
+	})
+}
+
+// DeleteRow removes the row of key in the named table.
+func (t *Txn) DeleteRow(table string, key int64) error {
+	if t.done {
+		return ErrFinished
+	}
+	if t.asOf {
+		return engine.ErrReadOnly
+	}
+	i := t.r.ShardOf(key)
+	tab, err := t.table(i, table)
+	if err != nil {
+		return err
+	}
+	return t.r.shards[i].Facade.Delete(tab, t.at(i), key)
+}
+
+// ScanTable visits visible rows of the named table with lo <= primary key <=
+// hi in global key order (k-way merge across shards, like Range).
+func (t *Txn) ScanTable(table string, lo, hi int64, fn func(tuple.Row) bool) error {
+	meta, err := t.table(0, table)
+	if err != nil {
+		if t.done {
+			return ErrFinished
+		}
+		return err
+	}
+	return t.fanMerge(table,
+		func(i int, tab *engine.Table, sub *txn.Tx, emit func(int64, int64, tuple.Row) bool) error {
+			return t.r.shards[i].Facade.RangeByKey(tab, sub, lo, hi, func(row tuple.Row) bool {
+				return emit(meta.Key(row), 0, row)
+			})
+		},
+		func(_ int64, row tuple.Row) bool { return fn(row) })
+}
+
+// IndexLookup returns visible rows of the named table whose indexed column
+// equals key, gathered from every shard and ordered by primary key for
+// determinism.
+func (t *Txn) IndexLookup(table, index string, key int64) ([]tuple.Row, error) {
+	if t.done {
+		return nil, ErrFinished
+	}
+	n := t.r.N()
+	type res struct {
+		rows []tuple.Row
+		err  error
+	}
+	results := make([]res, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		tab, err := t.table(i, table)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := tab.SecondaryIndex(index)
+		if err != nil {
+			return nil, err
+		}
+		sub := t.at(i)
+		wg.Add(1)
+		go func(i int, tab *engine.Table, sub *txn.Tx) {
+			defer wg.Done()
+			rows, err := t.r.shards[i].Facade.LookupSecondary(tab, sub, idx, key)
+			results[i] = res{rows, err}
+		}(i, tab, sub)
+	}
+	wg.Wait()
+	var out []tuple.Row
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("shard %d index lookup: %w", i, r.err)
+		}
+		out = append(out, r.rows...)
+	}
+	meta, _ := t.table(0, table)
+	sort.Slice(out, func(a, b int) bool { return meta.Key(out[a]) < meta.Key(out[b]) })
+	return out, nil
+}
+
+// IndexRange visits visible rows of the named table with lo <= indexed value
+// <= hi in global index-key order (ties across shards break by shard id),
+// k-way merging the shards' already-sorted index scans.
+func (t *Txn) IndexRange(table, index string, lo, hi int64, fn func(indexKey int64, row tuple.Row) bool) error {
+	// Resolve the index position up front so an unknown index reports
+	// cleanly instead of from inside a producer.
+	if !t.done {
+		tab, err := t.table(0, table)
+		if err != nil {
+			return err
+		}
+		if _, err := tab.SecondaryIndex(index); err != nil {
+			return err
+		}
+	}
+	return t.fanMerge(table,
+		func(i int, tab *engine.Table, sub *txn.Tx, emit func(int64, int64, tuple.Row) bool) error {
+			idx, err := tab.SecondaryIndex(index)
+			if err != nil {
+				return err
+			}
+			return t.r.shards[i].Facade.RangeBySecondary(tab, sub, idx, lo, hi, func(ikey int64, row tuple.Row) bool {
+				return emit(ikey, ikey, row)
+			})
+		},
+		fn)
+}
+
+// mergeEnt is one heap entry of the generalized k-way merge.
+type mergeEnt struct {
+	sortKey int64
+	ikey    int64
+	row     tuple.Row
+	src     int
+}
+
+type entHeap []mergeEnt
+
+func (h entHeap) Len() int { return len(h) }
+func (h entHeap) Less(i, j int) bool {
+	if h[i].sortKey != h[j].sortKey {
+		return h[i].sortKey < h[j].sortKey
+	}
+	return h[i].src < h[j].src
+}
+func (h entHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entHeap) Push(x any)   { *h = append(*h, x.(mergeEnt)) }
+func (h *entHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// fanMerge runs one sorted producer per shard and merges their outputs in
+// (sortKey, shard) order, the same streaming producer/merge-heap shape as
+// Txn.Range generalized over catalog tables and index scans. Early exit from
+// fn tears the producers down through the done channel.
+func (t *Txn) fanMerge(
+	table string,
+	run func(i int, tab *engine.Table, sub *txn.Tx, emit func(sortKey, ikey int64, row tuple.Row) bool) error,
+	fn func(ikey int64, row tuple.Row) bool,
+) error {
+	if t.done {
+		return ErrFinished
+	}
+	n := t.r.N()
+	if n == 1 {
+		tab, err := t.table(0, table)
+		if err != nil {
+			return err
+		}
+		return run(0, tab, t.at(0), func(_, ikey int64, row tuple.Row) bool {
+			return fn(ikey, row)
+		})
+	}
+	t.r.fanouts.Add(1)
+
+	done := make(chan struct{})
+	chans := make([]chan mergeEnt, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer close(done)
+	for i := 0; i < n; i++ {
+		tab, err := t.table(i, table)
+		if err != nil {
+			// Producers already started stream into buffered channels and
+			// stop at the done close in the deferred teardown.
+			return err
+		}
+		sub := t.at(i)
+		ch := make(chan mergeEnt, 64)
+		chans[i] = ch
+		wg.Add(1)
+		go func(i int, tab *engine.Table, sub *txn.Tx, ch chan mergeEnt) {
+			defer wg.Done()
+			defer close(ch)
+			errs[i] = run(i, tab, sub, func(sortKey, ikey int64, row tuple.Row) bool {
+				select {
+				case ch <- mergeEnt{sortKey: sortKey, ikey: ikey, row: row, src: i}:
+					return true
+				case <-done:
+					return false
+				}
+			})
+		}(i, tab, sub, ch)
+	}
+	h := make(entHeap, 0, n)
+	for _, ch := range chans {
+		if e, ok := <-ch; ok {
+			h = append(h, e)
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		top := h[0]
+		if !fn(top.ikey, top.row) {
+			return nil
+		}
+		if e, ok := <-chans[top.src]; ok {
+			h[0] = e
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d scan: %w", i, err)
+		}
+	}
+	return nil
+}

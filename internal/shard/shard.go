@@ -174,6 +174,25 @@ func Aggregate(ss []engine.Stats) engine.Stats {
 		a.WALDevice = addDev(a.WALDevice, s.WALDevice)
 		a.VMapResidencyHits += s.VMapResidencyHits
 		a.VMapResidencyMisses += s.VMapResidencyMisses
+		a.IndexLookups += s.IndexLookups
+		a.IndexInserts += s.IndexInserts
+		for _, ts := range s.Tables {
+			found := false
+			for i := range a.Tables {
+				if a.Tables[i].Name == ts.Name {
+					a.Tables[i].Rows += ts.Rows
+					a.Tables[i].IndexEntries += ts.IndexEntries
+					a.Tables[i].IndexLookups += ts.IndexLookups
+					a.Tables[i].IndexInserts += ts.IndexInserts
+					// Index count is per-catalog, identical on every shard.
+					found = true
+					break
+				}
+			}
+			if !found {
+				a.Tables = append(a.Tables, ts)
+			}
+		}
 	}
 	a.PoolHitRatio = a.Pool.HitRatio()
 	a.VMapHitRatio = 1.0
@@ -202,6 +221,11 @@ type Txn struct {
 	r    *Router
 	sub  []*txn.Tx // indexed by shard; nil until the shard is touched
 	done bool
+
+	// AS OF mode (Router.BeginAt): sub-transactions pin at the per-shard
+	// token instead of taking fresh snapshots, and writes are rejected.
+	asOf   bool
+	tokens []uint64
 }
 
 // Begin starts a transaction. No sub-transaction is opened yet: an empty
@@ -213,7 +237,11 @@ func (r *Router) Begin() *Txn {
 // at returns the sub-transaction on shard i, opening it on first use.
 func (t *Txn) at(i int) *txn.Tx {
 	if t.sub[i] == nil {
-		t.sub[i] = t.r.shards[i].Facade.Begin()
+		if t.asOf {
+			t.sub[i] = t.r.shards[i].Facade.BeginAt(t.tokens[i])
+		} else {
+			t.sub[i] = t.r.shards[i].Facade.Begin()
+		}
 	}
 	return t.sub[i]
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sias/internal/buffer"
 	"sias/internal/index"
@@ -41,6 +42,7 @@ type Stats struct {
 	VersionsCreated int64
 	InPlaceUpdates  int64 // xmax/ctid invalidations written into existing pages
 	IndexInserts    int64
+	IndexLookups    int64 // secondary-index point and range lookups
 	VacuumedTuples  int64
 }
 
@@ -56,6 +58,7 @@ type Relation struct {
 	pk     *index.Tree
 	secs   []*index.Tree
 	secFns []SecondaryKey
+	retain txn.ID // inline-pruning slack; see Config.Retain
 
 	// mu is a reader/writer lock: Get/Scan/RangeByKey/SearchSecondary take
 	// it shared (page bytes they touch are additionally bracketed by frame
@@ -70,6 +73,10 @@ type Relation struct {
 	fsm     []int
 	fsmHint uint32
 	stats   Stats
+
+	// idxLookups is atomic, not mu-guarded: lookups run under the shared
+	// lock, so concurrent readers may bump it simultaneously.
+	idxLookups atomic.Int64
 }
 
 // Config wires a Relation to its substrates.
@@ -82,6 +89,12 @@ type Config struct {
 	Txns  *txn.Manager
 	// PKRelID is the relation id for the primary index's pages.
 	PKRelID uint32
+	// Retain holds opportunistic pruning back by this many transaction ids,
+	// mirroring the engine's GC retention window: superseded versions younger
+	// than the window survive inline pruning so unpinned AS OF snapshot
+	// tokens stay resolvable. Vacuum is bounded separately, by the horizon
+	// its caller passes.
+	Retain txn.ID
 }
 
 // New creates an empty SI relation with its primary index.
@@ -91,14 +104,30 @@ func New(at simclock.Time, cfg Config) (*Relation, simclock.Time, error) {
 		return nil, t, err
 	}
 	return &Relation{
-		id:    cfg.ID,
-		name:  cfg.Name,
-		pool:  cfg.Pool,
-		alloc: cfg.Alloc,
-		walw:  cfg.WAL,
-		txm:   cfg.Txns,
-		pk:    pk,
+		id:     cfg.ID,
+		name:   cfg.Name,
+		pool:   cfg.Pool,
+		alloc:  cfg.Alloc,
+		walw:   cfg.WAL,
+		txm:    cfg.Txns,
+		pk:     pk,
+		retain: cfg.Retain,
 	}, t, nil
+}
+
+// pruneHorizon bounds inline (HOT-style) pruning: the transaction manager's
+// horizon held back by the retention window, so recently superseded versions
+// survive for AS OF reads even though no live snapshot needs them.
+func (r *Relation) pruneHorizon() txn.ID {
+	h := r.txm.Horizon()
+	if r.retain > 0 {
+		if h > r.retain {
+			h -= r.retain
+		} else {
+			h = 1 // ids start at 1: retain everything
+		}
+	}
+	return h
 }
 
 // AddSecondary attaches a secondary index (entries maintained on every new
@@ -115,6 +144,74 @@ func (r *Relation) AddSecondary(at simclock.Time, relID uint32, fn SecondaryKey)
 	return tm, nil
 }
 
+// DropSecondary detaches secondary index idx. The slot is tombstoned with a
+// nil entry so other indexes keep their positions; the tree's pages are
+// abandoned, not reclaimed.
+func (r *Relation) DropSecondary(idx int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx < 0 || idx >= len(r.secs) || r.secs[idx] == nil {
+		return fmt.Errorf("si: no secondary index %d", idx)
+	}
+	r.secs[idx], r.secFns[idx] = nil, nil
+	return nil
+}
+
+// SecondaryPageWrites reports how many pages secondary index idx has
+// dirtied (0 when idx is out of range or dropped).
+func (r *Relation) SecondaryPageWrites(idx int) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if idx < 0 || idx >= len(r.secs) || r.secs[idx] == nil {
+		return 0
+	}
+	return r.secs[idx].PageWrites()
+}
+
+// PKEntries reports the primary index entry count (>= live rows: SI inserts
+// a fresh entry per version; vacuum prunes them lazily).
+func (r *Relation) PKEntries() int64 { return r.pk.Len() }
+
+// SecondaryEntries sums entry counts across live secondary indexes.
+func (r *Relation) SecondaryEntries() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var n int64
+	for _, sec := range r.secs {
+		if sec != nil {
+			n += sec.Len()
+		}
+	}
+	return n
+}
+
+// SecondaryInserts sums cumulative insert counts across live secondary
+// indexes (rebuild inserts included).
+func (r *Relation) SecondaryInserts() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var n int64
+	for _, sec := range r.secs {
+		if sec != nil {
+			n += sec.Inserts()
+		}
+	}
+	return n
+}
+
+// SecondaryCount reports the number of live (non-dropped) secondary indexes.
+func (r *Relation) SecondaryCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, sec := range r.secs {
+		if sec != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // Name returns the relation name.
 func (r *Relation) Name() string { return r.name }
 
@@ -125,7 +222,9 @@ func (r *Relation) ID() uint32 { return r.id }
 func (r *Relation) Stats() Stats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.stats
+	s := r.stats
+	s.IndexLookups = r.idxLookups.Load()
+	return s
 }
 
 // Blocks reports the number of heap blocks allocated.
@@ -293,7 +392,7 @@ func (r *Relation) newestLive(tx *txn.Tx, at simclock.Time, key int64) (page.TID
 	if err != nil {
 		return page.InvalidTID, tuple.SIHeader{}, nil, t, false, err
 	}
-	horizon := r.txm.Horizon()
+	horizon := r.pruneHorizon()
 	var bestTID page.TID
 	var bestHdr tuple.SIHeader
 	var bestPayload []byte
@@ -373,6 +472,9 @@ func (r *Relation) pruneVersion(at simclock.Time, key int64, tid page.TID) (simc
 		if secPayload == nil {
 			break
 		}
+		if sec == nil {
+			continue
+		}
 		if k, ok := r.secFns[i](secPayload); ok {
 			t, err = sec.Delete(t, k, packTID(tid))
 			if err != nil && !errors.Is(err, index.ErrNotFound) {
@@ -399,6 +501,9 @@ func (r *Relation) Insert(tx *txn.Tx, at simclock.Time, key int64, payload []byt
 	}
 	r.stats.IndexInserts++
 	for i, sec := range r.secs {
+		if sec == nil {
+			continue
+		}
 		if k, ok := r.secFns[i](payload); ok {
 			t, err = sec.Insert(t, k, packTID(tid))
 			if err != nil {
@@ -478,6 +583,9 @@ func (r *Relation) Update(tx *txn.Tx, at simclock.Time, key int64, mutate func(o
 	}
 	r.stats.IndexInserts++
 	for i, sec := range r.secs {
+		if sec == nil {
+			continue
+		}
 		if k, ok := r.secFns[i](newPayload); ok {
 			t, err = sec.Insert(t, k, packTID(newTID))
 			if err != nil {
@@ -622,9 +730,10 @@ func (r *Relation) RangeByKey(tx *txn.Tx, at simclock.Time, lo, hi int64, fn fun
 func (r *Relation) SearchSecondary(tx *txn.Tx, at simclock.Time, idx int, key int64) ([][]byte, simclock.Time, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if idx < 0 || idx >= len(r.secs) {
+	if idx < 0 || idx >= len(r.secs) || r.secs[idx] == nil {
 		return nil, at, fmt.Errorf("si: no secondary index %d", idx)
 	}
+	r.idxLookups.Add(1)
 	cands, t, err := r.secs[idx].Search(at, key)
 	if err != nil {
 		return nil, t, err
@@ -641,6 +750,45 @@ func (r *Relation) SearchSecondary(tx *txn.Tx, at simclock.Time, idx int, key in
 		}
 	}
 	return out, t, nil
+}
+
+// RangeBySecondary returns visible rows with lo <= secondary key <= hi in
+// index-key order. SI indexes every version, so multiple entries can resolve
+// to the same visible row under different keys; callers re-check predicates
+// against the decoded row.
+func (r *Relation) RangeBySecondary(tx *txn.Tx, at simclock.Time, idx int, lo, hi int64, fn func(indexKey int64, payload []byte) bool) (simclock.Time, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if idx < 0 || idx >= len(r.secs) || r.secs[idx] == nil {
+		return at, fmt.Errorf("si: no secondary index %d", idx)
+	}
+	r.idxLookups.Add(1)
+	type ent struct {
+		key int64
+		tid page.TID
+	}
+	var ents []ent
+	t, err := r.secs[idx].Range(at, lo, hi, func(k int64, v uint64) bool {
+		ents = append(ents, ent{k, unpackTID(v)})
+		return true
+	})
+	if err != nil {
+		return t, err
+	}
+	for _, e := range ents {
+		hdr, payload, t2, ferr := r.fetch(t, e.tid)
+		t = t2
+		if ferr != nil {
+			continue // pruned entry
+		}
+		if !r.visible(tx, hdr) {
+			continue
+		}
+		if !fn(e.key, payload) {
+			return t, nil
+		}
+	}
+	return t, nil
 }
 
 // Vacuum reclaims versions invalidated before horizon and versions created
@@ -709,6 +857,9 @@ func (r *Relation) Vacuum(at simclock.Time, horizon txn.ID, keyOf func(payload [
 				return reclaimed, t, err
 			}
 			for i, sec := range r.secs {
+				if sec == nil {
+					continue
+				}
 				if k, ok := r.secFns[i](v.payload); ok {
 					t, err = sec.Delete(t, k, packTID(v.tid))
 					if err != nil && !errors.Is(err, index.ErrNotFound) {
@@ -734,6 +885,9 @@ func (r *Relation) RebuildIndexes(at simclock.Time, keyOf func(payload []byte) i
 		return t, err
 	}
 	for _, sec := range r.secs {
+		if sec == nil {
+			continue
+		}
 		t, err = sec.Reset(t)
 		if err != nil {
 			return t, err
@@ -769,6 +923,9 @@ func (r *Relation) RebuildIndexes(at simclock.Time, keyOf func(payload []byte) i
 				return t, err
 			}
 			for i, sec := range r.secs {
+				if sec == nil {
+					continue
+				}
 				if k, ok := r.secFns[i](e.payload); ok {
 					t, err = sec.Insert(t, k, packTID(e.tid))
 					if err != nil {

@@ -126,9 +126,13 @@ func (s *Schema) EncodeRow(r Row) ([]byte, error) {
 	return b, nil
 }
 
-// DecodeRow deserializes a row previously encoded with EncodeRow.
+// DecodeRow deserializes a row previously encoded with EncodeRow. The
+// decoder is strict — overlong varints, out-of-range presence/bool bytes and
+// trailing garbage are rejected — so the encoding is canonical: every row
+// has exactly one byte representation and decode→encode is the identity.
 func (s *Schema) DecodeRow(b []byte) (Row, error) {
 	r := make(Row, len(s.Cols))
+	var tmp [binary.MaxVarintLen64]byte
 	off := 0
 	for i, c := range s.Cols {
 		if off >= len(b) {
@@ -140,10 +144,15 @@ func (s *Schema) DecodeRow(b []byte) (Row, error) {
 			r[i] = nil
 			continue
 		}
+		// Strict: rows arrive over the wire, and a canonical encoding (one
+		// byte pattern per row) keeps decode→encode the identity.
+		if present != 1 {
+			return nil, fmt.Errorf("tuple: bad presence byte %d at column %s", present, c.Name)
+		}
 		switch c.Type {
 		case TypeInt64:
 			v, n := binary.Varint(b[off:])
-			if n <= 0 {
+			if n <= 0 || n != binary.PutVarint(tmp[:], v) {
 				return nil, fmt.Errorf("tuple: bad varint at column %s", c.Name)
 			}
 			off += n
@@ -156,7 +165,7 @@ func (s *Schema) DecodeRow(b []byte) (Row, error) {
 			off += 8
 		case TypeString:
 			l, n := binary.Uvarint(b[off:])
-			if n <= 0 || off+n+int(l) > len(b) {
+			if n <= 0 || n != binary.PutUvarint(tmp[:], l) || l > uint64(len(b)-off-n) {
 				return nil, fmt.Errorf("tuple: bad string at column %s", c.Name)
 			}
 			off += n
@@ -164,7 +173,7 @@ func (s *Schema) DecodeRow(b []byte) (Row, error) {
 			off += int(l)
 		case TypeBytes:
 			l, n := binary.Uvarint(b[off:])
-			if n <= 0 || off+n+int(l) > len(b) {
+			if n <= 0 || n != binary.PutUvarint(tmp[:], l) || l > uint64(len(b)-off-n) {
 				return nil, fmt.Errorf("tuple: bad bytes at column %s", c.Name)
 			}
 			off += n
@@ -173,6 +182,12 @@ func (s *Schema) DecodeRow(b []byte) (Row, error) {
 			off += int(l)
 			r[i] = out
 		case TypeBool:
+			if off >= len(b) {
+				return nil, fmt.Errorf("tuple: row truncated at column %s", c.Name)
+			}
+			if b[off] > 1 {
+				return nil, fmt.Errorf("tuple: bad bool byte %d at column %s", b[off], c.Name)
+			}
 			r[i] = b[off] != 0
 			off++
 		default:

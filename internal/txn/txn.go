@@ -136,6 +136,11 @@ type Manager struct {
 	mu     sync.Mutex
 	nextID ID
 	active map[ID]*Tx
+	// pinned counts live read-only snapshots (BeginReadOnlyAt) by their
+	// xmax. They take no id and never enter the active map, but the GC
+	// horizon must not pass them while they run: a pinned AS OF scan reads
+	// version-chain suffixes that GC would otherwise reclaim mid-scan.
+	pinned map[ID]int
 
 	clog  *CLOG
 	locks *LockTable
@@ -149,6 +154,7 @@ func NewManager() *Manager {
 	m := &Manager{
 		nextID:     1,
 		active:     map[ID]*Tx{},
+		pinned:     map[ID]int{},
 		clog:       NewCLOG(),
 		WaitBudget: 2 * time.Second,
 	}
@@ -186,7 +192,14 @@ func (m *Manager) Begin() *Tx {
 // highest replayed transaction id, the tx takes no id of its own (ID 0), is
 // never in the active map, and never writes the CLOG — replayed commit
 // statuses stay authoritative and the id space remains the primary's alone.
+//
+// While it runs, the transaction pins the GC horizon at xmax (see Horizon),
+// so versions its snapshot can reach are not reclaimed under it. The pin is
+// released by Commit or Abort like any other transaction.
 func (m *Manager) BeginReadOnlyAt(xmax ID) *Tx {
+	m.mu.Lock()
+	m.pinned[xmax]++
+	m.mu.Unlock()
 	return &Tx{
 		readOnly: true,
 		Snap:     Snapshot{XMin: xmax, XMax: xmax},
@@ -227,6 +240,13 @@ func (m *Manager) finish(t *Tx, st Status) error {
 	}
 	m.mu.Lock()
 	delete(m.active, t.ID)
+	if t.readOnly {
+		if n := m.pinned[t.Snap.XMax]; n > 1 {
+			m.pinned[t.Snap.XMax] = n - 1
+		} else {
+			delete(m.pinned, t.Snap.XMax)
+		}
+	}
 	m.mu.Unlock()
 	for _, k := range locks {
 		m.locks.release(t, k)
@@ -252,7 +272,9 @@ func (m *Manager) SetNextID(id ID) {
 
 // Horizon returns the oldest transaction id that could still be relevant to
 // any active snapshot: versions created before every active snapshot's XMin
-// and superseded by equally-old successors are garbage.
+// and superseded by equally-old successors are garbage. Live read-only
+// snapshots (BeginReadOnlyAt — AS OF and replica reads) pin the horizon at
+// their xmax even though they hold no id and are not in the active map.
 func (m *Manager) Horizon() ID {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -260,6 +282,11 @@ func (m *Manager) Horizon() ID {
 	for _, t := range m.active {
 		if t.Snap.XMin < h {
 			h = t.Snap.XMin
+		}
+	}
+	for xmax := range m.pinned {
+		if xmax < h {
+			h = xmax
 		}
 	}
 	return h

@@ -128,6 +128,33 @@ func TestHorizon(t *testing.T) {
 	}
 }
 
+func TestReadOnlySnapshotPinsHorizon(t *testing.T) {
+	m := NewManager()
+	for i := 0; i < 5; i++ {
+		m.Commit(m.Begin())
+	}
+	token := m.Horizon() // 6: ids 1..5 are decided
+	// Two pins at the same token must be counted, not collapsed.
+	r1 := m.BeginReadOnlyAt(token)
+	r2 := m.BeginReadOnlyAt(token)
+	m.Commit(m.Begin())
+	if h := m.Horizon(); h != token {
+		t.Fatalf("horizon = %d with live read-only snapshots, want %d", h, token)
+	}
+	if err := m.Abort(r1); err != nil {
+		t.Fatal(err)
+	}
+	if h := m.Horizon(); h != token {
+		t.Fatalf("horizon = %d with one pin left, want %d", h, token)
+	}
+	if err := m.Commit(r2); err != nil {
+		t.Fatal(err)
+	}
+	if h, next := m.Horizon(), m.NextID(); h != next {
+		t.Fatalf("horizon = %d after releasing all pins, want %d", h, next)
+	}
+}
+
 func TestFinishIdempotence(t *testing.T) {
 	m := NewManager()
 	tx := m.Begin()

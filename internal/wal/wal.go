@@ -52,6 +52,11 @@ const (
 	RecAllocExtent
 	// RecCheckpoint marks a checkpoint (all dirty pages flushed up to LSN).
 	RecCheckpoint
+	// RecDDL carries a catalog change (create/drop table or index) encoded
+	// by internal/catalog. Replayed by recovery before any heap redo and
+	// shipped to replication followers like any other record, so schema is
+	// durable and consistent across crash and failover.
+	RecDDL
 )
 
 func (t RecType) String() string {
@@ -70,6 +75,8 @@ func (t RecType) String() string {
 		return "alloc-extent"
 	case RecCheckpoint:
 		return "checkpoint"
+	case RecDDL:
+		return "ddl"
 	}
 	return "unknown"
 }

@@ -5,65 +5,10 @@ import (
 	"fmt"
 	"strings"
 
+	"sias/internal/catalog"
 	"sias/internal/engine"
 	"sias/internal/txn"
 )
-
-// Code is a stable wire error code. Codes are part of the protocol: new
-// codes may be appended, but existing values never change meaning.
-type Code uint8
-
-// Wire codes. CodeOK tags success responses; every other code tags an error
-// response whose payload is a human-readable message.
-const (
-	CodeOK           Code = 0
-	CodeNotFound     Code = 1 // key has no visible row
-	CodeConflict     Code = 2 // first-updater-wins serialization failure; retry the transaction
-	CodeLockTimeout  Code = 3 // lock wait exceeded its budget (possible deadlock)
-	CodeTxFinished   Code = 4 // transaction already committed or aborted
-	CodeUnknownTx    Code = 5 // handle does not name a live transaction on this connection
-	CodeOverloaded   Code = 6 // admission control rejected the request; back off and retry
-	CodeShuttingDown Code = 7 // server is draining; reconnect elsewhere/later
-	CodeBadRequest   Code = 8 // malformed frame or unknown opcode
-	CodeInternal     Code = 9 // unexpected server-side failure
-
-	// CodeLogBatch tags a replication stream frame on a subscribed
-	// connection: {shard u32, start LSN u64, primary durable LSN u64, bytes
-	// data}. Empty data is a heartbeat carrying only the durable LSN.
-	CodeLogBatch Code = 10
-	// CodeReadOnly rejects writes on an unpromoted replication follower.
-	CodeReadOnly Code = 11
-)
-
-func (c Code) String() string {
-	switch c {
-	case CodeOK:
-		return "OK"
-	case CodeNotFound:
-		return "NOT_FOUND"
-	case CodeConflict:
-		return "CONFLICT"
-	case CodeLockTimeout:
-		return "LOCK_TIMEOUT"
-	case CodeTxFinished:
-		return "TX_FINISHED"
-	case CodeUnknownTx:
-		return "UNKNOWN_TX"
-	case CodeOverloaded:
-		return "OVERLOADED"
-	case CodeShuttingDown:
-		return "SHUTTING_DOWN"
-	case CodeBadRequest:
-		return "BAD_REQUEST"
-	case CodeInternal:
-		return "INTERNAL"
-	case CodeLogBatch:
-		return "LOG_BATCH"
-	case CodeReadOnly:
-		return "READ_ONLY"
-	}
-	return fmt.Sprintf("code(%d)", uint8(c))
-}
 
 // Protocol-level sentinel errors. The server returns these to tag
 // conditions that arise in the service layer rather than the engine; the
@@ -106,7 +51,14 @@ func CodeOf(err error) Code {
 		return CodeShuttingDown
 	case errors.Is(err, engine.ErrReadOnly):
 		return CodeReadOnly
-	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrTruncated), errors.Is(err, ErrFrameTooLarge):
+	case errors.Is(err, engine.ErrExists):
+		return CodeExists
+	case errors.Is(err, engine.ErrNoTable):
+		return CodeNoTable
+	case errors.Is(err, engine.ErrNoIndex):
+		return CodeNoIndex
+	case errors.Is(err, catalog.ErrBadName), errors.Is(err, ErrBadRequest),
+		errors.Is(err, ErrTruncated), errors.Is(err, ErrFrameTooLarge):
 		return CodeBadRequest
 	}
 	return CodeInternal
@@ -136,6 +88,12 @@ func ErrOf(code Code, msg string) error {
 		base = ErrShuttingDown
 	case CodeReadOnly:
 		base = engine.ErrReadOnly
+	case CodeExists:
+		base = engine.ErrExists
+	case CodeNoTable:
+		base = engine.ErrNoTable
+	case CodeNoIndex:
+		base = engine.ErrNoIndex
 	case CodeBadRequest:
 		base = ErrBadRequest
 	default:

@@ -16,69 +16,16 @@
 // Transactions are server-side state: Begin returns a u64 handle scoped to
 // the connection that created it, and every data op names a handle. Closing
 // the connection aborts its open transactions.
+//
+// The authoritative table of opcodes and response codes lives in protocol.go;
+// this file holds the framing and the primitive payload codecs.
 package wire
 
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
 )
-
-// Op enumerates request frame tags.
-type Op uint8
-
-// Request opcodes.
-const (
-	OpBegin  Op = 1 // () -> handle u64
-	OpCommit Op = 2 // handle u64 -> ()
-	OpAbort  Op = 3 // handle u64 -> ()
-	OpGet    Op = 4 // handle u64, key i64 -> val bytes
-	OpInsert Op = 5 // handle u64, key i64, val bytes -> ()
-	OpUpdate Op = 6 // handle u64, key i64, val bytes -> ()
-	OpDelete Op = 7 // handle u64, key i64 -> ()
-	OpScan   Op = 8 // handle u64, lo i64, hi i64, limit u32 -> count u32, {key i64, val bytes}*
-	OpStats  Op = 9 // () -> JSON bytes
-
-	// OpSubscribe turns the connection into a replication log stream. Request:
-	// announce string (the subscriber's client-reachable address, may be
-	// empty), shard count u32, then per shard a start LSN u64 (resume cursor).
-	// Response: CodeOK {shard count u32, per shard durable LSN u64}, then an
-	// unbounded sequence of CodeLogBatch frames until the primary drains. The
-	// connection speaks no other ops afterwards.
-	OpSubscribe Op = 10
-	// OpPromote asks a follower to stop replicating, finish replay, and begin
-	// accepting writes. () -> (). Idempotent; rejected on a non-follower.
-	OpPromote Op = 11
-)
-
-func (o Op) String() string {
-	switch o {
-	case OpBegin:
-		return "BEGIN"
-	case OpCommit:
-		return "COMMIT"
-	case OpAbort:
-		return "ABORT"
-	case OpGet:
-		return "GET"
-	case OpInsert:
-		return "INSERT"
-	case OpUpdate:
-		return "UPDATE"
-	case OpDelete:
-		return "DELETE"
-	case OpScan:
-		return "SCAN"
-	case OpStats:
-		return "STATS"
-	case OpSubscribe:
-		return "SUBSCRIBE"
-	case OpPromote:
-		return "PROMOTE"
-	}
-	return fmt.Sprintf("op(%d)", uint8(o))
-}
 
 // MaxFrame bounds a frame's length field; larger frames are rejected before
 // allocation so a corrupt peer cannot balloon memory.
@@ -119,6 +66,9 @@ func ReadFrame(r io.Reader) (uint8, []byte, error) {
 // Buf builds a payload with the protocol's primitive encodings.
 type Buf struct{ B []byte }
 
+// U8 appends a single byte.
+func (b *Buf) U8(v uint8) { b.B = append(b.B, v) }
+
 // U32 appends a little-endian uint32.
 func (b *Buf) U32(v uint32) { b.B = binary.LittleEndian.AppendUint32(b.B, v) }
 
@@ -139,6 +89,16 @@ var ErrTruncated = errors.New("wire: truncated payload")
 
 // Reader decodes a payload built with Buf.
 type Reader struct{ B []byte }
+
+// U8 consumes a single byte.
+func (r *Reader) U8() (uint8, error) {
+	if len(r.B) < 1 {
+		return 0, ErrTruncated
+	}
+	v := r.B[0]
+	r.B = r.B[1:]
+	return v, nil
+}
 
 // U32 consumes a little-endian uint32.
 func (r *Reader) U32() (uint32, error) {

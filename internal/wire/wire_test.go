@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"sias/internal/catalog"
 	"sias/internal/engine"
 	"sias/internal/txn"
 )
@@ -72,6 +73,10 @@ func TestPayloadRoundTrip(t *testing.T) {
 func TestErrorCodeMappingTotal(t *testing.T) {
 	sentinels := map[string]error{
 		"engine.ErrNotFound":    engine.ErrNotFound,
+		"engine.ErrExists":      engine.ErrExists,
+		"engine.ErrNoTable":     engine.ErrNoTable,
+		"engine.ErrNoIndex":     engine.ErrNoIndex,
+		"catalog.ErrBadName":    catalog.ErrBadName,
 		"txn.ErrSerialization":  txn.ErrSerialization,
 		"txn.ErrLockTimeout":    txn.ErrLockTimeout,
 		"txn.ErrFinished":       txn.ErrFinished,
@@ -111,6 +116,9 @@ func TestErrorCodeMappingTotal(t *testing.T) {
 		{CodeTxFinished, txn.ErrFinished},
 		{CodeOverloaded, ErrOverloaded},
 		{CodeShuttingDown, ErrShuttingDown},
+		{CodeExists, engine.ErrExists},
+		{CodeNoTable, engine.ErrNoTable},
+		{CodeNoIndex, engine.ErrNoIndex},
 	} {
 		if !errors.Is(ErrOf(tc.code, "x"), tc.want) {
 			t.Errorf("ErrOf(%s) does not satisfy errors.Is(%v)", tc.code, tc.want)
