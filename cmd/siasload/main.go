@@ -10,7 +10,7 @@
 //
 //	siasload [-addr :4544] [-workers 8] [-txns 2000] [-keys 1024]
 //	         [-value 64] [-read-frac 0.5] [-ops-per-txn 2] [-json FILE]
-//	         [-metrics-addr HOST:PORT] [-workload kv|index]
+//	         [-metrics-addr HOST:PORT] [-workload kv|scan|index]
 //	         [-state-out FILE] [-verify-state FILE]
 //
 // With -json, a machine-readable result (the same numbers as the text
@@ -68,7 +68,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable result JSON to this file")
 	statsOnly := flag.Bool("stats-only", false, "fetch STATS, print the raw reply JSON (to -json FILE if set, else stdout), and exit")
 	metricsAddr := flag.String("metrics-addr", "", "server metrics listener to scrape for server-side latency histograms (empty = skip)")
-	workload := flag.String("workload", "kv", "workload: kv (key/value ops) or index (typed table with secondary-index lookups and AS OF verification)")
+	workload := flag.String("workload", "kv", "workload: kv (key/value ops), scan (full-keyspace range scans) or index (typed table with secondary-index lookups and AS OF verification)")
 	stateOut := flag.String("state-out", "", "index workload: write snapshot tokens and group counts to this file for a later -verify-state run")
 	verifyPath := flag.String("verify-state", "", "verify a recovered server against a -state-out file and exit")
 	flag.Parse()
@@ -99,12 +99,18 @@ func main() {
 		if err := run(cfg, *jsonPath); err != nil {
 			log.Fatal(err)
 		}
+	case "scan":
+		// Full-keyspace range scans in chunked OpScan calls: the cold-scan
+		// benchmark workload, driving the server's readahead pipeline.
+		if err := run(cfg, *jsonPath); err != nil {
+			log.Fatal(err)
+		}
 	case "index":
 		if err := runIndex(cfg, *jsonPath, *stateOut); err != nil {
 			log.Fatal(err)
 		}
 	default:
-		log.Fatalf("unknown -workload %q (want kv or index)", *workload)
+		log.Fatalf("unknown -workload %q (want kv, scan or index)", *workload)
 	}
 }
 
@@ -186,6 +192,11 @@ type engineAgg struct {
 	PoolHitRatio     float64 `json:"pool_hit_ratio"`
 	PoolEvictions    int64   `json:"pool_evictions"`
 	PoolPartitions   int     `json:"pool_partitions"` // summed across shards
+	PoolReadWaits    int64   `json:"pool_read_waits"` // singleflight joins on in-flight reads
+	PrefetchIssued   int64   `json:"pool_prefetch_issued"`
+	PrefetchCoalesce int64   `json:"pool_prefetch_coalesced"` // device reads saved by batching
+	PrefetchWasted   int64   `json:"pool_prefetch_wasted"`
+	DataReads        int64   `json:"data_reads"` // host read ops on the data device
 }
 
 // result is the full machine-readable run report (-json).
@@ -315,30 +326,38 @@ func run(cfg loadConfig, jsonPath string) error {
 	for i := range val {
 		val[i] = byte('a' + i%26)
 	}
-	preStart := time.Now()
-	const batch = 256
-	for lo := int64(0); lo < cfg.Keys; lo += batch {
-		hi := lo + batch
-		if hi > cfg.Keys {
-			hi = cfg.Keys
-		}
-		tx, err := c.Begin()
-		if err != nil {
-			return fmt.Errorf("preload begin: %w", err)
-		}
-		for k := lo; k < hi; k++ {
-			if err := tx.Insert(k, val); err != nil {
-				if uerr := tx.Update(k, val); uerr != nil {
-					tx.Abort()
-					return fmt.Errorf("preload key %d: %w", k, err)
+	if cfg.Workload == "scan" {
+		// The scan workload measures reads of an existing dataset — often a
+		// freshly restarted server with a cold pool. Preloading here would
+		// rewrite every key and warm the pool, so it is skipped: run the kv
+		// workload against the data dir first.
+		fmt.Printf("scan workload: skipping preload (expects %d existing keys)\n", cfg.Keys)
+	} else {
+		preStart := time.Now()
+		const batch = 256
+		for lo := int64(0); lo < cfg.Keys; lo += batch {
+			hi := lo + batch
+			if hi > cfg.Keys {
+				hi = cfg.Keys
+			}
+			tx, err := c.Begin()
+			if err != nil {
+				return fmt.Errorf("preload begin: %w", err)
+			}
+			for k := lo; k < hi; k++ {
+				if err := tx.Insert(k, val); err != nil {
+					if uerr := tx.Update(k, val); uerr != nil {
+						tx.Abort()
+						return fmt.Errorf("preload key %d: %w", k, err)
+					}
 				}
 			}
+			if err := tx.Commit(); err != nil {
+				return fmt.Errorf("preload commit: %w", err)
+			}
 		}
-		if err := tx.Commit(); err != nil {
-			return fmt.Errorf("preload commit: %w", err)
-		}
+		fmt.Printf("preloaded %d keys in %.2fs\n", cfg.Keys, time.Since(preStart).Seconds())
 	}
-	fmt.Printf("preloaded %d keys in %.2fs\n", cfg.Keys, time.Since(preStart).Seconds())
 
 	before, err := c.Stats()
 	if err != nil {
@@ -446,6 +465,9 @@ func run(cfg loadConfig, jsonPath string) error {
 // one pre-picked shard, modelling a partitioned application whose
 // transactions are partition-local by design.
 func runTxn(c *client.Client, rng *rand.Rand, cfg loadConfig, val []byte) (int, error) {
+	if cfg.Workload == "scan" {
+		return runScanTxn(c, cfg)
+	}
 	anchor := -1
 	if cfg.Affinity {
 		anchor = shard.Of(rng.Int63n(cfg.Keys), cfg.Shards)
@@ -486,6 +508,45 @@ func runTxn(c *client.Client, rng *rand.Rand, cfg loadConfig, val []byte) (int, 
 	return home, tx.Commit()
 }
 
+// runScanTxn sweeps the whole keyspace with chunked range scans inside one
+// transaction. Chunking keeps every OpScan reply comfortably under
+// wire.MaxFrame regardless of value size, while the server-side scans drive
+// the pool's readahead pipeline. Scans always touch every shard, so the
+// sample is labeled cross-shard (-1).
+func runScanTxn(c *client.Client, cfg loadConfig) (int, error) {
+	chunk := int64((4 << 20) / (cfg.ValueSize + 32))
+	if chunk < 64 {
+		chunk = 64
+	}
+	if chunk > 4096 {
+		chunk = 4096
+	}
+	tx, err := c.Begin()
+	if err != nil {
+		return -1, err
+	}
+	var rows int64
+	for lo := int64(0); lo < cfg.Keys; lo += chunk {
+		hi := lo + chunk - 1
+		if hi >= cfg.Keys {
+			hi = cfg.Keys - 1
+		}
+		kvs, err := tx.Scan(lo, hi, 0)
+		if err != nil {
+			tx.Abort()
+			return -1, err
+		}
+		rows += int64(len(kvs))
+	}
+	if err := tx.Commit(); err != nil {
+		return -1, err
+	}
+	if rows != cfg.Keys {
+		return -1, fmt.Errorf("scan returned %d rows, want %d", rows, cfg.Keys)
+	}
+	return -1, nil
+}
+
 // summarize folds worker samples and stats deltas into a result.
 func summarize(cfg loadConfig, elapsed time.Duration, samples [][]txnSample, before, after server.StatsReply) result {
 	res := result{Config: cfg, ElapsedSec: elapsed.Seconds(), Repl: after.Repl}
@@ -523,6 +584,11 @@ func summarize(cfg loadConfig, elapsed time.Duration, samples [][]txnSample, bef
 		PoolHitRatio:     d.Pool.HitRatio(),
 		PoolEvictions:    d.Pool.Evictions,
 		PoolPartitions:   d.PoolPartitions,
+		PoolReadWaits:    d.Pool.ReadWaits,
+		PrefetchIssued:   d.Pool.PrefetchIssued,
+		PrefetchCoalesce: d.Pool.PrefetchCoalesced,
+		PrefetchWasted:   d.Pool.PrefetchWasted,
+		DataReads:        d.Data.Reads,
 	}
 
 	for i := 0; i < cfg.Shards; i++ {
@@ -576,6 +642,11 @@ func printResult(res result) {
 	fmt.Printf("  pool hit ratio   %.4f (%d hits / %d misses, %d evictions, %d stripe(s))\n",
 		res.Engine.PoolHitRatio, res.Engine.PoolHits, res.Engine.PoolMisses,
 		res.Engine.PoolEvictions, res.Engine.PoolPartitions)
+	if res.Engine.PoolReadWaits > 0 || res.Engine.PrefetchIssued > 0 {
+		fmt.Printf("  pool read path   %d singleflight waits, prefetch %d issued / %d coalesced / %d wasted, %d device reads\n",
+			res.Engine.PoolReadWaits, res.Engine.PrefetchIssued, res.Engine.PrefetchCoalesce,
+			res.Engine.PrefetchWasted, res.Engine.DataReads)
+	}
 
 	if cfg.Shards > 1 {
 		fmt.Printf("\nper-shard breakdown (single-shard txns attributed to their shard):\n")
@@ -679,6 +750,10 @@ func deltaEngine(a, b engine.Stats) engine.Stats {
 	d.Pool.Hits = b.Pool.Hits - a.Pool.Hits
 	d.Pool.Misses = b.Pool.Misses - a.Pool.Misses
 	d.Pool.Evictions = b.Pool.Evictions - a.Pool.Evictions
+	d.Pool.ReadWaits = b.Pool.ReadWaits - a.Pool.ReadWaits
+	d.Pool.PrefetchIssued = b.Pool.PrefetchIssued - a.Pool.PrefetchIssued
+	d.Pool.PrefetchCoalesced = b.Pool.PrefetchCoalesced - a.Pool.PrefetchCoalesced
+	d.Pool.PrefetchWasted = b.Pool.PrefetchWasted - a.Pool.PrefetchWasted
 	d.PoolPartitions = b.PoolPartitions
 	d.Data.Reads = b.Data.Reads - a.Data.Reads
 	d.Data.Writes = b.Data.Writes - a.Data.Writes

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	siasserver [-addr :4544] [-shards N] [-engine sias|si] [-policy t2|t1]
-//	           [-pool FRAMES] [-pool-partitions P] [-max-inflight N]
+//	           [-pool FRAMES] [-pool-partitions P] [-readahead ROWS]
+//	           [-prefetch-depth N] [-max-inflight N]
 //	           [-drain SECONDS] [-data DIR] [-follow ADDR] [-announce ADDR]
 //	           [-metrics-addr :9544] [-slow-op-ms MS] [-asof-retention N]
 //
@@ -74,6 +75,8 @@ func main() {
 	policy := flag.String("policy", "t2", "append flush policy: t2 (checkpoint) or t1 (bgwriter)")
 	pool := flag.Int("pool", 4096, "buffer pool frames (total across shards)")
 	poolParts := flag.Int("pool-partitions", 0, "buffer pool lock stripes per shard (0 = auto, 1 = classic single mutex)")
+	readahead := flag.Int("readahead", 32, "scan readahead window in rows: entrypoint pages of that many upcoming VIDs are prefetched ahead of scan cursors (0 = off)")
+	prefetchDepth := flag.Int("prefetch-depth", 0, "max prefetch device reads in flight per shard (0 = pool default)")
 	maxInflight := flag.Int("max-inflight", 64, "admission control: max concurrently executing requests")
 	drainSec := flag.Float64("drain", 5, "graceful drain timeout in seconds")
 	dataDir := flag.String("data", "", "data directory for file-backed devices (empty = in-memory)")
@@ -92,7 +95,8 @@ func main() {
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	cfg := serverConfig{
 		addr: *addr, shards: *shards, kind: *kind, policy: *policy,
-		pool: *pool, poolParts: *poolParts, maxInflight: *maxInflight, drainSec: *drainSec,
+		pool: *pool, poolParts: *poolParts, readahead: *readahead, prefetchDepth: *prefetchDepth,
+		maxInflight: *maxInflight, drainSec: *drainSec,
 		dataDir: *dataDir, dataPages: *dataPages, walPages: *walPages, walSync: *walSync,
 		gcLinger: *gcLinger, gcBatch: *gcBatch, asofRetention: *asofRetention,
 		follow: *follow, announce: *announce,
@@ -115,6 +119,8 @@ type serverConfig struct {
 	kind, policy  string
 	pool          int
 	poolParts     int
+	readahead     int // scan readahead window in rows; 0 = off
+	prefetchDepth int // bounded in-flight prefetch reads per shard
 	maxInflight   int
 	drainSec      float64
 	dataDir       string
@@ -135,9 +141,11 @@ type serverConfig struct {
 // layouts at constant resource budgets.
 func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 	opts := engine.Options{
-		PoolFrames:     max(cfg.pool/cfg.shards, 64),
-		PoolPartitions: cfg.poolParts,
-		GCRetention:    cfg.asofRetention,
+		PoolFrames:      max(cfg.pool/cfg.shards, 64),
+		PoolPartitions:  cfg.poolParts,
+		ScanReadahead:   cfg.readahead,
+		PrefetchWorkers: cfg.prefetchDepth,
+		GCRetention:     cfg.asofRetention,
 	}
 	switch cfg.kind {
 	case "sias":

@@ -34,14 +34,52 @@
 // Lock ordering rule: partition mutex, then frame latch. Callers must never
 // re-enter the pool (which acquires a partition mutex) while holding a
 // frame latch, and must release the latch before Release drops the pin.
+//
+// # The IO-pending miss path
+//
+// The partition mutex is never held across a device read. On a miss, Get
+// claims a victim, inserts the frame into the stripe index in the
+// *IO-pending* state (Frame.load non-nil, valid still false), releases the
+// partition mutex, and performs the read under the frame latch only. A
+// concurrent Get of the same page singleflights on the pending frame: it
+// waits for that read's completion channel — one device read total — while
+// Gets of other pages in the stripe proceed immediately. Publishing clears
+// the pending state and wakes the waiters; a failed read unpublishes the
+// frame (index entry removed, slot returned to the free list) and delivers
+// the error to every waiter. An IO-pending frame is never chosen as an
+// eviction victim and is invisible to the sweep/checkpoint writers (its
+// valid flag is still false).
+//
+// Frame lifecycle:
+//
+//	free ──claim──▶ IO-pending ──publish──▶ resident ──evict──▶ free/claimed
+//	                   │                        ▲
+//	                   └──read error──▶ free    └── singleflight waiters pin here
+//
+// Victim write-back (WAL flush + page write) still happens under the
+// partition mutex at claim time, before the page leaves the index — moving
+// it off the lock would open a window where a Get of the victim page reads
+// stale bytes from the device. Read-heavy workloads rarely claim dirty
+// victims, and the prefetcher refuses them outright.
+//
+// Prefetch stages pages ahead of a scan cursor through the same pending
+// state: frames are claimed unpinned (pin 0), adjacent device pages are
+// coalesced into one batched pread when the device implements
+// device.PageRangeReader, and a bounded worker pool keeps several reads in
+// flight so a cold scan saturates the device instead of serializing misses.
+// The scan's Get then either hits the published frame or singleflight-joins
+// the still-in-flight read.
 package buffer
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sias/internal/device"
+	"sias/internal/obs"
 	"sias/internal/page"
 	"sias/internal/simclock"
 )
@@ -60,6 +98,9 @@ type Config struct {
 	// WALFlush, if set, is called before writing a dirty page whose LSN
 	// exceeds the durable WAL horizon.
 	WALFlush func(at simclock.Time, lsn uint64) (simclock.Time, error)
+	// PrefetchWorkers bounds the number of prefetch device reads in flight
+	// at once; 0 uses DefaultPrefetchWorkers.
+	PrefetchWorkers int
 }
 
 // DefaultPartitions is the stripe count used when Config.Partitions is 0
@@ -70,9 +111,27 @@ const DefaultPartitions = 16
 // striping only fragments the replacement policy.
 const minPartitionFrames = 64
 
+// DefaultPrefetchWorkers bounds concurrent prefetch reads when
+// Config.PrefetchWorkers is 0: enough to keep a flash device's channels
+// busy without unbounded goroutine fan-out.
+const DefaultPrefetchWorkers = 8
+
+// maxCoalesce caps how many adjacent pages one prefetch batch merges into a
+// single pread (32 pages = 256 KB at the default page size).
+const maxCoalesce = 32
+
 // DefaultConfig returns a 1024-frame pool (8 MB) with a 1µs hit cost.
 func DefaultConfig() Config {
 	return Config{Frames: 1024, HitCost: simclock.Microsecond}
+}
+
+// loadState is the singleflight rendezvous for one in-flight page read.
+// err and doneAt are written exactly once, before done is closed; waiters
+// read them only after <-done.
+type loadState struct {
+	done   chan struct{}
+	err    error
+	doneAt simclock.Time
 }
 
 // Frame is one buffered page. Callers access Data only between Get and
@@ -87,6 +146,14 @@ type Frame struct {
 	dirty atomic.Bool
 	ref   atomic.Bool
 	valid bool // partition-mutex protected
+	// load is non-nil while a device read into this frame is in flight
+	// (IO-pending state). Partition-mutex protected; the loader holds the
+	// frame latch exclusively for the whole load.
+	load *loadState
+	// prefetched marks a frame staged by Prefetch that no Get has used yet;
+	// eviction of such a frame counts as wasted readahead. Partition-mutex
+	// protected.
+	prefetched bool
 }
 
 // DevPage reports the device page currently held (stable while pinned).
@@ -113,6 +180,21 @@ type Stats struct {
 	DirtyOut  int64 // dirty pages written (evictions + sweeps + checkpoints)
 	// PartitionEvictions is the per-stripe slice of Evictions.
 	PartitionEvictions []int64
+
+	// IOPending is the number of frames with a device read in flight at
+	// snapshot time (a gauge, not a counter).
+	IOPending int64
+	// ReadWaits counts Gets that blocked on another caller's in-flight read
+	// of the same page (singleflight joins).
+	ReadWaits int64
+	// PrefetchIssued counts pages staged by the async prefetcher.
+	PrefetchIssued int64
+	// PrefetchCoalesced counts device reads saved by merging adjacent
+	// prefetch pages into one batched pread.
+	PrefetchCoalesced int64
+	// PrefetchWasted counts prefetched pages evicted before any Get used
+	// them (readahead that did not pay off).
+	PrefetchWasted int64
 }
 
 // HitRatio reports hits/(hits+misses), 0 if no traffic.
@@ -144,6 +226,20 @@ type Pool struct {
 	dev    device.BlockDevice
 	parts  []partition
 	frames int
+
+	ioPending         atomic.Int64
+	readWaits         atomic.Int64
+	prefetchIssued    atomic.Int64
+	prefetchCoalesced atomic.Int64
+	prefetchWasted    atomic.Int64
+
+	prefetchSem chan struct{}
+	prefetchWG  sync.WaitGroup
+
+	// readWaitH, when set, observes the wall-clock seconds a Get blocked on
+	// another caller's in-flight read. Set at assembly time via
+	// SetIOMetrics, before the pool is shared.
+	readWaitH *obs.Histogram
 }
 
 // New creates a pool over dev.
@@ -164,7 +260,17 @@ func New(cfg Config, dev device.BlockDevice) *Pool {
 	if nparts > cfg.Frames {
 		nparts = cfg.Frames
 	}
-	p := &Pool{cfg: cfg, dev: dev, parts: make([]partition, nparts), frames: cfg.Frames}
+	workers := cfg.PrefetchWorkers
+	if workers <= 0 {
+		workers = DefaultPrefetchWorkers
+	}
+	p := &Pool{
+		cfg:         cfg,
+		dev:         dev,
+		parts:       make([]partition, nparts),
+		frames:      cfg.Frames,
+		prefetchSem: make(chan struct{}, workers),
+	}
 	for i := range p.parts {
 		n := cfg.Frames / nparts
 		if i < cfg.Frames%nparts {
@@ -182,6 +288,10 @@ func New(cfg Config, dev device.BlockDevice) *Pool {
 	return p
 }
 
+// SetIOMetrics attaches the wall-clock histogram for singleflight read
+// waits. Set at assembly time, before the pool is shared.
+func (p *Pool) SetIOMetrics(readWait *obs.Histogram) { p.readWaitH = readWait }
+
 // partOf maps a device page to its partition (SplitMix64 finalizer: cheap
 // and uncorrelated with the allocator's extent striding).
 func (p *Pool) partOf(devPage int64) *partition {
@@ -198,59 +308,124 @@ func (p *Pool) partOf(devPage int64) *partition {
 // Get pins the frame holding devPage, reading it from the device on a miss.
 // If init is true the page is being created: no device read is issued and
 // the frame contents are zeroed for the caller to format.
+//
+// The partition mutex is released before any device read: a Get that misses
+// becomes the frame's loader, and concurrent Gets of the same page wait on
+// the loader's completion instead of issuing their own reads.
 func (p *Pool) Get(at simclock.Time, devPage int64, init bool) (*Frame, simclock.Time, error) {
 	pt := p.partOf(devPage)
 	pt.mu.Lock()
-	if idx, ok := pt.index[devPage]; ok {
+	for {
+		idx, ok := pt.index[devPage]
+		if !ok {
+			break
+		}
 		f := pt.frames[idx]
-		f.pin.Add(1)
-		f.ref.Store(true)
-		pt.hits++
+		if f.load == nil {
+			f.pin.Add(1)
+			f.ref.Store(true)
+			f.prefetched = false
+			pt.hits++
+			pt.mu.Unlock()
+			return f, at.Add(p.cfg.HitCost), nil
+		}
+		// IO-pending: singleflight-join the in-flight read. Drop the
+		// partition mutex first so other pages in the stripe stay available
+		// while we wait.
+		ld := f.load
+		p.readWaits.Add(1)
 		pt.mu.Unlock()
-		return f, at.Add(p.cfg.HitCost), nil
+		start := time.Now()
+		<-ld.done
+		if p.readWaitH != nil {
+			p.readWaitH.Observe(time.Since(start).Seconds())
+		}
+		if ld.err != nil {
+			return nil, at, fmt.Errorf("buffer: read page %d: %w", devPage, ld.err)
+		}
+		if ld.doneAt > at {
+			at = ld.doneAt
+		}
+		// Re-check from the top: the usual outcome is a hit on the
+		// published frame; if it was already evicted again, this Get
+		// becomes the loader.
+		pt.mu.Lock()
 	}
 	pt.misses++
-	idx, t, err := p.evictLocked(pt, at)
+	idx, t, err := p.claimLocked(pt, at, false)
 	if err != nil {
 		pt.mu.Unlock()
 		return nil, t, err
 	}
-	// evictLocked returns with the frame latch held exclusively: the frame
-	// is unreachable (not in the index) until we publish it below, but the
-	// latch documents — and the race detector checks — that loading never
-	// overlaps a stale reader.
+	// claimLocked returns with the frame latch held exclusively; the latch
+	// stays held across the device read so the race detector checks that
+	// loading never overlaps a reader.
 	f := pt.frames[idx]
 	f.devPage = devPage
 	f.dirty.Store(false)
 	f.pin.Store(1)
 	f.ref.Store(true)
-	f.valid = true
-	pt.index[devPage] = idx
+	f.prefetched = false
 	if init {
+		// Page creation: no device read, so no pending state either.
+		f.valid = true
+		pt.index[devPage] = idx
 		clear(f.Data)
 		f.Unlock()
 		pt.mu.Unlock()
 		return f, t.Add(p.cfg.HitCost), nil
 	}
-	t, err = p.dev.ReadPage(t, devPage, f.Data)
-	if err != nil {
-		f.valid = false
-		f.pin.Store(0)
-		f.devPage = -1
-		delete(pt.index, devPage)
-		f.Unlock()
-		pt.mu.Unlock()
-		return nil, t, fmt.Errorf("buffer: read page %d: %w", devPage, err)
-	}
-	f.Unlock()
+	f.valid = false
+	ld := &loadState{done: make(chan struct{})}
+	f.load = ld
+	pt.index[devPage] = idx
+	p.ioPending.Add(1)
 	pt.mu.Unlock()
+
+	t, rerr := p.dev.ReadPage(t, devPage, f.Data)
+	p.publish(pt, f, idx, devPage, t, rerr, ld)
+	if rerr != nil {
+		return nil, t, fmt.Errorf("buffer: read page %d: %w", devPage, rerr)
+	}
 	return f, t, nil
 }
 
-// evictLocked finds a victim frame in pt via free list then clock sweep,
-// flushing it if dirty. Caller holds pt.mu; on success the victim's latch
-// is held exclusively.
-func (p *Pool) evictLocked(pt *partition, at simclock.Time) (int, simclock.Time, error) {
+// publish completes an in-flight load: it clears the pending state under
+// the partition mutex, wakes every singleflight waiter, and releases the
+// frame latch held since the claim. On error the frame is unpublished — the
+// index entry removed, the pin dropped and the slot returned to the free
+// list — so a failed read leaks nothing and the next Get retries from
+// scratch.
+func (p *Pool) publish(pt *partition, f *Frame, idx int, devPage int64, t simclock.Time, err error, ld *loadState) {
+	pt.mu.Lock()
+	p.ioPending.Add(-1)
+	if err == nil {
+		f.valid = true
+	} else {
+		if j, ok := pt.index[devPage]; ok && j == idx {
+			delete(pt.index, devPage)
+			pt.free = append(pt.free, idx)
+		}
+		f.valid = false
+		f.devPage = -1
+		f.dirty.Store(false)
+		f.prefetched = false
+		f.pin.Store(0)
+	}
+	f.load = nil
+	pt.mu.Unlock()
+	ld.err = err
+	ld.doneAt = t
+	close(ld.done)
+	f.Unlock()
+}
+
+// claimLocked finds a victim frame in pt via free list then clock sweep,
+// flushing it if dirty (cleanOnly skips dirty frames instead — the prefetch
+// path refuses to pay write-backs). IO-pending frames are never victims.
+// Caller holds pt.mu; on success the victim's latch is held exclusively and
+// the victim is no longer in the index.
+func (p *Pool) claimLocked(pt *partition, at simclock.Time, cleanOnly bool) (int, simclock.Time, error) {
 	t := at
 	if n := len(pt.free); n > 0 {
 		idx := pt.free[n-1]
@@ -262,11 +437,16 @@ func (p *Pool) evictLocked(pt *partition, at simclock.Time) (int, simclock.Time,
 		idx := pt.hand
 		f := pt.frames[idx]
 		pt.hand = (pt.hand + 1) % len(pt.frames)
-		if f.pin.Load() > 0 {
+		if f.load != nil || f.pin.Load() > 0 {
+			// A pending frame's read is still publishing into Data; it is
+			// as untouchable as a pinned one.
 			continue
 		}
 		if f.ref.Load() {
 			f.ref.Store(false)
+			continue
+		}
+		if cleanOnly && f.dirty.Load() {
 			continue
 		}
 		// pin == 0 under pt.mu means no caller holds the latch (the latch
@@ -287,6 +467,10 @@ func (p *Pool) evictLocked(pt *partition, at simclock.Time) (int, simclock.Time,
 			}
 			delete(pt.index, f.devPage)
 			pt.evictions++
+			if f.prefetched {
+				p.prefetchWasted.Add(1)
+				f.prefetched = false
+			}
 		}
 		f.valid = false
 		f.devPage = -1
@@ -296,6 +480,115 @@ func (p *Pool) evictLocked(pt *partition, at simclock.Time) (int, simclock.Time,
 	return 0, t, fmt.Errorf("buffer: all %d frames in partition pinned (%d frames, %d partitions)",
 		len(pt.frames), p.frames, len(p.parts))
 }
+
+// prefetchClaim is one pending frame staged by Prefetch, carrying what the
+// read worker needs to publish it.
+type prefetchClaim struct {
+	pt      *partition
+	f       *Frame
+	idx     int
+	ld      *loadState
+	devPage int64
+}
+
+// Prefetch stages pages into the pool ahead of a scan cursor and returns
+// without waiting for the reads. Pages already resident or in flight are
+// skipped; so are pages whose stripe has no clean unpinned victim (the
+// scan's own Get will read those synchronously). Claimed pages are sorted,
+// adjacent device pages are merged into one batched pread (up to
+// maxCoalesce) when the device implements device.PageRangeReader, and the
+// reads run on a worker pool bounded by Config.PrefetchWorkers. A Get that
+// arrives before a prefetched read completes singleflight-joins it.
+func (p *Pool) Prefetch(at simclock.Time, pages []int64) {
+	if len(pages) == 0 {
+		return
+	}
+	sorted := append([]int64(nil), pages...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	claims := make([]prefetchClaim, 0, len(sorted))
+	last := int64(-1)
+	for _, dp := range sorted {
+		if dp == last {
+			continue
+		}
+		last = dp
+		pt := p.partOf(dp)
+		pt.mu.Lock()
+		if _, ok := pt.index[dp]; ok {
+			pt.mu.Unlock()
+			continue
+		}
+		idx, _, err := p.claimLocked(pt, at, true)
+		if err != nil {
+			pt.mu.Unlock()
+			continue
+		}
+		f := pt.frames[idx]
+		ld := &loadState{done: make(chan struct{})}
+		f.devPage = dp
+		f.dirty.Store(false)
+		f.pin.Store(0)
+		f.ref.Store(true)
+		f.valid = false
+		f.prefetched = true
+		f.load = ld
+		pt.index[dp] = idx
+		p.ioPending.Add(1)
+		p.prefetchIssued.Add(1)
+		pt.mu.Unlock()
+		claims = append(claims, prefetchClaim{pt: pt, f: f, idx: idx, ld: ld, devPage: dp})
+	}
+	for start := 0; start < len(claims); {
+		end := start + 1
+		for end < len(claims) && claims[end].devPage == claims[end-1].devPage+1 && end-start < maxCoalesce {
+			end++
+		}
+		batch := claims[start:end]
+		start = end
+		p.prefetchWG.Add(1)
+		go func(batch []prefetchClaim) {
+			defer p.prefetchWG.Done()
+			p.prefetchSem <- struct{}{}
+			defer func() { <-p.prefetchSem }()
+			p.readBatch(at, batch)
+		}(batch)
+	}
+}
+
+// readBatch performs the device reads for one run of consecutive prefetch
+// claims and publishes each frame. A failed batched read falls back to
+// per-page reads so only the genuinely unreadable page fails.
+func (p *Pool) readBatch(at simclock.Time, batch []prefetchClaim) {
+	if len(batch) > 1 {
+		if rr, ok := p.dev.(device.PageRangeReader); ok {
+			ps := p.dev.PageSize()
+			buf := make([]byte, len(batch)*ps)
+			t, err := rr.ReadPages(at, batch[0].devPage, len(batch), buf)
+			if err == nil {
+				p.prefetchCoalesced.Add(int64(len(batch) - 1))
+				for i := range batch {
+					c := &batch[i]
+					copy(c.f.Data, buf[i*ps:(i+1)*ps])
+					p.publish(c.pt, c.f, c.idx, c.devPage, t, nil, c.ld)
+				}
+				return
+			}
+		}
+	}
+	t := at
+	for i := range batch {
+		c := &batch[i]
+		t2, err := p.dev.ReadPage(t, c.devPage, c.f.Data)
+		if err == nil {
+			t = t2
+		}
+		p.publish(c.pt, c.f, c.idx, c.devPage, t2, err, c.ld)
+	}
+}
+
+// DrainPrefetch blocks until every in-flight prefetch has published. Used
+// by shutdown, crash simulation and tests asserting IOPending returns to 0.
+func (p *Pool) DrainPrefetch() { p.prefetchWG.Wait() }
 
 // writeFrameLocked writes one dirty frame back (WAL first). Caller holds
 // pt.mu and the frame latch exclusively.
@@ -343,6 +636,12 @@ func (p *Pool) FlushPage(at simclock.Time, devPage int64) (simclock.Time, error)
 		return at, nil
 	}
 	f := pt.frames[idx]
+	if f.load != nil {
+		// IO-pending: the frame holds no committed bytes yet, and waiting
+		// for the loader's latch here would stall the stripe. A loading
+		// page is by definition clean.
+		return at, nil
+	}
 	if !f.dirty.Load() {
 		return at, nil
 	}
@@ -357,6 +656,7 @@ func (p *Pool) FlushPage(at simclock.Time, devPage int64) (simclock.Time, error)
 
 // SweepDirty is the background-writer tick (threshold t1): it writes up to
 // max dirty unpinned pages. max <= 0 means all. Returns pages written.
+// IO-pending frames are skipped (valid is still false).
 func (p *Pool) SweepDirty(at simclock.Time, max int) (int, simclock.Time, error) {
 	written := 0
 	t := at
@@ -435,8 +735,11 @@ func (p *Pool) DirtyCount() int {
 	return n
 }
 
-// InvalidateAll drops every frame without writing (crash simulation).
+// InvalidateAll drops every frame without writing (crash simulation). It
+// requires a quiesced pool: no concurrent Get may be in flight. In-flight
+// prefetches are drained first.
 func (p *Pool) InvalidateAll() {
+	p.DrainPrefetch()
 	for pi := range p.parts {
 		pt := &p.parts[pi]
 		pt.mu.Lock()
@@ -447,6 +750,7 @@ func (p *Pool) InvalidateAll() {
 			f.dirty.Store(false)
 			f.pin.Store(0)
 			f.devPage = -1
+			f.prefetched = false
 			pt.free = append(pt.free, j)
 		}
 		pt.index = make(map[int64]int, len(pt.frames))
@@ -469,6 +773,11 @@ func (p *Pool) Stats() Stats {
 		s.PartitionEvictions[pi] = pt.evictions
 		pt.mu.Unlock()
 	}
+	s.IOPending = p.ioPending.Load()
+	s.ReadWaits = p.readWaits.Load()
+	s.PrefetchIssued = p.prefetchIssued.Load()
+	s.PrefetchCoalesced = p.prefetchCoalesced.Load()
+	s.PrefetchWasted = p.prefetchWasted.Load()
 	return s
 }
 

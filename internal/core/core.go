@@ -124,6 +124,10 @@ type Config struct {
 	// GCDeadFraction is the minimum dead fraction for a victim page
 	// (default 0.5).
 	GCDeadFraction float64
+	// Readahead is the scan readahead window in data items: scans stage the
+	// entrypoint pages of the next Readahead VIDs into the buffer pool's
+	// async prefetcher ahead of the cursor. 0 disables readahead.
+	Readahead int
 	// Eraser, when set, puts the relation in NoFTL mode (Section 6 /
 	// Hardock et al. [22]): GC-freed blocks are grouped into erase units
 	// and the engine erases them explicitly before reuse, taking full
@@ -182,6 +186,10 @@ type Relation struct {
 	eraser     Eraser
 	freeByUnit map[uint32][]uint32
 
+	// readahead is the scan prefetch window in VIDs (atomic so tests and
+	// operators can retune a live relation).
+	readahead atomic.Int32
+
 	stats relStats
 }
 
@@ -208,7 +216,7 @@ func New(at simclock.Time, cfg Config) (*Relation, simclock.Time, error) {
 	if frac <= 0 {
 		frac = 0.35
 	}
-	return &Relation{
+	r := &Relation{
 		id:          cfg.ID,
 		name:        cfg.Name,
 		pool:        cfg.Pool,
@@ -226,7 +234,40 @@ func New(at simclock.Time, cfg Config) (*Relation, simclock.Time, error) {
 		missPenalty: cfg.VMapMissPenalty,
 		eraser:      cfg.Eraser,
 		freeByUnit:  map[uint32][]uint32{},
-	}, t, nil
+	}
+	r.readahead.Store(int32(cfg.Readahead))
+	return r, t, nil
+}
+
+// SetReadahead retunes the scan readahead window (0 disables).
+func (r *Relation) SetReadahead(n int) { r.readahead.Store(int32(n)) }
+
+// prefetchVIDs stages the distinct device pages holding the entrypoint
+// versions of vids into the pool's async prefetcher. Chain predecessors are
+// not staged — the window targets the first hop, which Algorithm 1 touches
+// for every live item; deeper hops are the chain-length tail.
+func (r *Relation) prefetchVIDs(at simclock.Time, vids []uint64) {
+	if len(vids) == 0 {
+		return
+	}
+	pages := make([]int64, 0, len(vids))
+	last := int64(-1)
+	for _, vid := range vids {
+		tid, ok := r.vmap.Get(vid)
+		if !ok || !tid.Valid() {
+			continue
+		}
+		dev, err := r.alloc.DevicePage(r.id, tid.Block)
+		if err != nil {
+			continue
+		}
+		if dev == last {
+			continue
+		}
+		last = dev
+		pages = append(pages, dev)
+	}
+	r.pool.Prefetch(at, pages)
 }
 
 // AddSecondary attaches a secondary <key, VID> index and returns its
@@ -843,8 +884,43 @@ func (r *Relation) Delete(tx *txn.Tx, at simclock.Time, key int64) (simclock.Tim
 
 // Scan is Algorithm 1: iterate the VIDmap and resolve each data item to its
 // visible version, rather than reading the whole relation. fn returning
-// false stops the scan.
+// false stops the scan. With readahead enabled, the entrypoint pages of the
+// VIDs ahead of the cursor are staged into the pool's async prefetcher, so
+// a cold scan keeps several device reads in flight instead of serializing
+// misses.
 func (r *Relation) Scan(tx *txn.Tx, at simclock.Time, fn func(vid uint64, payload []byte) bool) (simclock.Time, error) {
+	if ra := int(r.readahead.Load()); ra > 0 {
+		var vids []uint64
+		r.vmap.Range(func(vid uint64, _ page.TID) bool {
+			vids = append(vids, vid)
+			return true
+		})
+		t := at
+		for i, vid := range vids {
+			if i%ra == 0 {
+				// Stage the current window plus the next: the first Gets
+				// singleflight-join their in-flight reads while the window
+				// after them is already loading.
+				end := i + 2*ra
+				if end > len(vids) {
+					end = len(vids)
+				}
+				r.prefetchVIDs(t, vids[i:end])
+			}
+			hdr, payload, t2, found, err := r.chainLookup(tx, t, vid)
+			t = t2
+			if err != nil {
+				return t, err
+			}
+			if !found || hdr.Tombstone() {
+				continue
+			}
+			if !fn(vid, payload) {
+				return t, nil
+			}
+		}
+		return t, nil
+	}
 	t := at
 	var outerErr error
 	r.vmap.Range(func(vid uint64, _ page.TID) bool {
@@ -862,24 +938,31 @@ func (r *Relation) Scan(tx *txn.Tx, at simclock.Time, fn func(vid uint64, payloa
 	return t, outerErr
 }
 
-// RangeByKey resolves the primary-index key range [lo, hi] to visible
-// versions in key order. Because <key,VID> entries survive key changes, fn
-// receives the index key alongside the payload and callers re-check the
-// predicate against the decoded row.
-func (r *Relation) RangeByKey(tx *txn.Tx, at simclock.Time, lo, hi int64, fn func(indexKey int64, vid uint64, payload []byte) bool) (simclock.Time, error) {
-	type ent struct {
-		key int64
-		vid uint64
-	}
-	var ents []ent
-	t, err := r.pk.Range(at, lo, hi, func(k int64, vid uint64) bool {
-		ents = append(ents, ent{k, vid})
-		return true
-	})
-	if err != nil {
-		return t, err
-	}
-	for _, e := range ents {
+// idxEnt is one materialized index entry awaiting chain resolution.
+type idxEnt struct {
+	key int64
+	vid uint64
+}
+
+// resolveEnts resolves materialized index entries to visible versions in
+// order, staging the readahead window's entrypoint pages ahead of the
+// cursor. fn returning false stops the resolution.
+func (r *Relation) resolveEnts(tx *txn.Tx, at simclock.Time, ents []idxEnt, fn func(indexKey int64, vid uint64, payload []byte) bool) (simclock.Time, error) {
+	ra := int(r.readahead.Load())
+	var window []uint64
+	t := at
+	for i, e := range ents {
+		if ra > 0 && i%ra == 0 {
+			end := i + 2*ra
+			if end > len(ents) {
+				end = len(ents)
+			}
+			window = window[:0]
+			for _, w := range ents[i:end] {
+				window = append(window, w.vid)
+			}
+			r.prefetchVIDs(t, window)
+		}
 		hdr, payload, t2, found, err := r.chainLookup(tx, t, e.vid)
 		t = t2
 		if err != nil {
@@ -893,6 +976,22 @@ func (r *Relation) RangeByKey(tx *txn.Tx, at simclock.Time, lo, hi int64, fn fun
 		}
 	}
 	return t, nil
+}
+
+// RangeByKey resolves the primary-index key range [lo, hi] to visible
+// versions in key order. Because <key,VID> entries survive key changes, fn
+// receives the index key alongside the payload and callers re-check the
+// predicate against the decoded row.
+func (r *Relation) RangeByKey(tx *txn.Tx, at simclock.Time, lo, hi int64, fn func(indexKey int64, vid uint64, payload []byte) bool) (simclock.Time, error) {
+	var ents []idxEnt
+	t, err := r.pk.Range(at, lo, hi, func(k int64, vid uint64) bool {
+		ents = append(ents, idxEnt{k, vid})
+		return true
+	})
+	if err != nil {
+		return t, err
+	}
+	return r.resolveEnts(tx, t, ents, fn)
 }
 
 // SearchSecondary resolves a secondary-index key to visible payloads.
@@ -929,30 +1028,13 @@ func (r *Relation) RangeBySecondary(tx *txn.Tx, at simclock.Time, idx int, lo, h
 		return at, fmt.Errorf("sias: no secondary index %d", idx)
 	}
 	r.stats.indexLookups.Add(1)
-	type ent struct {
-		key int64
-		vid uint64
-	}
-	var ents []ent
+	var ents []idxEnt
 	t, err := secs[idx].Range(at, lo, hi, func(k int64, vid uint64) bool {
-		ents = append(ents, ent{k, vid})
+		ents = append(ents, idxEnt{k, vid})
 		return true
 	})
 	if err != nil {
 		return t, err
 	}
-	for _, e := range ents {
-		hdr, payload, t2, found, err := r.chainLookup(tx, t, e.vid)
-		t = t2
-		if err != nil {
-			return t, err
-		}
-		if !found || hdr.Tombstone() {
-			continue
-		}
-		if !fn(e.key, e.vid, payload) {
-			return t, nil
-		}
-	}
-	return t, nil
+	return r.resolveEnts(tx, t, ents, fn)
 }

@@ -16,8 +16,21 @@ func (r *Relation) ScanVIDRange(tx *txn.Tx, at simclock.Time, lo, hi uint64, fn 
 	if max := r.vmap.MaxVID(); hi > max {
 		hi = max
 	}
+	ra := uint64(r.readahead.Load())
+	var window []uint64
 	t := at
 	for vid := lo; vid < hi; vid++ {
+		if ra > 0 && (vid-lo)%ra == 0 {
+			end := vid + 2*ra
+			if end > hi {
+				end = hi
+			}
+			window = window[:0]
+			for w := vid; w < end; w++ {
+				window = append(window, w)
+			}
+			r.prefetchVIDs(t, window)
+		}
 		if _, ok := r.vmap.Get(vid); !ok {
 			continue
 		}
@@ -70,8 +83,21 @@ func (r *Relation) ParallelScan(tx *txn.Tx, at simclock.Time, parallelism int, f
 		wg.Add(1)
 		go func(lo, hi uint64) {
 			defer wg.Done()
+			ra := uint64(r.readahead.Load())
+			var window []uint64
 			t := at
 			for vid := lo; vid < hi; vid++ {
+				if ra > 0 && (vid-lo)%ra == 0 {
+					end := vid + 2*ra
+					if end > hi {
+						end = hi
+					}
+					window = window[:0]
+					for w := vid; w < end; w++ {
+						window = append(window, w)
+					}
+					r.prefetchVIDs(t, window)
+				}
 				if _, ok := r.vmap.Get(vid); !ok {
 					continue
 				}

@@ -39,6 +39,16 @@ type BlockDevice interface {
 	ResetStats()
 }
 
+// PageRangeReader is the optional batched-read fast path: devices that can
+// serve several consecutive pages in one host operation (a single pread on
+// file-backed storage) implement it, and the buffer pool's prefetcher
+// coalesces adjacent pages onto it. Semantically equivalent to n ReadPage
+// calls for pages [pageNo, pageNo+n); p holds n*PageSize bytes. Counts as
+// one host read of n pages in Stats.
+type PageRangeReader interface {
+	ReadPages(at simclock.Time, pageNo int64, n int, p []byte) (simclock.Time, error)
+}
+
 // Stats aggregates host-visible I/O issued to a device.
 type Stats struct {
 	Reads        int64

@@ -74,6 +74,32 @@ func (d *File) ReadPage(at simclock.Time, pageNo int64, p []byte) (simclock.Time
 	return done, nil
 }
 
+// ReadPages implements PageRangeReader: n consecutive pages in one pread.
+// This is the prefetcher's coalescing target — one syscall and one latency
+// charge instead of n.
+func (d *File) ReadPages(at simclock.Time, pageNo int64, n int, p []byte) (simclock.Time, error) {
+	if n <= 0 {
+		return at, fmt.Errorf("device: ReadPages of %d pages", n)
+	}
+	if pageNo < 0 || pageNo+int64(n) > d.numPages {
+		return at, ErrOutOfRange
+	}
+	size := n * d.pageSize
+	if len(p) < size {
+		return at, fmt.Errorf("device: read buffer %d < %d pages", len(p), n)
+	}
+	nn, err := d.f.ReadAt(p[:size], pageNo*int64(d.pageSize))
+	if err != nil && nn < size {
+		// Short or absent tail: the rest was never written.
+		for i := nn; i < size; i++ {
+			p[i] = 0
+		}
+	}
+	done := at.Add(d.readLat)
+	d.CountRead(size, d.readLat)
+	return done, nil
+}
+
 // WritePage implements BlockDevice.
 func (d *File) WritePage(at simclock.Time, pageNo int64, p []byte) (simclock.Time, error) {
 	if pageNo < 0 || pageNo >= d.numPages {
@@ -107,4 +133,7 @@ func (d *File) Close() error {
 	return d.f.Close()
 }
 
-var _ BlockDevice = (*File)(nil)
+var (
+	_ BlockDevice     = (*File)(nil)
+	_ PageRangeReader = (*File)(nil)
+)

@@ -71,6 +71,36 @@ func (m *Mem) ReadPage(at simclock.Time, pageNo int64, p []byte) (simclock.Time,
 	return done, nil
 }
 
+// ReadPages implements PageRangeReader: n consecutive pages as one host
+// read, latency charged once.
+func (m *Mem) ReadPages(at simclock.Time, pageNo int64, n int, p []byte) (simclock.Time, error) {
+	if n <= 0 {
+		return at, fmt.Errorf("device: ReadPages of %d pages", n)
+	}
+	if pageNo < 0 || pageNo+int64(n) > m.numPages {
+		return at, ErrOutOfRange
+	}
+	size := n * m.pageSize
+	if len(p) < size {
+		return at, fmt.Errorf("device: read buffer %d < %d pages", len(p), n)
+	}
+	m.mu.Lock()
+	for i := 0; i < n; i++ {
+		dst := p[i*m.pageSize : (i+1)*m.pageSize]
+		if src := m.data[pageNo+int64(i)]; src == nil {
+			for j := range dst {
+				dst[j] = 0
+			}
+		} else {
+			copy(dst, src)
+		}
+	}
+	m.mu.Unlock()
+	done := at.Add(m.readLat)
+	m.CountRead(size, m.readLat)
+	return done, nil
+}
+
 // WritePage implements BlockDevice.
 func (m *Mem) WritePage(at simclock.Time, pageNo int64, p []byte) (simclock.Time, error) {
 	if pageNo < 0 || pageNo >= m.numPages {
@@ -92,4 +122,7 @@ func (m *Mem) WritePage(at simclock.Time, pageNo int64, p []byte) (simclock.Time
 	return done, nil
 }
 
-var _ BlockDevice = (*Mem)(nil)
+var (
+	_ BlockDevice     = (*Mem)(nil)
+	_ PageRangeReader = (*Mem)(nil)
+)

@@ -75,6 +75,13 @@ type Options struct {
 	PoolPartitions int
 	// BufferHitCost is the virtual CPU cost of a buffer hit.
 	BufferHitCost simclock.Duration
+	// ScanReadahead is the scan readahead window in data items: table scans
+	// stage the entrypoint pages of that many upcoming VIDs into the pool's
+	// async prefetcher ahead of the cursor. 0 disables readahead.
+	ScanReadahead int
+	// PrefetchWorkers bounds concurrent prefetch device reads; 0 uses the
+	// pool's default.
+	PrefetchWorkers int
 
 	// BgWriterInterval paces the background writer (policy t1).
 	BgWriterInterval simclock.Duration
@@ -222,9 +229,10 @@ func Open(opts Options) (*DB, error) {
 	}
 
 	db.pool = buffer.New(buffer.Config{
-		Frames:     opts.PoolFrames,
-		Partitions: opts.PoolPartitions,
-		HitCost:    opts.BufferHitCost,
+		Frames:          opts.PoolFrames,
+		Partitions:      opts.PoolPartitions,
+		HitCost:         opts.BufferHitCost,
+		PrefetchWorkers: opts.PrefetchWorkers,
 		WALFlush: func(at simclock.Time, lsn uint64) (simclock.Time, error) {
 			return db.walw.Flush(at, wal.LSN(lsn))
 		},
@@ -615,5 +623,7 @@ func (db *DB) Table(name string) *Table {
 // at shutdown; here the durable truth is heap + WAL, from which everything
 // is rebuilt, so Close only needs the checkpoint).
 func (db *DB) Close(at simclock.Time) (simclock.Time, error) {
+	// In-flight prefetch reads must publish before the devices go away.
+	db.pool.DrainPrefetch()
 	return db.Checkpoint(at)
 }

@@ -82,6 +82,7 @@ func (db *DB) createTableWithIDs(at simclock.Time, name string, schema *tuple.Sc
 			PKRelID:             pkID,
 			VMapResidentBuckets: db.opts.VMapResidentBuckets,
 			VMapMissPenalty:     100 * simclock.Microsecond,
+			Readahead:           db.opts.ScanReadahead,
 		})
 	case KindSI:
 		tab.si, t, err = si.New(at, si.Config{

@@ -187,6 +187,31 @@ func (s *Server) setupMetrics(reg *obs.Registry, slow *obs.SlowOpLog) {
 				emit(obs.Labels{"shard": l["shard"], "partition": strconv.Itoa(p)}, float64(n))
 			}
 		}))
+	reg.CollectGauge("sias_pool_io_pending",
+		"Frames with a device read in flight (IO-pending state).",
+		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
+			emit(l, float64(st.Pool.IOPending))
+		}))
+	reg.CollectCounter("sias_pool_read_waits_total",
+		"Gets that singleflight-joined another caller's in-flight read.",
+		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
+			emit(l, float64(st.Pool.ReadWaits))
+		}))
+	reg.CollectCounter("sias_pool_prefetch_issued_total",
+		"Pages staged by the scan readahead prefetcher.",
+		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
+			emit(l, float64(st.Pool.PrefetchIssued))
+		}))
+	reg.CollectCounter("sias_pool_prefetch_coalesced_total",
+		"Device reads saved by merging adjacent prefetch pages into one pread.",
+		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
+			emit(l, float64(st.Pool.PrefetchCoalesced))
+		}))
+	reg.CollectCounter("sias_pool_prefetch_wasted_total",
+		"Prefetched pages evicted before any Get used them.",
+		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
+			emit(l, float64(st.Pool.PrefetchWasted))
+		}))
 
 	// Device families carry a device label: the data heap vs the WAL log.
 	perDev := func(fn func(st engine.Stats) (data, walDev float64)) func(emit func(obs.Labels, float64)) {
@@ -270,6 +295,10 @@ func (s *Server) setupMetrics(reg *obs.Registry, slow *obs.SlowOpLog) {
 				obs.DefSizeBuckets, l),
 			reg.Histogram("sias_commit_linger_seconds",
 				"Wall-clock time a group-commit leader lingered for its batch.",
+				obs.DefLatencyBuckets, l))
+		fc.DB().Pool().SetIOMetrics(
+			reg.Histogram("sias_pool_read_wait_seconds",
+				"Wall-clock time a Get blocked on another caller's in-flight read.",
 				obs.DefLatencyBuckets, l))
 	}
 

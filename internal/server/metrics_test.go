@@ -116,6 +116,31 @@ func TestMetricsMatchStatsFrame(t *testing.T) {
 	if lookups == 0 || inserts == 0 {
 		t.Errorf("index counters flat after typed traffic: lookups=%d inserts=%d", lookups, inserts)
 	}
+	// Async read-path pool families: exact equality against the same STATS
+	// snapshot, series by series. At rest the gauge must read 0 and the
+	// counters whatever the run accumulated.
+	for i, sh := range st.Shards {
+		shard := fmt.Sprint(i)
+		if sh.Pool.IOPending != 0 {
+			t.Errorf("shard %s: io_pending = %d at rest, want 0", shard, sh.Pool.IOPending)
+		}
+		for _, wantLine := range []string{
+			fmt.Sprintf("sias_pool_io_pending{shard=%q} %d\n", shard, sh.Pool.IOPending),
+			fmt.Sprintf("sias_pool_read_waits_total{shard=%q} %d\n", shard, sh.Pool.ReadWaits),
+			fmt.Sprintf("sias_pool_prefetch_issued_total{shard=%q} %d\n", shard, sh.Pool.PrefetchIssued),
+			fmt.Sprintf("sias_pool_prefetch_coalesced_total{shard=%q} %d\n", shard, sh.Pool.PrefetchCoalesced),
+			fmt.Sprintf("sias_pool_prefetch_wasted_total{shard=%q} %d\n", shard, sh.Pool.PrefetchWasted),
+		} {
+			if !strings.Contains(text, wantLine) {
+				t.Errorf("exposition missing %q", wantLine)
+			}
+		}
+	}
+	// The singleflight wait histogram is an injected per-shard instrument:
+	// its families must expose HELP/TYPE even with no observations.
+	if !strings.Contains(text, "# TYPE sias_pool_read_wait_seconds histogram") {
+		t.Error("sias_pool_read_wait_seconds family absent")
+	}
 	// Server-layer counters.
 	for _, want := range []string{
 		fmt.Sprintf("sias_server_requests_total %d\n", st.Server.Requests),

@@ -168,6 +168,11 @@ func Aggregate(ss []engine.Stats) engine.Stats {
 		a.Pool.Misses += s.Pool.Misses
 		a.Pool.Evictions += s.Pool.Evictions
 		a.Pool.DirtyOut += s.Pool.DirtyOut
+		a.Pool.IOPending += s.Pool.IOPending
+		a.Pool.ReadWaits += s.Pool.ReadWaits
+		a.Pool.PrefetchIssued += s.Pool.PrefetchIssued
+		a.Pool.PrefetchCoalesced += s.Pool.PrefetchCoalesced
+		a.Pool.PrefetchWasted += s.Pool.PrefetchWasted
 		a.Pool.PartitionEvictions = append(a.Pool.PartitionEvictions, s.Pool.PartitionEvictions...)
 		a.PoolPartitions += s.PoolPartitions
 		a.Data = addDev(a.Data, s.Data)

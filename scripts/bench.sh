@@ -22,6 +22,14 @@
 #   it. The JSON records both configurations side by side plus the
 #   striped-vs-single speedup at each point of the sweep.
 #
+#   Read mode then runs a cold-scan phase: load the keyspace, restart the
+#   server on the same data dir (so the pool — sized at 1/4 of the heap
+#   pages — is stone cold), and measure one full-keyspace scan workload
+#   with the readahead pipeline off (-readahead 0) and on
+#   (-readahead $BENCH_READAHEAD, default 32). Medians and the
+#   readahead-vs-none speedup land in the same BENCH_read.json under
+#   "cold_scan_runs".
+#
 # Any siasload or server failure aborts the script with the server log on
 # stderr — no partial BENCH JSON is ever written. Override via environment:
 #
@@ -64,6 +72,7 @@ read)
     READ_FRACS="${BENCH_READ_FRACS:-0 50 95 100}"
     POOL=512
     STRIPES=8 # per-shard stripes for the striped configuration
+    READAHEAD="${BENCH_READAHEAD:-32}"
     ;;
 *)
     echo "unknown BENCH_MODE '$MODE' (want write or read)" >&2
@@ -129,6 +138,46 @@ run_one() {
         -metrics-addr "$MADDR" -json "$out" >/dev/null ||
         die_with_log "measured siasload exited non-zero (shards=$shards parts=$parts frac=$frac_pct)" "$log"
     [ -s "$out" ] || die_with_log "siasload produced no JSON at $out" "$log"
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+}
+
+# run_cold_scan shards readahead out_json log
+# Loads the keyspace, restarts the server on the same data dir so every heap
+# page is cold, then measures one full-keyspace scan workload.
+run_cold_scan() {
+    local shards=$1 ra=$2 out=$3 log=$4
+    local data="$WORK/data"
+    rm -rf "$data"
+    "$WORK/siasserver" -addr "$ADDR" -shards "$shards" -data "$data" \
+        -pool "$POOL" -pool-partitions "$STRIPES" -max-inflight 512 \
+        -data-pages 524288 -wal-pages 262144 \
+        -metrics-addr "$MADDR" -readahead "$ra" \
+        -gc-linger "$LINGER" >"$log" 2>&1 &
+    SERVER_PID=$!
+    wait_port "$PORT" || die_with_log "server never listened (cold-scan load)" "$log"
+    "$WORK/siasload" -addr "$ADDR" -workers 8 -txns 1 \
+        -ops-per-txn 1 -read-frac 0 -keys "$KEYS" -value "$VALUE" \
+        >/dev/null ||
+        die_with_log "cold-scan preload exited non-zero (shards=$shards ra=$ra)" "$log"
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+    # Restart on the same data dir: the pool starts empty, the data does not.
+    "$WORK/siasserver" -addr "$ADDR" -shards "$shards" -data "$data" \
+        -pool "$POOL" -pool-partitions "$STRIPES" -max-inflight 512 \
+        -data-pages 524288 -wal-pages 262144 \
+        -metrics-addr "$MADDR" -readahead "$ra" \
+        -gc-linger "$LINGER" >>"$log" 2>&1 &
+    SERVER_PID=$!
+    wait_port "$PORT" || die_with_log "server never relistened (cold-scan measure)" "$log"
+    wait_port "${MADDR##*:}" || die_with_log "metrics endpoint never listened" "$log"
+    "$WORK/siasload" -addr "$ADDR" -workload scan -workers 1 -txns 1 \
+        -keys "$KEYS" -value "$VALUE" \
+        -metrics-addr "$MADDR" -json "$out" >/dev/null ||
+        die_with_log "cold-scan siasload exited non-zero (shards=$shards ra=$ra)" "$log"
+    [ -s "$out" ] || die_with_log "scan siasload produced no JSON at $out" "$log"
     kill -TERM "$SERVER_PID" 2>/dev/null || true
     wait "$SERVER_PID" 2>/dev/null || true
     SERVER_PID=""
@@ -208,14 +257,30 @@ else # read mode
         done
     done
 
-    python3 - "$WORK" "$ROOT/BENCH_read.json" "$expected" "$WORKERS" "$POOL" "$STRIPES" <<'EOF'
+    cold_expected=0
+    for s in $SHARDS; do
+        for ra in 0 "$READAHEAD"; do
+            for rep in $(seq 1 "$REPS"); do
+                echo "cold-scan shards=$s readahead=$ra rep=$rep/$REPS ..."
+                run_cold_scan "$s" "$ra" \
+                    "$WORK/scan_${s}_${ra}_${rep}.json" \
+                    "$WORK/scansrv_${s}_${ra}_${rep}.log"
+                cold_expected=$((cold_expected + 1))
+            done
+        done
+    done
+
+    python3 - "$WORK" "$ROOT/BENCH_read.json" "$expected" "$WORKERS" "$POOL" "$STRIPES" "$cold_expected" "$READAHEAD" <<'EOF'
 import glob, json, os, sys
 
 work, out = sys.argv[1], sys.argv[2]
-expected, workers, pool, stripes = map(int, sys.argv[3:7])
+expected, workers, pool, stripes, cold_expected, readahead = map(int, sys.argv[3:9])
 paths = glob.glob(os.path.join(work, "read_*_*_*_*.json"))
 if len(paths) != expected:
     sys.exit(f"expected {expected} result files, found {len(paths)}; refusing to write partial {out}")
+scan_paths = glob.glob(os.path.join(work, "scan_*_*_*.json"))
+if len(scan_paths) != cold_expected:
+    sys.exit(f"expected {cold_expected} cold-scan files, found {len(scan_paths)}; refusing to write partial {out}")
 
 runs = {}
 for path in paths:
@@ -262,6 +327,45 @@ for (shards, parts, frac), med in median.items():
             med["txn_per_sec"] / base["txn_per_sec"], 3)
 report["speedup_striped_vs_single"] = speedups
 
+# Cold-scan phase: one full-keyspace scan against a freshly restarted server
+# (pool at 1/4 of the heap pages, every page cold), readahead off vs on.
+cold = {}
+for path in scan_paths:
+    s, ra, _ = os.path.basename(path)[5:-5].split("_")
+    cold.setdefault((int(s), int(ra)), []).append(json.load(open(path)))
+report["cold_scan_readahead"] = readahead
+report["cold_scan_runs"] = []
+cold_median = {}
+for key in sorted(cold):
+    shards, ra = key
+    reps = sorted(cold[key], key=lambda r: r["elapsed_sec"])
+    med = reps[len(reps) // 2]
+    cold_median[key] = med
+    e = med["engine"]
+    keys = med["config"]["keys"]
+    report["cold_scan_runs"].append({
+        "shards": shards,
+        "readahead": ra,
+        "elapsed_sec": round(med["elapsed_sec"], 4),
+        "elapsed_sec_all_reps": [round(r["elapsed_sec"], 4) for r in reps],
+        "rows_per_sec": round(keys / med["elapsed_sec"], 1) if med["elapsed_sec"] else None,
+        "pool_misses": e.get("pool_misses", 0),
+        "pool_read_waits": e.get("pool_read_waits", 0),
+        "pool_prefetch_issued": e.get("pool_prefetch_issued", 0),
+        "pool_prefetch_coalesced": e.get("pool_prefetch_coalesced", 0),
+        "pool_prefetch_wasted": e.get("pool_prefetch_wasted", 0),
+        "data_reads": e.get("data_reads", 0),
+    })
+cold_speed = {}
+for (shards, ra), med in cold_median.items():
+    if ra == 0:
+        continue
+    base = cold_median.get((shards, 0))
+    if base and med["elapsed_sec"] > 0:
+        cold_speed[f"shards_{shards}"] = round(
+            base["elapsed_sec"] / med["elapsed_sec"], 3)
+report["speedup_cold_scan_readahead_vs_none"] = cold_speed
+
 json.dump(report, open(out, "w"), indent=2)
 open(out, "a").write("\n")
 
@@ -272,6 +376,12 @@ for r in report["runs"]:
 for frac, by_shard in sorted(speedups.items()):
     print(f"{frac}: striped over single-mutex: " +
           ", ".join(f"{k}={v:.2f}x" for k, v in sorted(by_shard.items())))
+print(f"\n{'shards':>6} {'readahead':>10} {'scan s':>8} {'rows/s':>9} {'prefetch':>9} {'coalesced':>10}")
+for r in report["cold_scan_runs"]:
+    print(f"{r['shards']:>6} {r['readahead']:>10} {r['elapsed_sec']:>8.3f} "
+          f"{r['rows_per_sec'] or 0:>9.0f} {r['pool_prefetch_issued']:>9} {r['pool_prefetch_coalesced']:>10}")
+for k, v in sorted(cold_speed.items()):
+    print(f"cold scan readahead={readahead} over readahead=0: {k}={v:.2f}x")
 print(f"wrote {out}")
 EOF
 fi
