@@ -64,6 +64,7 @@ func main() {
 	readFrac := flag.Float64("read-frac", 0.5, "fraction of ops that are reads")
 	opsPerTxn := flag.Int("ops-per-txn", 2, "data ops per transaction")
 	affinity := flag.Bool("affinity", false, "partition-local transactions: all keys of a txn from one shard")
+	replicas := flag.String("replicas", "", "comma-separated follower addresses; pure-read transactions are routed to them when they cover the worker's commit point (read-your-writes)")
 	poolSize := flag.Int("pool", 0, "client connection pool size (default workers)")
 	jsonPath := flag.String("json", "", "write a machine-readable result JSON to this file")
 	statsOnly := flag.Bool("stats-only", false, "fetch STATS, print the raw reply JSON (to -json FILE if set, else stdout), and exit")
@@ -93,6 +94,13 @@ func main() {
 		ValueSize: *valueSize, ReadFrac: *readFrac, OpsPerTxn: *opsPerTxn,
 		PoolSize: *poolSize, Affinity: *affinity, MetricsAddr: *metricsAddr,
 		Workload: *workload,
+	}
+	if *replicas != "" {
+		for _, a := range strings.Split(*replicas, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.Replicas = append(cfg.Replicas, a)
+			}
+		}
 	}
 	switch *workload {
 	case "kv":
@@ -149,7 +157,10 @@ type loadConfig struct {
 	Affinity  bool    `json:"affinity"`
 	PoolSize  int     `json:"pool_size"`
 	Workload  string  `json:"workload,omitempty"` // kv (default) or index
-	Shards    int     `json:"shards"`             // reported by the server
+	// Replicas are follower addresses eligible to serve pure-read
+	// transactions (client.Options.Replicas).
+	Replicas []string `json:"replicas,omitempty"`
+	Shards   int      `json:"shards"` // reported by the server
 	// MetricsAddr is the server's observability listener; non-empty enables
 	// the before/after /metrics scrape.
 	MetricsAddr string `json:"metrics_addr,omitempty"`
@@ -221,6 +232,9 @@ type result struct {
 	// Repl is present when the target server is a replication follower:
 	// its per-shard applied-vs-primary-durable position after the run.
 	Repl *repl.Stats `json:"repl,omitempty"`
+	// Reads breaks routed read transactions down by serving side; present
+	// when -replicas was given.
+	Reads *readRouting `json:"read_routing,omitempty"`
 	// Server carries server-side histogram percentiles scraped from
 	// /metrics (-metrics-addr), as deltas over the measured window.
 	Server *serverSide `json:"server,omitempty"`
@@ -306,6 +320,14 @@ func foldServerSide(before, after map[string]*obs.ParsedHist) *serverSide {
 	return out
 }
 
+// readRouting is the -replicas read breakdown: where BeginRead transactions
+// actually ran after the read-your-writes LSN gate.
+type readRouting struct {
+	PrimaryReads int64   `json:"primary_reads"`
+	ReplicaReads int64   `json:"replica_reads"`
+	ReplicaFrac  float64 `json:"replica_frac"`
+}
+
 // txnSample is one committed transaction's outcome for latency attribution:
 // shard >= 0 pins a single-shard transaction, shard == -1 is cross-shard.
 type txnSample struct {
@@ -314,7 +336,7 @@ type txnSample struct {
 }
 
 func run(cfg loadConfig, jsonPath string) error {
-	c, err := client.Dial(cfg.Addr, client.Options{PoolSize: cfg.PoolSize})
+	c, err := client.Dial(cfg.Addr, client.Options{PoolSize: cfg.PoolSize, Replicas: cfg.Replicas})
 	if err != nil {
 		return fmt.Errorf("dial %s: %w", cfg.Addr, err)
 	}
@@ -378,6 +400,25 @@ func run(cfg loadConfig, jsonPath string) error {
 		}
 	}
 
+	// With -replicas, each worker runs over its own client: the
+	// read-your-writes floor is a per-session property, and a shared client
+	// would merge every worker's commit point into one global floor that
+	// replicas chasing a live write mix could never cover.
+	workerC := make([]*client.Client, cfg.Workers)
+	for w := range workerC {
+		workerC[w] = c
+	}
+	if len(cfg.Replicas) > 0 {
+		for w := range workerC {
+			wc, err := client.Dial(cfg.Addr, client.Options{PoolSize: 2, Replicas: cfg.Replicas})
+			if err != nil {
+				return fmt.Errorf("dial worker client: %w", err)
+			}
+			defer wc.Close()
+			workerC[w] = wc
+		}
+	}
+
 	var (
 		mu        sync.Mutex
 		conflicts int64
@@ -397,7 +438,7 @@ func run(cfg loadConfig, jsonPath string) error {
 			copy(myVal, val)
 			for i := 0; i < cfg.Txns; i++ {
 				t0 := time.Now()
-				home, err := runTxn(c, rng, cfg, myVal)
+				home, err := runTxn(workerC[w], rng, cfg, myVal)
 				switch {
 				case err == nil:
 					out = append(out, txnSample{lat: time.Since(t0), shard: home})
@@ -444,6 +485,18 @@ func run(cfg loadConfig, jsonPath string) error {
 	res.Conflicts = conflicts
 	res.Drained = drained
 	res.Failures = failures
+	if len(cfg.Replicas) > 0 {
+		var p, r int64
+		for _, wc := range workerC {
+			wp, wr := wc.ReadRouting()
+			p, r = p+wp, r+wr
+		}
+		res.Reads = &readRouting{
+			PrimaryReads: p,
+			ReplicaReads: r,
+			ReplicaFrac:  ratio(r, p+r),
+		}
+	}
 	printResult(res)
 
 	if jsonPath != "" {
@@ -472,7 +525,22 @@ func runTxn(c *client.Client, rng *rand.Rand, cfg loadConfig, val []byte) (int, 
 	if cfg.Affinity {
 		anchor = shard.Of(rng.Int63n(cfg.Keys), cfg.Shards)
 	}
-	tx, err := c.Begin()
+	// Draw the op mix up front: a transaction with no writes can run as a
+	// routed read-only transaction when replicas are configured. Drawing
+	// before Begin keeps the op-level read fraction exactly cfg.ReadFrac.
+	isRead := make([]bool, cfg.OpsPerTxn)
+	pureRead := true
+	for i := range isRead {
+		isRead[i] = rng.Float64() < cfg.ReadFrac
+		pureRead = pureRead && isRead[i]
+	}
+	var tx *client.Tx
+	var err error
+	if pureRead && len(cfg.Replicas) > 0 {
+		tx, err = c.BeginRead()
+	} else {
+		tx, err = c.Begin()
+	}
 	if err != nil {
 		return -1, err
 	}
@@ -490,7 +558,7 @@ func runTxn(c *client.Client, rng *rand.Rand, cfg loadConfig, val []byte) (int, 
 		case home != s:
 			home = -1
 		}
-		if rng.Float64() < cfg.ReadFrac {
+		if isRead[i] {
 			if _, err := tx.Get(key); err != nil {
 				tx.Abort()
 				return home, err
@@ -676,6 +744,13 @@ func printResult(res result) {
 		if f := res.Server.WALFsync; f != nil {
 			fmt.Printf("  WAL fsync: %d flushes, p50 %.3f ms, p99 %.3f ms\n", f.Count, f.P50, f.P99)
 		}
+	}
+
+	if res.Reads != nil {
+		fmt.Printf("\nread routing (-replicas %s):\n", strings.Join(cfg.Replicas, ","))
+		fmt.Printf("  replica reads    %d (%.1f%% of routed read txns)\n",
+			res.Reads.ReplicaReads, 100*res.Reads.ReplicaFrac)
+		fmt.Printf("  primary reads    %d\n", res.Reads.PrimaryReads)
 	}
 
 	if res.Repl != nil {

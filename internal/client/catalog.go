@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"sias/internal/engine"
 	"sias/internal/server"
 	"sias/internal/tuple"
 	"sias/internal/wire"
@@ -180,7 +181,7 @@ func (c *Client) BeginAt(tokens []uint64) (*Tx, error) {
 		c.put(cn)
 		return nil, err
 	}
-	return &Tx{c: c, cn: cn, handle: handle}, nil
+	return &Tx{c: c, cn: cn, handle: handle, readOnly: true}, nil
 }
 
 // rowCall is the shared prefix of typed row requests: handle, table name.
@@ -195,6 +196,9 @@ func (t *Tx) rowCall(op wire.Op, table string, build func(*wire.Buf)) ([]byte, e
 
 // InsertRow stores a typed row in table.
 func (t *Tx) InsertRow(table string, row tuple.Row) error {
+	if t.readOnly {
+		return engine.ErrReadOnly
+	}
 	sch, err := t.c.schemaOf(table)
 	if err != nil {
 		return err
@@ -209,6 +213,9 @@ func (t *Tx) InsertRow(table string, row tuple.Row) error {
 
 // UpdateRow replaces the row sharing row's primary key (full-row replace).
 func (t *Tx) UpdateRow(table string, row tuple.Row) error {
+	if t.readOnly {
+		return engine.ErrReadOnly
+	}
 	sch, err := t.c.schemaOf(table)
 	if err != nil {
 		return err
@@ -241,6 +248,9 @@ func (t *Tx) GetRow(table string, key int64) (tuple.Row, error) {
 
 // DeleteRow removes the row of key in table.
 func (t *Tx) DeleteRow(table string, key int64) error {
+	if t.readOnly {
+		return engine.ErrReadOnly
+	}
 	_, err := t.rowCall(wire.OpDeleteRow, table, func(b *wire.Buf) { b.I64(key) })
 	return err
 }

@@ -1,12 +1,19 @@
 // Package client is the Go client for the SIAS wire protocol
 // (internal/wire, served by internal/server).
 //
-// A Client owns a pool of TCP connections. Transactions are pinned to one
-// pooled connection for their lifetime — wire handles are scoped to the
-// connection that issued them — and the connection returns to the pool on
-// Commit/Abort. Admission-control rejections (wire.ErrOverloaded) are
-// retried transparently with exponential backoff and full jitter: the
-// server rejects before executing, so retrying any op is safe.
+// A Client owns a pool of TCP connections, keyed by server address.
+// Transactions are pinned to one pooled connection for their lifetime — wire
+// handles are scoped to the connection that issued them — and the connection
+// returns to the pool on Commit/Abort. Admission-control rejections
+// (wire.ErrOverloaded) are retried transparently with exponential backoff
+// and full jitter: the server rejects before executing, so retrying any op
+// is safe.
+//
+// When Options.Replicas names read-only followers, BeginRead routes
+// read-only transactions to them round-robin — but only to a replica whose
+// advertised applied-LSN vector (the REPL_LSN probe) covers everything this
+// client has committed, so a session always reads its own writes; anything
+// lagging behind the session falls back to the primary.
 package client
 
 import (
@@ -17,38 +24,57 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"sias/internal/engine"
 	"sias/internal/server"
 	"sias/internal/tuple"
 	"sias/internal/wire"
 )
 
+// ErrNoPrimary is returned by Begin once the bounded failover-retry budget
+// is exhausted without reaching a server that accepts new transactions.
+var ErrNoPrimary = errors.New("client: no reachable primary")
+
 // Options configures Dial. The zero value gets sensible defaults.
 type Options struct {
-	// PoolSize caps idle pooled connections (default 4).
+	// PoolSize caps idle pooled connections per server address (default 4).
 	PoolSize int
 	// DialTimeout bounds connection establishment (default 3s).
 	DialTimeout time.Duration
-	// MaxRetries bounds retry-on-overload attempts per op (default 6).
+	// MaxRetries bounds retry-on-overload attempts per op, and reconnect
+	// attempts per Begin (default 6).
 	MaxRetries int
 	// RetryBase is the first backoff delay; it doubles per attempt with
 	// full jitter, capped at 64x (default 2ms).
 	RetryBase time.Duration
+	// MaxRedirects caps how many failover redirects one Begin will chase
+	// before surfacing ErrNoPrimary (default 4).
+	MaxRedirects int
+	// Replicas are read-only follower addresses eligible to serve BeginRead
+	// transactions. Optional; with none, BeginRead runs on the primary.
+	Replicas []string
 }
 
-// Client is a pooled connection to one server.
+// Client is a pooled connection to one primary (plus optional read replicas).
 type Client struct {
 	addr string
 	opts Options
 
-	mu      sync.Mutex
-	idle    []*conn
-	closed  bool
-	schemas map[string]*tuple.Schema // typed-row codec cache, by table name
+	mu         sync.Mutex
+	idle       map[string][]*conn // pooled connections, by server address
+	closed     bool
+	schemas    map[string]*tuple.Schema // typed-row codec cache, by table name
+	lastCommit []uint64                 // per-shard durable LSN floor for read-your-writes
+	rrNext     int                      // round-robin cursor over Replicas
+
+	primaryReads atomic.Int64 // BeginRead transactions served by the primary
+	replicaReads atomic.Int64 // BeginRead transactions served by a replica
 }
 
 type conn struct {
+	addr   string
 	nc     net.Conn
 	br     *bufio.Reader
 	bw     *bufio.Writer
@@ -69,8 +95,11 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if opts.RetryBase <= 0 {
 		opts.RetryBase = 2 * time.Millisecond
 	}
-	c := &Client{addr: addr, opts: opts}
-	cn, err := c.dial()
+	if opts.MaxRedirects <= 0 {
+		opts.MaxRedirects = 4
+	}
+	c := &Client{addr: addr, opts: opts, idle: make(map[string][]*conn)}
+	cn, err := c.dialAddr(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -86,18 +115,20 @@ func (c *Client) Close() error {
 	c.idle = nil
 	c.closed = true
 	c.mu.Unlock()
-	for _, cn := range idle {
-		cn.nc.Close()
+	for _, cns := range idle {
+		for _, cn := range cns {
+			cn.nc.Close()
+		}
 	}
 	return nil
 }
 
-func (c *Client) dial() (*conn, error) {
-	nc, err := net.DialTimeout("tcp", c.Addr(), c.opts.DialTimeout)
+func (c *Client) dialAddr(addr string) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
+	return &conn{addr: addr, nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
 }
 
 // Addr reports the server address the client currently targets; it changes
@@ -117,40 +148,49 @@ func (c *Client) redirect(addr string) {
 		c.mu.Unlock()
 		return
 	}
+	old := c.addr
 	c.addr = addr
-	idle := c.idle
-	c.idle = nil
+	var stale []*conn
+	if c.idle != nil {
+		stale = c.idle[old]
+		delete(c.idle, old)
+	}
 	c.mu.Unlock()
-	for _, cn := range idle {
+	for _, cn := range stale {
 		cn.nc.Close()
 	}
 }
 
-// get pops an idle connection or dials a new one.
+// get pops an idle connection to the current primary or dials a new one.
 func (c *Client) get() (*conn, error) {
+	return c.getAt(c.Addr())
+}
+
+// getAt pops an idle connection to addr or dials a new one.
+func (c *Client) getAt(addr string) (*conn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, errors.New("client: closed")
 	}
-	if n := len(c.idle); n > 0 {
-		cn := c.idle[n-1]
-		c.idle = c.idle[:n-1]
+	if pool := c.idle[addr]; len(pool) > 0 {
+		cn := pool[len(pool)-1]
+		c.idle[addr] = pool[:len(pool)-1]
 		c.mu.Unlock()
 		return cn, nil
 	}
 	c.mu.Unlock()
-	return c.dial()
+	return c.dialAddr(addr)
 }
 
-// put returns a healthy connection to the pool (or closes it).
+// put returns a healthy connection to its address pool (or closes it).
 func (c *Client) put(cn *conn) {
 	if cn == nil {
 		return
 	}
 	c.mu.Lock()
-	if !cn.broken && !c.closed && len(c.idle) < c.opts.PoolSize {
-		c.idle = append(c.idle, cn)
+	if !cn.broken && !c.closed && len(c.idle[cn.addr]) < c.opts.PoolSize {
+		c.idle[cn.addr] = append(c.idle[cn.addr], cn)
 		c.mu.Unlock()
 		return
 	}
@@ -202,10 +242,11 @@ func (c *Client) withRetry(fn func() error) error {
 
 // Tx is a transaction pinned to one pooled connection.
 type Tx struct {
-	c      *Client
-	cn     *conn
-	handle uint64
-	done   bool
+	c        *Client
+	cn       *conn
+	handle   uint64
+	done     bool
+	readOnly bool // opened by BeginRead; writes are rejected client-side
 }
 
 // Begin opens a transaction on a pooled connection. When the server is
@@ -213,12 +254,32 @@ type Tx struct {
 // SHUTTING_DOWN rejection), the client repoints itself at the follower and
 // retries there, so a primary→follower handoff looks like one slow Begin
 // rather than an error surfaced to every caller.
+//
+// The failover chase is bounded: at most Options.MaxRedirects repoints and
+// Options.MaxRetries reconnects-after-transport-failure, with jittered
+// exponential backoff between reconnects. Once the budget is spent, the
+// last error is surfaced wrapped in ErrNoPrimary so callers can
+// errors.Is(err, client.ErrNoPrimary) rather than pattern-match.
 func (c *Client) Begin() (*Tx, error) {
 	var lastErr error
-	for attempt := 0; attempt < 3; attempt++ {
+	redirects, reconnects := 0, 0
+	delay := c.opts.RetryBase
+	// backoff sleeps with full jitter and doubles the next delay; applied to
+	// reconnect attempts only (a redirect already names a live target).
+	backoff := func() {
+		time.Sleep(time.Duration(rand.Int63n(int64(delay) + 1)))
+		if delay < 64*c.opts.RetryBase {
+			delay *= 2
+		}
+	}
+	for {
 		cn, err := c.get()
 		if err != nil {
 			lastErr = err
+			if reconnects++; reconnects > c.opts.MaxRetries {
+				break
+			}
+			backoff()
 			continue
 		}
 		var handle uint64
@@ -235,20 +296,156 @@ func (c *Client) Begin() (*Tx, error) {
 			return &Tx{c: c, cn: cn, handle: handle}, nil
 		}
 		c.put(cn) // broken connections are closed, healthy ones pooled
+		lastErr = err
 		if addr := wire.FailoverAddr(err); addr != "" {
+			if redirects++; redirects > c.opts.MaxRedirects {
+				break
+			}
 			c.redirect(addr)
-			lastErr = err
 			continue
 		}
 		if cn.broken {
 			// A pooled connection died under us (drain force-close, primary
 			// crash): retry on a freshly dialed one.
-			lastErr = err
+			if reconnects++; reconnects > c.opts.MaxRetries {
+				break
+			}
+			backoff()
 			continue
 		}
 		return nil, err
 	}
-	return nil, lastErr
+	return nil, fmt.Errorf("%w (after %d redirects, %d reconnects): %w",
+		ErrNoPrimary, redirects, reconnects, lastErr)
+}
+
+// BeginRead opens a read-only transaction, preferring a replica from
+// Options.Replicas (round-robin) over the primary. A replica is eligible
+// only if its REPL_LSN vector covers every LSN this client has seen a
+// COMMIT ack for — the read-your-writes rule — so a freshly committed write
+// is never invisible to the session that made it. Replicas that are
+// unreachable or lagging are skipped; when none qualifies, the transaction
+// runs on the primary (Begin), which is always consistent.
+//
+// Write ops on the returned Tx fail client-side with engine.ErrReadOnly.
+func (c *Client) BeginRead() (*Tx, error) {
+	c.mu.Lock()
+	replicas := c.opts.Replicas
+	floor := append([]uint64(nil), c.lastCommit...)
+	start := c.rrNext
+	c.rrNext++
+	c.mu.Unlock()
+
+	for i := 0; i < len(replicas); i++ {
+		addr := replicas[(start+i)%len(replicas)]
+		if tx, err := c.beginReadAt(addr, floor); err == nil {
+			c.replicaReads.Add(1)
+			return tx, nil
+		}
+	}
+	tx, err := c.Begin()
+	if err != nil {
+		return nil, err
+	}
+	tx.readOnly = true
+	c.primaryReads.Add(1)
+	return tx, nil
+}
+
+// beginReadAt probes one replica's applied-LSN vector and, if it covers
+// floor, opens a transaction on the same connection (so the snapshot is
+// taken at or after the probed position).
+func (c *Client) beginReadAt(addr string, floor []uint64) (*Tx, error) {
+	cn, err := c.getAt(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cn.call(wire.OpReplLSN, nil)
+	if err != nil {
+		c.put(cn)
+		return nil, err
+	}
+	applied, err := decodeLSNVector(resp)
+	if err != nil || !covers(applied, floor) {
+		c.put(cn)
+		if err == nil {
+			err = errors.New("client: replica lags session commit point")
+		}
+		return nil, err
+	}
+	resp, err = cn.call(wire.OpBegin, nil)
+	if err != nil {
+		c.put(cn)
+		return nil, err
+	}
+	r := wire.Reader{B: resp}
+	handle, err := r.U64()
+	if err != nil {
+		c.put(cn)
+		return nil, err
+	}
+	return &Tx{c: c, cn: cn, handle: handle, readOnly: true}, nil
+}
+
+// noteCommit folds a COMMIT reply's durable-LSN vector into the session
+// floor (element-wise max, so concurrent transactions can land out of
+// order). Empty replies — an old server — are ignored.
+func (c *Client) noteCommit(resp []byte) {
+	vec, err := decodeLSNVector(resp)
+	if err != nil || len(vec) == 0 {
+		return
+	}
+	c.mu.Lock()
+	if len(c.lastCommit) < len(vec) {
+		c.lastCommit = append(c.lastCommit, make([]uint64, len(vec)-len(c.lastCommit))...)
+	}
+	for i, l := range vec {
+		if l > c.lastCommit[i] {
+			c.lastCommit[i] = l
+		}
+	}
+	c.mu.Unlock()
+}
+
+// ReadRouting reports how many BeginRead transactions ran on the primary
+// versus on a replica.
+func (c *Client) ReadRouting() (primary, replica int64) {
+	return c.primaryReads.Load(), c.replicaReads.Load()
+}
+
+func decodeLSNVector(b []byte) ([]uint64, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	r := wire.Reader{B: b}
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	vec := make([]uint64, n)
+	for i := range vec {
+		if vec[i], err = r.U64(); err != nil {
+			return nil, err
+		}
+	}
+	return vec, nil
+}
+
+// covers reports whether every element of floor is matched or exceeded in
+// vec. A vector of different length (shard-count mismatch) never covers.
+func covers(vec, floor []uint64) bool {
+	if len(floor) == 0 {
+		return true
+	}
+	if len(vec) != len(floor) {
+		return false
+	}
+	for i, f := range floor {
+		if vec[i] < f {
+			return false
+		}
+	}
+	return true
 }
 
 // Promote asks a follower server to stop replicating, finish replay, and
@@ -293,18 +490,27 @@ func (t *Tx) Get(key int64) ([]byte, error) {
 
 // Insert stores val under key.
 func (t *Tx) Insert(key int64, val []byte) error {
+	if t.readOnly {
+		return engine.ErrReadOnly
+	}
 	_, err := t.call(wire.OpInsert, func(b *wire.Buf) { b.I64(key); b.Bytes(val) })
 	return err
 }
 
 // Update overwrites the value of key.
 func (t *Tx) Update(key int64, val []byte) error {
+	if t.readOnly {
+		return engine.ErrReadOnly
+	}
 	_, err := t.call(wire.OpUpdate, func(b *wire.Buf) { b.I64(key); b.Bytes(val) })
 	return err
 }
 
 // Delete removes key.
 func (t *Tx) Delete(key int64) error {
+	if t.readOnly {
+		return engine.ErrReadOnly
+	}
 	_, err := t.call(wire.OpDelete, func(b *wire.Buf) { b.I64(key) })
 	return err
 }
@@ -351,10 +557,16 @@ func (t *Tx) finish(op wire.Op) error {
 	if t.done {
 		return errors.New("client: transaction finished")
 	}
-	_, err := t.call(op, nil)
+	resp, err := t.call(op, nil)
 	t.done = true
 	t.c.put(t.cn)
 	t.cn = nil
+	if err == nil && op == wire.OpCommit && !t.readOnly {
+		// The COMMIT ack carries the per-shard durable LSN vector; remember
+		// it so BeginRead only routes to replicas that have caught up past
+		// this session's writes.
+		t.c.noteCommit(resp)
+	}
 	return err
 }
 

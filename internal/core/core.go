@@ -178,6 +178,10 @@ type Relation struct {
 	// keeps GC victim processing O(page) instead of O(all garbage).
 	deadByBlock map[uint32]map[uint16]struct{}
 	pendingDead []pendingDead
+	// replay tracks in-flight replicated writes awaiting their commit/abort
+	// record (replica incremental apply; see apply.go). Nil outside replica
+	// replay; reset by RebuildFromHeap, which recomputes every effect.
+	replay      map[txn.ID][]replayOp
 	gcFraction  float64
 	missPenalty simclock.Duration
 

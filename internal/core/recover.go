@@ -27,11 +27,12 @@ func (r *Relation) RebuildFromHeap(at simclock.Time, blocks uint32, keyOf func(p
 		tid     page.TID
 		vid     uint64
 		create  txn.ID
+		pred    page.TID
 		tomb    bool
 		payload []byte
 	}
 	var committed []version
-	best := map[uint64]int{} // VID -> index of its entrypoint in committed
+	cands := map[uint64][]int{} // VID -> max-Create candidate versions
 	var losers []page.TID
 
 	r.mu.Lock()
@@ -40,6 +41,7 @@ func (r *Relation) RebuildFromHeap(at simclock.Time, blocks uint32, keyOf func(p
 	r.tupleCount = map[uint32]int{}
 	r.deadByBlock = map[uint32]map[uint16]struct{}{}
 	r.pendingDead = nil
+	r.replay = nil // incremental-apply tracking is superseded by the rescan
 	r.mu.Unlock()
 
 	// A replication follower rebuilds repeatedly as replay advances; clear
@@ -86,10 +88,13 @@ func (r *Relation) RebuildFromHeap(at simclock.Time, blocks uint32, keyOf func(p
 				losers = append(losers, tid)
 				return true
 			}
-			committed = append(committed, version{tid, hdr.VID, hdr.Create, hdr.Tombstone(), append([]byte(nil), payload...)})
-			if cur, ok := best[hdr.VID]; !ok || hdr.Create > committed[cur].create ||
-				(hdr.Create == committed[cur].create && !hdr.Pred.Valid()) {
-				best[hdr.VID] = len(committed) - 1
+			committed = append(committed, version{tid, hdr.VID, hdr.Create, hdr.Pred, hdr.Tombstone(), append([]byte(nil), payload...)})
+			i := len(committed) - 1
+			switch cur := cands[hdr.VID]; {
+			case len(cur) == 0 || hdr.Create > committed[cur[0]].create:
+				cands[hdr.VID] = append(cur[:0], i)
+			case hdr.Create == committed[cur[0]].create:
+				cands[hdr.VID] = append(cur, i)
 			}
 			return true
 		})
@@ -97,6 +102,39 @@ func (r *Relation) RebuildFromHeap(at simclock.Time, blocks uint32, keyOf func(p
 		r.tupleCount[b] = count
 		r.mu.Unlock()
 		r.pool.Release(f, false)
+	}
+
+	// Entrypoint election. A transaction that wrote the same item more than
+	// once left several versions with the same Create; the genuine newest is
+	// the one no same-Create sibling points back to through its Pred (chain
+	// order). GC relocation can have cleared the winner's back pointer — a
+	// relocated head whose dead predecessor still sits unreclaimed on its
+	// page — in which case neither is referenced and the cleared pointer
+	// identifies the head.
+	best := map[uint64]int{} // VID -> index of its entrypoint in committed
+	for vid, cs := range cands {
+		win := cs[len(cs)-1]
+		if len(cs) > 1 {
+			preds := map[page.TID]bool{}
+			for _, i := range cs {
+				if committed[i].pred.Valid() {
+					preds[committed[i].pred] = true
+				}
+			}
+			pick := -1
+			for _, i := range cs {
+				if preds[committed[i].tid] {
+					continue
+				}
+				if pick < 0 || (committed[pick].pred.Valid() && !committed[i].pred.Valid()) {
+					pick = i
+				}
+			}
+			if pick >= 0 {
+				win = pick
+			}
+		}
+		best[vid] = win
 	}
 
 	// Entrypoints into the VIDmap.

@@ -97,6 +97,7 @@ func (db *DB) DropTableLogged(at simclock.Time, name string) (simclock.Time, err
 		return at, fmt.Errorf("%w: %s", ErrNoTable, name)
 	}
 	delete(db.tables, name)
+	delete(db.rels, tab.heapID())
 	for i, o := range db.order {
 		if o == tab {
 			db.order = append(db.order[:i], db.order[i+1:]...)
@@ -272,6 +273,7 @@ func (db *DB) applyDDL(at simclock.Time, rec *wal.Record) (simclock.Time, error)
 		tab, ok := db.tables[d.Table]
 		if ok {
 			delete(db.tables, d.Table)
+			delete(db.rels, tab.heapID())
 			for i, o := range db.order {
 				if o == tab {
 					db.order = append(db.order[:i], db.order[i+1:]...)

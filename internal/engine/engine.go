@@ -139,6 +139,7 @@ type DB struct {
 	mu        sync.Mutex
 	tables    map[string]*Table
 	order     []*Table
+	rels      map[uint32]*Table // heap relation id -> table (guarded by mu)
 	nextRelID uint32
 
 	lastBg    simclock.Time
@@ -154,6 +155,20 @@ type DB struct {
 	replicaXMax  atomic.Uint64 // snapshot horizon for read-only transactions
 	replicaMaxTx atomic.Uint64 // highest transaction id seen in applied records
 	replicaDirty atomic.Bool   // heap changed since the last RefreshReplica
+	// replicaRebuild forces the next RefreshReplica to fall back to the full
+	// volatile rebuild instead of the incremental horizon advance; set when
+	// apply hits something the incremental path cannot patch (a CREATE INDEX
+	// over existing rows, or the decision record of a transaction whose
+	// writes predate the last rebuild).
+	replicaRebuild atomic.Bool
+	// applyInFlight tracks writer transactions applied incrementally since
+	// the last rebuild; replicaUnresolved tracks writers whose heap effects
+	// are baked into the last rebuild but were undecided when it ran — their
+	// commit/abort cannot be patched incrementally and re-arms the rebuild.
+	// Both are touched only on the apply path, which the repl.Follower
+	// serializes (no lock needed).
+	applyInFlight     map[txn.ID]struct{}
+	replicaUnresolved map[txn.ID]struct{}
 
 	// Hot-path counters are atomics so Commit/Abort/Stats never touch
 	// db.mu, which Tick holds during maintenance scheduling.
@@ -197,8 +212,12 @@ func Open(opts Options) (*DB, error) {
 		opts:        opts,
 		txm:         txn.NewManager(),
 		tables:      map[string]*Table{},
+		rels:        map[uint32]*Table{},
 		nextRelID:   1,
 		maxBlockRel: map[uint32]uint32{},
+
+		applyInFlight:     map[txn.ID]struct{}{},
+		replicaUnresolved: map[txn.ID]struct{}{},
 	}
 
 	startLSN := wal.LSN(0)

@@ -94,6 +94,22 @@ func (db *DB) Recover(at simclock.Time) (simclock.Time, error) {
 	if err != nil {
 		return t, err
 	}
+
+	// The rebuild classified transactions with no decision record as losers.
+	// A replica that resumes streaming from here may yet receive their
+	// commit/abort — something incremental apply cannot patch retroactively —
+	// so remember which writers were baked in undecided; their eventual
+	// decision re-arms the full rebuild (see applyFinish). GC's internal
+	// transactions land here too, harmlessly: they are never decided.
+	for _, rr := range db.recovered {
+		rec := rr.rec
+		switch rec.Type {
+		case wal.RecHeapInsert, wal.RecHeapOverwrite:
+			if rec.Tx > 0 && clog.Get(rec.Tx) == txn.StatusInProgress {
+				db.replicaUnresolved[rec.Tx] = struct{}{}
+			}
+		}
+	}
 	db.recovered = nil
 	return t, nil
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"sias/internal/catalog"
 	"sias/internal/simclock"
 	"sias/internal/txn"
 	"sias/internal/wal"
@@ -17,6 +18,14 @@ import (
 // commit/abort records, checkpoint records, extent grants, GC — is
 // suppressed while the flag is set; promotion clears it and the engine
 // resumes normal operation with the replayed state as its starting point.
+//
+// Volatile read structures (VIDmap, indexes, FSM, dead sets) are maintained
+// incrementally, record by record, mirroring exactly what the primary's live
+// write path did when it produced each record (core.Relation.ApplyInsert and
+// friends). RefreshReplica is therefore a cheap horizon advance; the full
+// RebuildFromHeap rescan survives only as the recovery/bootstrap path and as
+// the fallback for the few cases incremental apply cannot patch (tracked by
+// replicaRebuild).
 
 // SetReplica switches replica mode. Turn it on before any table is created
 // on a follower: CreateTable allocates extents, which must come from the
@@ -35,19 +44,27 @@ func (db *DB) SetReplica(on bool) {
 // Replica reports whether the DB is in replica mode.
 func (db *DB) Replica() bool { return db.replica.Load() }
 
+// relTable resolves a heap relation id to its table (nil for dropped or
+// unknown relations, whose records replay into pages no live table reads).
+func (db *DB) relTable(rel uint32) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rels[rel]
+}
+
 // ApplyRecord replays one primary WAL record on a follower: it updates the
-// CLOG/allocator/heap exactly as recovery pass 1+2 would, and the caller is
-// responsible for having appended the same bytes to the local log first (or
-// right after — the orders are equivalent because redo is idempotent).
+// CLOG/allocator/heap exactly as recovery pass 1+2 would, then folds the
+// record into the volatile read structures the way the primary's live write
+// path did. The caller is responsible for having appended the same bytes to
+// the local log first (or right after — the orders are equivalent because
+// redo is idempotent), and for serializing applies against reads and
+// refreshes (repl.Follower holds its exclusive lock across both).
 //
 // RecCheckpoint is special: the primary guarantees every record before the
 // checkpoint's redo point was on ITS device when the record was logged. The
 // follower re-establishes that invariant locally by flushing its own WAL and
 // data pages, so a follower crash after the checkpoint record recovers
 // correctly from the redo point it names.
-//
-// Not safe for concurrent use with reads; the repl.Follower serializes
-// applies against read transactions.
 func (db *DB) ApplyRecord(at simclock.Time, rec *wal.Record) (simclock.Time, error) {
 	if !db.replica.Load() {
 		return at, fmt.Errorf("engine: ApplyRecord on a non-replica")
@@ -60,21 +77,28 @@ func (db *DB) ApplyRecord(at simclock.Time, rec *wal.Record) (simclock.Time, err
 	switch rec.Type {
 	case wal.RecCommit:
 		db.txm.CLOG().Set(rec.Tx, txn.StatusCommitted)
+		db.applyFinish(rec.Tx, true)
 		db.replicaDirty.Store(true)
 	case wal.RecAbort:
 		db.txm.CLOG().Set(rec.Tx, txn.StatusAborted)
+		db.applyFinish(rec.Tx, false)
 		db.replicaDirty.Store(true)
 	case wal.RecAllocExtent:
 		db.alloc.Restore(rec.Rel, uint32(rec.Aux), int64(rec.Aux>>32))
 	case wal.RecDDL:
 		// The primary's alloc records for the new relation's extents precede
 		// the DDL in the stream, so the re-created tree reuses restored
-		// extents instead of drawing from the scratch region. A new index
-		// over existing rows starts empty until the next refresh rebuilds
-		// volatile state, hence the dirty mark.
+		// extents instead of drawing from the scratch region.
 		t, err = db.applyDDL(t, rec)
 		if err != nil {
 			return t, err
+		}
+		// CREATE INDEX is the one DDL incremental apply cannot absorb: the
+		// live path never backfills, so the new tree must pick up the
+		// historical entries (every committed version, for AS OF) from a
+		// rebuild. CREATE TABLE starts empty and DROPs only shed state.
+		if d, derr := catalog.Decode(rec.Data); derr == nil && d.Kind == catalog.KindCreateIndex {
+			db.replicaRebuild.Store(true)
 		}
 		db.replicaDirty.Store(true)
 	case wal.RecCheckpoint:
@@ -88,46 +112,155 @@ func (db *DB) ApplyRecord(at simclock.Time, rec *wal.Record) (simclock.Time, err
 		}
 	case wal.RecHeapInsert, wal.RecHeapOverwrite, wal.RecHeapDead:
 		db.noteHeapBlock(rec)
+		tab := db.relTable(rec.Rel)
+		// SI prune capture must read the doomed slot before redo destroys it.
+		if tab != nil && tab.si != nil && rec.Type == wal.RecHeapDead && rec.TID.Slot != ^uint16(0) {
+			t, err = tab.si.ApplyPrune(t, rec.TID, tab.keyOfPayload)
+			if err != nil {
+				return t, err
+			}
+		}
 		t, err = db.redoHeap(t, rec)
 		if err != nil {
 			return t, err
+		}
+		if tab != nil {
+			t, err = db.applyHeapVolatile(t, tab, rec)
+			if err != nil {
+				return t, err
+			}
 		}
 		db.replicaDirty.Store(true)
 	}
 	return t, nil
 }
 
-// RefreshReplica rebuilds the follower's volatile state (VIDmap, indexes,
-// FSM, dead sets) from the replayed heap and advances the read snapshot
-// horizon to cover every applied transaction. It is the heavyweight half of
-// follower reads: applies mark the replica dirty cheaply, and the first read
-// after a batch pays for one rebuild. The repl.Follower calls it with all
-// applies excluded.
+// applyHeapVolatile folds one heap record into its table's volatile read
+// structures after the page redo.
+func (db *DB) applyHeapVolatile(t simclock.Time, tab *Table, rec *wal.Record) (simclock.Time, error) {
+	var err error
+	if tab.sias != nil {
+		switch rec.Type {
+		case wal.RecHeapInsert:
+			var tracked bool
+			t, tracked, err = tab.sias.ApplyInsert(t, rec, tab.keyOfPayload)
+			if tracked {
+				db.applyInFlight[rec.Tx] = struct{}{}
+			}
+		case wal.RecHeapDead:
+			if rec.TID.Slot == ^uint16(0) {
+				tab.sias.ApplyBlockFree(rec.TID.Block)
+			}
+			// Per-slot dead records are an SI artifact; SIAS reclaims whole
+			// pages only.
+		}
+		// RecHeapOverwrite is never logged for an append-only relation.
+		return t, err
+	}
+	switch rec.Type {
+	case wal.RecHeapInsert:
+		t, err = tab.si.ApplyInsert(t, rec, tab.keyOfPayload)
+		if err == nil && rec.Tx > 0 {
+			db.applyInFlight[rec.Tx] = struct{}{}
+		}
+	case wal.RecHeapOverwrite:
+		// In-place xmax/ctid rewrite: the page redo is the whole effect
+		// (visibility reads the page bytes against the CLOG; no index or FSM
+		// change — the tuple keeps its size).
+	case wal.RecHeapDead:
+		t, err = tab.si.ApplyFreeSpace(t, rec.TID.Block)
+	}
+	return t, err
+}
+
+// applyFinish resolves one replicated transaction decision against the
+// incremental-apply state: SIAS tables swing entrypoints back on abort and
+// queue superseded predecessors on commit; a decision for a transaction
+// whose writes predate the last rebuild (follower restart, or a mid-stream
+// fallback rebuild) cannot be patched and re-arms the full rebuild.
+func (db *DB) applyFinish(id txn.ID, committed bool) {
+	delete(db.applyInFlight, id)
+	if _, ok := db.replicaUnresolved[id]; ok {
+		delete(db.replicaUnresolved, id)
+		db.replicaRebuild.Store(true)
+	}
+	for _, tab := range db.Tables() {
+		if tab.sias != nil {
+			tab.sias.ApplyFinish(id, committed)
+		}
+	}
+}
+
+// RefreshReplica publishes everything applied so far to new read snapshots.
+// With incremental apply this is a cheap horizon advance — fast-forward the
+// id allocator, move the read horizon past the highest applied transaction,
+// and drain the pending-dead queue — rather than the O(state) rebuild PR 4
+// shipped. The full rebuild still runs when the incremental path flagged
+// something it could not patch (replicaRebuild), after which transactions
+// that were still in flight re-arm the flag for their eventual decision. The
+// repl.Follower calls this with all applies excluded.
 func (db *DB) RefreshReplica(at simclock.Time) (simclock.Time, error) {
 	if !db.replica.Load() {
 		return at, fmt.Errorf("engine: RefreshReplica on a non-replica")
 	}
-	t, err := db.rebuildVolatile(at)
-	if err != nil {
-		return t, err
+	t := at
+	if db.replicaRebuild.Load() {
+		var err error
+		t, err = db.rebuildVolatile(t)
+		if err != nil {
+			return t, err
+		}
+		db.replicaRebuild.Store(false)
+		// The rescan treated still-undecided writers as losers; if one of
+		// them later commits, only another rebuild can resurrect its writes.
+		for id := range db.applyInFlight {
+			db.replicaUnresolved[id] = struct{}{}
+			delete(db.applyInFlight, id)
+		}
 	}
 	maxTx := db.replicaMaxTx.Load()
 	db.txm.SetNextID(txn.ID(maxTx + 1))
 	db.replicaXMax.Store(maxTx + 1)
 	db.replicaDirty.Store(false)
+
+	// Bound the pending-dead queue the replicated commits grow: promote
+	// entries no snapshot can reach into the per-block dead sets, exactly as
+	// primary GC would, respecting live read pins and the AS OF retention
+	// window.
+	horizon := db.txm.Horizon()
+	if r := txn.ID(db.opts.GCRetention); r > 0 {
+		if horizon > r {
+			horizon -= r
+		} else {
+			horizon = 1
+		}
+	}
+	for _, tab := range db.Tables() {
+		if tab.sias != nil {
+			tab.sias.PromoteDead(horizon)
+		}
+	}
 	return t, nil
 }
 
 // ReplicaDirty reports whether records were applied since the last refresh.
 func (db *DB) ReplicaDirty() bool { return db.replicaDirty.Load() }
 
-// Promote leaves replica mode: refresh once more so the final applied state
-// is queryable, then clear the flag. The id allocator already sits past
-// every replayed transaction (RefreshReplica fast-forwards it), so new local
-// transactions sort after the primary's history. The WAL writer keeps
-// appending where the mirrored log ends — no generation gap, because the
-// mirror is exact.
+// ForceReplicaRebuild arms the full volatile rebuild for the next
+// RefreshReplica (tests, operator escape hatch).
+func (db *DB) ForceReplicaRebuild() { db.replicaRebuild.Store(true) }
+
+// Promote leaves replica mode. Transactions still undecided when the stream
+// ended will never get their decision record, so the final refresh forces
+// the full rebuild, which classifies them as losers exactly like crash
+// recovery would — the promoted primary must not serve (or block updates
+// behind) versions of transactions that can no longer commit. The id
+// allocator already sits past every replayed transaction (RefreshReplica
+// fast-forwards it), so new local transactions sort after the primary's
+// history. The WAL writer keeps appending where the mirrored log ends — no
+// generation gap, because the mirror is exact.
 func (db *DB) Promote(at simclock.Time) (simclock.Time, error) {
+	db.replicaRebuild.Store(true)
 	t, err := db.RefreshReplica(at)
 	if err != nil {
 		return t, err

@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sias/internal/device"
+	"sias/internal/page"
+	"sias/internal/simclock"
+	"sias/internal/tuple"
+	"sias/internal/txn"
+	"sias/internal/wal"
+)
+
+// The incremental-apply differential test: one primary runs a randomized
+// workload (inserts, updates, deletes, aborts, GC/vacuum churn, a mid-stream
+// CREATE INDEX, transactions left undecided across comparison points) while
+// two followers replay its WAL record-by-record. Follower A refreshes
+// incrementally — the path this PR adds — and follower B forces the full
+// volatile rebuild before every refresh — the old PR 4 semantics and the
+// ground truth. At every cut point the two must serve identical reads; at the
+// end both must also agree with the primary.
+
+type applyReplica struct {
+	db  *DB
+	tab *Table
+	at  simclock.Time
+	pos int // records consumed from the primary log
+}
+
+func newApplyReplica(t *testing.T, kind Kind) *applyReplica {
+	t.Helper()
+	data := device.NewMem(page.Size, 1<<16)
+	walDev := device.NewMem(page.Size, 1<<15)
+	opts := DefaultOptions(data, walDev)
+	opts.Kind = kind
+	opts.GCRetention = 4
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetReplica(true) // before CreateTable: bootstrap extents must be scratch
+	tab, _, err := db.CreateTable(0, "accounts", testSchema(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &applyReplica{db: db, tab: tab}
+}
+
+// catchUp applies every not-yet-consumed primary record.
+func (rep *applyReplica) catchUp(t *testing.T, recs []wal.Record) {
+	t.Helper()
+	for ; rep.pos < len(recs); rep.pos++ {
+		var err error
+		rep.at, err = rep.db.ApplyRecord(rep.at, &recs[rep.pos])
+		if err != nil {
+			t.Fatalf("apply record %d (%v): %v", rep.pos, recs[rep.pos].Type, err)
+		}
+	}
+}
+
+// readState is everything a follower serves, flattened for comparison.
+type readState struct {
+	scan  map[int64]string // pk -> row (table scan)
+	gets  map[int64]string // pk -> row or "missing" (point reads)
+	pk    []string         // RangeByKey over the full key space, in order
+	sec   []string         // RangeBySecondary over the full value space, in order
+	extra []string         // secondary point lookups over observed values
+}
+
+// snapshotReads runs every read path at the follower's published horizon.
+func snapshotReads(t *testing.T, db *DB, tab *Table, maxKey int64, secIdx int) readState {
+	t.Helper()
+	tx := db.Begin()
+	at := simclock.Time(0)
+	st := readState{scan: map[int64]string{}, gets: map[int64]string{}}
+	var err error
+	at, err = tab.Scan(tx, at, func(row tuple.Row) bool {
+		st.scan[row[0].(int64)] = fmt.Sprintf("%v", row)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	for k := int64(1); k <= maxKey; k++ {
+		row, a, gerr := tab.Get(tx, at, k)
+		at = a
+		switch {
+		case gerr == nil:
+			st.gets[k] = fmt.Sprintf("%v", row)
+		case errors.Is(gerr, ErrNotFound):
+			st.gets[k] = "missing"
+		default:
+			t.Fatalf("get %d: %v", k, gerr)
+		}
+	}
+	at, err = tab.RangeByKey(tx, at, math.MinInt64, math.MaxInt64, func(row tuple.Row) bool {
+		st.pk = append(st.pk, fmt.Sprintf("%v", row))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("range: %v", err)
+	}
+	if secIdx >= 0 {
+		at, err = tab.RangeBySecondary(tx, at, secIdx, math.MinInt64, math.MaxInt64, func(k int64, row tuple.Row) bool {
+			st.sec = append(st.sec, fmt.Sprintf("%d=%v", k, row))
+			return true
+		})
+		if err != nil {
+			t.Fatalf("range secondary: %v", err)
+		}
+		// Balance values are drawn from [0, 50); probe them all point-wise.
+		for k := int64(0); k < 50; k++ {
+			rows, a, lerr := tab.LookupSecondary(tx, at, secIdx, k)
+			at = a
+			if lerr != nil {
+				t.Fatalf("lookup secondary %d: %v", k, lerr)
+			}
+			st.extra = append(st.extra, fmt.Sprintf("%d:%d", k, len(rows)))
+		}
+	}
+	if _, err := db.Commit(tx, at); err != nil {
+		t.Fatalf("finish read txn: %v", err)
+	}
+	return st
+}
+
+func diffStates(t *testing.T, label string, a, b readState) {
+	t.Helper()
+	if len(a.scan) != len(b.scan) {
+		t.Errorf("%s: scan rows %d vs %d", label, len(a.scan), len(b.scan))
+	}
+	for k, v := range a.scan {
+		if b.scan[k] != v {
+			t.Errorf("%s: scan key %d: %q vs %q", label, k, v, b.scan[k])
+		}
+	}
+	for k, v := range a.gets {
+		if b.gets[k] != v {
+			t.Errorf("%s: get key %d: %q vs %q", label, k, v, b.gets[k])
+		}
+	}
+	if fmt.Sprint(a.pk) != fmt.Sprint(b.pk) {
+		t.Errorf("%s: pk range diverged (%d vs %d rows)", label, len(a.pk), len(b.pk))
+	}
+	if fmt.Sprint(a.sec) != fmt.Sprint(b.sec) {
+		t.Errorf("%s: secondary range diverged (%d vs %d entries)", label, len(a.sec), len(b.sec))
+	}
+	if fmt.Sprint(a.extra) != fmt.Sprint(b.extra) {
+		t.Errorf("%s: secondary lookups diverged", label)
+	}
+}
+
+func TestReplicaIncrementalApplyDifferential(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			for _, seed := range []int64{1, 7, 42} {
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					runReplicaApplyDifferential(t, k, seed)
+				})
+			}
+		})
+	}
+}
+
+func runReplicaApplyDifferential(t *testing.T, kind Kind, seed int64) {
+	data := device.NewMem(page.Size, 1<<16)
+	walDev := device.NewMem(page.Size, 1<<15)
+	opts := DefaultOptions(data, walDev)
+	opts.Kind = kind
+	opts.GCRetention = 4
+	p, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptab, at, err := p.CreateTable(0, "accounts", testSchema(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	incr := newApplyReplica(t, kind) // follower A: incremental refresh
+	full := newApplyReplica(t, kind) // follower B: forced rebuild, ground truth
+
+	rng := rand.New(rand.NewSource(seed))
+	live := []int64{}
+	nextKey := int64(1)
+	secIdx := -1
+
+	cut := func(label string) {
+		t.Helper()
+		// Flush the primary log so every record so far is scannable.
+		var cerr error
+		at, cerr = p.Checkpoint(at)
+		if cerr != nil {
+			t.Fatalf("%s: checkpoint: %v", label, cerr)
+		}
+		var recs []wal.Record
+		if _, serr := wal.Scan(walDev, func(_ wal.LSN, rec wal.Record) error {
+			recs = append(recs, rec)
+			return nil
+		}); serr != nil {
+			t.Fatalf("%s: wal scan: %v", label, serr)
+		}
+		incr.catchUp(t, recs)
+		full.catchUp(t, recs)
+		var rerr error
+		incr.at, rerr = incr.db.RefreshReplica(incr.at)
+		if rerr != nil {
+			t.Fatalf("%s: refresh incremental: %v", label, rerr)
+		}
+		full.db.ForceReplicaRebuild()
+		full.at, rerr = full.db.RefreshReplica(full.at)
+		if rerr != nil {
+			t.Fatalf("%s: refresh rebuild: %v", label, rerr)
+		}
+		if ix, fx := incr.db.replicaXMax.Load(), full.db.replicaXMax.Load(); ix != fx {
+			t.Fatalf("%s: horizons diverged: %d vs %d", label, ix, fx)
+		}
+		a := snapshotReads(t, incr.db, incr.tab, nextKey, secIdx)
+		b := snapshotReads(t, full.db, full.tab, nextKey, secIdx)
+		diffStates(t, label+" incr-vs-rebuild", a, b)
+	}
+
+	// locked holds keys written by the deliberately-undecided cross-cut
+	// transaction; concurrent writers must avoid them or they would block
+	// on its row locks.
+	locked := map[int64]bool{}
+
+	// pickLive chooses a committed key this transaction has not deleted and
+	// no open transaction has locked.
+	pickLive := func(tx *txnHandle) (int, bool) {
+		for attempt := 0; attempt < 8 && len(live) > 0; attempt++ {
+			i := rng.Intn(len(live))
+			if k := live[i]; !tx.gone[k] && !locked[k] {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+
+	writeOne := func(tx *txnHandle) {
+		n := rng.Intn(10)
+		i, ok := pickLive(tx)
+		switch {
+		case n < 4 || !ok: // insert
+			k := nextKey
+			nextKey++
+			at, err = ptab.Insert(tx.tx, at, tuple.Row{k, fmt.Sprintf("u%d", k), rng.Int63n(50)})
+			if err != nil {
+				t.Fatalf("insert %d: %v", k, err)
+			}
+			tx.inserted = append(tx.inserted, k)
+		case n < 8: // update
+			k := live[i]
+			tx.touched = append(tx.touched, k)
+			at, err = ptab.Update(tx.tx, at, k, func(r tuple.Row) (tuple.Row, error) {
+				r[2] = rng.Int63n(50)
+				return r, nil
+			})
+			if err != nil {
+				t.Fatalf("update %d: %v", k, err)
+			}
+		default: // delete
+			k := live[i]
+			tx.touched = append(tx.touched, k)
+			at, err = ptab.Delete(tx.tx, at, k)
+			if err != nil {
+				t.Fatalf("delete %d: %v", k, err)
+			}
+			if tx.gone == nil {
+				tx.gone = map[int64]bool{}
+			}
+			tx.gone[k] = true
+		}
+	}
+
+	finish := func(tx *txnHandle, commit bool) {
+		if commit {
+			if at, err = p.Commit(tx.tx, at); err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+			kept := live[:0]
+			for _, k := range live {
+				if !tx.gone[k] {
+					kept = append(kept, k)
+				}
+			}
+			live = append(kept, tx.inserted...)
+		} else {
+			if at, err = p.Abort(tx.tx, at); err != nil {
+				t.Fatalf("abort: %v", err)
+			}
+		}
+	}
+
+	var open *txnHandle // the cross-cut undecided transaction
+	for i := 1; i <= 400; i++ {
+		tx := &txnHandle{tx: p.Begin()}
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			writeOne(tx)
+		}
+		finish(tx, rng.Intn(10) != 0)
+
+		if i == 60 {
+			if at, err = p.CreateIndexLogged(at, "accounts", "by_balance", "balance"); err != nil {
+				t.Fatal(err)
+			}
+			secIdx = 0
+		}
+		if i%50 == 0 {
+			if at, err = p.RunMaintenance(at); err != nil {
+				t.Fatalf("maintenance: %v", err)
+			}
+		}
+		switch i {
+		case 150, 310:
+			// Open a transaction that will still be undecided at the next
+			// cut: its heap records ship, its decision does not.
+			open = &txnHandle{tx: p.Begin()}
+			writeOne(open)
+			writeOne(open)
+			for _, k := range open.touched {
+				locked[k] = true
+			}
+		case 160:
+			cut("cut-160-inflight")
+			finish(open, false) // abort: incremental apply must unwind
+			open, locked = nil, map[int64]bool{}
+		case 320:
+			cut("cut-320-inflight")
+			finish(open, true) // commit: the other decision path
+			open, locked = nil, map[int64]bool{}
+		case 80, 240:
+			cut(fmt.Sprintf("cut-%d", i))
+		}
+	}
+
+	cut("cut-final")
+
+	// With every transaction decided and the log fully shipped, the
+	// followers must also agree with the primary itself. The mid-stream
+	// index is excluded: a live CREATE INDEX never backfills, so the
+	// primary's tree lacks the pre-DDL rows that both followers' rebuilds
+	// (and recovery on a restarted primary) would index.
+	ppri := snapshotReads(t, p, ptab, nextKey, -1)
+	arep := snapshotReads(t, incr.db, incr.tab, nextKey, -1)
+	diffStates(t, "final primary-vs-incr", ppri, arep)
+}
+
+// txnHandle tracks a primary transaction's tentative effect on the live-key
+// set so commits and aborts update it correctly.
+type txnHandle struct {
+	tx       *txn.Tx
+	inserted []int64
+	touched  []int64        // committed keys this txn updated or deleted
+	gone     map[int64]bool // keys this txn deleted (skip as later targets)
+}

@@ -108,8 +108,17 @@ func (db *DB) createTableWithIDs(at simclock.Time, name string, schema *tuple.Sc
 	}
 	db.tables[name] = tab
 	db.order = append(db.order, tab)
+	db.rels[heapID] = tab
 	db.mu.Unlock()
 	return tab, t, nil
+}
+
+// heapID returns the table's heap relation id.
+func (t *Table) heapID() uint32 {
+	if t.sias != nil {
+		return t.sias.ID()
+	}
+	return t.si.ID()
 }
 
 // AddSecondaryIndex attaches a secondary index computed by keyFn over rows.

@@ -13,14 +13,16 @@
 //     with SkipTo, so the follower's log stays byte-identical to the
 //     primary's — which is what makes "lag" a plain LSN subtraction and
 //     lets a restarted follower resume from exactly where it stopped);
-//  2. replays them through the engine's idempotent recovery redo
-//     (engine.ApplyRecord).
+//  2. replays them through the engine's idempotent recovery redo and folds
+//     each record into the volatile read structures incrementally
+//     (engine.ApplyRecord), the way the primary's own write path did.
 //
 // Reads on a follower run as read-only snapshot transactions at the applied
-// horizon; the first read after new records pays one rebuild of the volatile
-// structures (engine.RefreshReplica). Promotion — by operator PROMOTE frame
-// or automatically when the primary drains and ends the stream — stops the
-// subscription, finishes replay, and flips the engines writable.
+// horizon; publishing newly applied records to fresh snapshots is a cheap
+// horizon advance (engine.RefreshReplica), not a rebuild, so follower read
+// latency is independent of state size. Promotion — by operator PROMOTE
+// frame or automatically when the primary drains and ends the stream — stops
+// the subscription, finishes replay, and flips the engines writable.
 package repl
 
 import (
@@ -40,7 +42,7 @@ import (
 )
 
 // errDrained signals a clean end-of-stream: the primary drained and this
-// follower should promote itself.
+// follower is the designated successor — it should promote itself.
 var errDrained = errors.New("repl: primary drained")
 
 // Config configures a Follower.
@@ -64,6 +66,12 @@ type Config struct {
 // (the server holds it shared across each data op).
 type Follower struct {
 	cfg Config
+
+	// addrMu guards primary, which starts as cfg.PrimaryAddr and repoints to
+	// the designated successor when a draining primary ends the stream with
+	// another follower's address.
+	addrMu  sync.Mutex
+	primary string
 
 	mu sync.RWMutex // write: applyBatch/Refresh/Promote; read: served data ops
 
@@ -101,6 +109,7 @@ func NewFollower(cfg Config) (*Follower, error) {
 	}
 	f := &Follower{
 		cfg:            cfg,
+		primary:        cfg.PrimaryAddr,
 		applied:        make([]atomic.Uint64, len(cfg.Shards)),
 		primaryDurable: make([]atomic.Uint64, len(cfg.Shards)),
 		recvRecs:       make([]atomic.Int64, len(cfg.Shards)),
@@ -139,16 +148,43 @@ func (f *Follower) Run() {
 			case <-f.stopCh:
 				return
 			case <-time.After(200 * time.Millisecond):
-				f.cfg.Logf("repl: stream ended (%v); reconnecting to %s", err, f.cfg.PrimaryAddr)
+				f.cfg.Logf("repl: stream ended (%v); reconnecting to %s", err, f.PrimaryAddr())
 			}
 		}
 	}()
 }
 
+// PrimaryAddr reports the address the follower currently streams from —
+// cfg.PrimaryAddr until a drain handoff repoints it at the successor.
+func (f *Follower) PrimaryAddr() string {
+	f.addrMu.Lock()
+	defer f.addrMu.Unlock()
+	return f.primary
+}
+
+func (f *Follower) setPrimary(addr string) {
+	f.addrMu.Lock()
+	f.primary = addr
+	f.addrMu.Unlock()
+}
+
+// streamEnded interprets a SHUTTING_DOWN end-of-stream frame from a draining
+// primary. Its payload names the designated successor: an empty payload or
+// our own announce address means this follower is it (promote); any other
+// address is a peer to follow — repoint there and resubscribe, so the fleet
+// reconverges under the new primary instead of promoting en masse.
+func (f *Follower) streamEnded(successor string) error {
+	if successor == "" || successor == f.cfg.Announce {
+		return errDrained
+	}
+	f.setPrimary(successor)
+	return fmt.Errorf("repl: primary drained; following designated successor %s", successor)
+}
+
 // stream runs one subscription connection until error or drain.
 func (f *Follower) stream() error {
 	d := net.Dialer{Timeout: f.cfg.DialTimeout}
-	conn, err := d.Dial("tcp", f.cfg.PrimaryAddr)
+	conn, err := d.Dial("tcp", f.PrimaryAddr())
 	if err != nil {
 		return err
 	}
@@ -197,7 +233,7 @@ func (f *Follower) stream() error {
 			f.primaryDurable[i].Store(d)
 		}
 	case wire.CodeShuttingDown:
-		return errDrained
+		return f.streamEnded(string(payload))
 	default:
 		return fmt.Errorf("repl: subscribe rejected: %w", wire.ErrOf(wire.Code(code), string(payload)))
 	}
@@ -224,7 +260,7 @@ func (f *Follower) stream() error {
 				return err
 			}
 		case wire.CodeShuttingDown:
-			return errDrained
+			return f.streamEnded(string(payload))
 		default:
 			return fmt.Errorf("repl: unexpected frame %s on subscription", wire.Code(code))
 		}
@@ -282,10 +318,10 @@ func (f *Follower) applyBatch(shard int, start wal.LSN, data []byte, primaryDura
 	return nil
 }
 
-// Refresh rebuilds the volatile read structures on every shard that applied
-// records since its last refresh. The server calls it on BEGIN so each new
-// snapshot sees everything applied so far; it is a no-op when nothing
-// changed, so read-only workloads pay for at most one rebuild per batch.
+// Refresh publishes applied records to new snapshots on every shard that
+// applied some since its last refresh — a cheap horizon advance, since apply
+// maintains the volatile structures incrementally. The server calls it on
+// BEGIN; it is a no-op when nothing changed.
 func (f *Follower) Refresh() error {
 	dirty := false
 	for _, fc := range f.cfg.Shards {
@@ -309,6 +345,17 @@ func (f *Follower) Refresh() error {
 		}
 	}
 	return nil
+}
+
+// AppliedLSNs snapshots the per-shard applied LSN vector — what the follower
+// advertises to LSN-consistent client routing (an applied position covers a
+// client's last observed commit iff it is >= on every shard).
+func (f *Follower) AppliedLSNs() []uint64 {
+	out := make([]uint64, len(f.applied))
+	for i := range f.applied {
+		out[i] = f.applied[i].Load()
+	}
+	return out
 }
 
 // DataRLock takes the shared lock served data operations run under,
@@ -371,7 +418,7 @@ type Stats struct {
 // Stats snapshots replication lag. Lag is an exact byte count because the
 // follower's log mirrors the primary's byte for byte.
 func (f *Follower) Stats() Stats {
-	s := Stats{Primary: f.cfg.PrimaryAddr, Promoted: f.promoted.Load()}
+	s := Stats{Primary: f.PrimaryAddr(), Promoted: f.promoted.Load()}
 	for i := range f.applied {
 		a := f.applied[i].Load()
 		pd := f.primaryDurable[i].Load()

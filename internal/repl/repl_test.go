@@ -1,6 +1,7 @@
 package repl_test
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"sias/internal/server"
 	"sias/internal/shard"
 	"sias/internal/tuple"
+	"sias/internal/wire"
 )
 
 func kvSchema() *tuple.Schema {
@@ -452,5 +454,488 @@ func TestDrainHandoffFailover(t *testing.T) {
 	}
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFanoutKillResume streams one primary to three concurrent followers,
+// kills one mid-fleet (severed without drain, as a crashed process would
+// be), and requires the survivors to stay caught up while the victim —
+// restarted over its own devices — resumes from its applied LSN and
+// converges with the rest.
+func TestFanoutKillResume(t *testing.T) {
+	prim := routerOf(t, openPrimary(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false))
+	psrv, err := server.New(server.Config{Router: prim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pErr := serveOn(psrv, pln)
+	defer func() {
+		psrv.Shutdown(context.Background())
+		<-pErr
+	}()
+
+	// Three followers; follower 1 keeps its devices so it can be restarted.
+	f1Data := device.NewMem(page.Size, 1<<16)
+	f1WAL := device.NewMem(page.Size, 1<<14)
+	shards := []shard.Shard{
+		openFollower(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false),
+		openFollower(t, f1Data, f1WAL, false),
+		openFollower(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false),
+	}
+	fs := make([]*repl.Follower, 3)
+	for i, sh := range shards {
+		f, err := repl.NewFollower(repl.Config{
+			PrimaryAddr: pln.Addr().String(),
+			Shards:      []*engine.Facade{sh.Facade},
+			Logf:        t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Run()
+		fs[i] = f
+	}
+	defer func() {
+		for _, f := range fs {
+			f.Stop()
+		}
+	}()
+
+	pc, err := client.Dial(pln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	loadKeys(t, pc, 0, 50, "a")
+	for i, f := range fs {
+		f := f
+		waitFor(t, 10*time.Second, fmt.Sprintf("follower %d to catch up", i), func() bool { return caughtUp(f) })
+	}
+
+	// Kill follower 1: the stream drops without drain; its devices survive.
+	fs[1].Stop()
+
+	loadKeys(t, pc, 50, 100, "b")
+	waitFor(t, 10*time.Second, "follower 0 to stay caught up", func() bool { return caughtUp(fs[0]) })
+	waitFor(t, 10*time.Second, "follower 2 to stay caught up", func() bool { return caughtUp(fs[2]) })
+
+	// Restart the victim over the same devices: recovery replays the mirrored
+	// log and the subscription resumes from the exact applied byte position.
+	resh := openFollower(t, f1Data, f1WAL, true)
+	f1b, err := repl.NewFollower(repl.Config{
+		PrimaryAddr: pln.Addr().String(),
+		Shards:      []*engine.Facade{resh.Facade},
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1b.Run()
+	fs[1] = f1b
+	waitFor(t, 10*time.Second, "restarted follower to converge", func() bool { return caughtUp(f1b) })
+
+	// The restarted follower serves every committed row exactly once.
+	fsrv, err := server.New(server.Config{Router: routerOf(t, resh), Replica: f1b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fErr := serveOn(fsrv, fln)
+	defer func() {
+		fsrv.Shutdown(context.Background())
+		<-fErr
+	}()
+	fc, err := client.Dial(fln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	tx, err := fc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := tx.Scan(0, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 100 {
+		t.Fatalf("restarted follower has %d rows, want 100", len(kvs))
+	}
+	seen := map[int64]bool{}
+	for _, kv := range kvs {
+		if seen[kv.Key] {
+			t.Fatalf("duplicate key %d after resume", kv.Key)
+		}
+		seen[kv.Key] = true
+	}
+	tx.Abort()
+}
+
+// TestSlowSubscriberDisconnects pairs a healthy follower with a subscriber
+// that stops reading its stream. The bounded-lag policy must cut the stalled
+// subscriber (drop counter increments, primary keeps committing) without
+// disturbing the healthy follower — and a drain afterwards must designate
+// the live caught-up follower, not the most recently announced one.
+func TestSlowSubscriberDisconnects(t *testing.T) {
+	prim := routerOf(t, openPrimary(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false))
+	psrv, err := server.New(server.Config{
+		Router:          prim,
+		SubscriberQueue: 1,
+		SubscriberStall: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pErr := serveOn(psrv, pln)
+
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsh := openFollower(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false)
+	f, err := repl.NewFollower(repl.Config{
+		PrimaryAddr: pln.Addr().String(),
+		Announce:    fln.Addr().String(),
+		Shards:      []*engine.Facade{fsh.Facade},
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv, err := server.New(server.Config{Router: routerOf(t, fsh), Replica: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fErr := serveOn(fsrv, fln)
+	defer func() {
+		fsrv.Shutdown(context.Background())
+		<-fErr
+	}()
+	f.Run()
+	defer f.Stop()
+
+	pc, err := client.Dial(pln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	loadKeys(t, pc, 0, 10, "v")
+	waitFor(t, 10*time.Second, "healthy follower to catch up", func() bool { return caughtUp(f) })
+
+	// A raw subscriber that announces a bogus failover address — after the
+	// healthy follower, so the old most-recent-announce policy would have
+	// designated it — completes the handshake, then never reads again.
+	stalled, err := net.Dial("tcp", pln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	var sb wire.Buf
+	sb.Bytes([]byte("127.0.0.1:1"))
+	sb.U32(1)
+	sb.U64(0)
+	if err := wire.WriteFrame(stalled, uint8(wire.OpSubscribe), sb.B); err != nil {
+		t.Fatal(err)
+	}
+	sr := bufio.NewReader(stalled)
+	if code, _, err := wire.ReadFrame(sr); err != nil || wire.Code(code) != wire.CodeOK {
+		t.Fatalf("stalled subscribe handshake: code %d err %v", code, err)
+	}
+	waitFor(t, 10*time.Second, "stalled subscriber to register", func() bool {
+		return psrv.Stats().Subscribers == 2
+	})
+
+	// Push enough log volume to fill the stalled peer's socket buffers and
+	// its 1-frame queue; the policy must cut it while commits keep flowing.
+	big := make([]byte, 4096)
+	for batch := int64(0); psrv.Stats().SubscriberDrops == 0; batch++ {
+		if batch > 2000 {
+			t.Fatal("slow subscriber was never dropped")
+		}
+		tx, err := pc.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 8; i++ {
+			if err := tx.Insert(1000+batch*8+i, big); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "stalled subscriber to be deregistered", func() bool {
+		return psrv.Stats().Subscribers == 1
+	})
+	waitFor(t, 20*time.Second, "healthy follower to catch up past the load", func() bool { return caughtUp(f) })
+
+	// Drain: the designated successor must be the live caught-up follower,
+	// so it self-promotes; the stalled peer's bogus announce is ignored.
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- psrv.Shutdown(context.Background()) }()
+	waitFor(t, 10*time.Second, "healthy follower to promote", func() bool { return f.Promoted() })
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("primary shutdown: %v", err)
+	}
+	if err := <-pErr; err != nil {
+		t.Fatalf("primary serve: %v", err)
+	}
+}
+
+// TestPromotionUnderFanout drains a primary streaming to three announced
+// followers: exactly one (the designated successor) promotes, the other two
+// repoint their subscriptions at it, converge to zero lag, and serve the
+// writes committed on the new primary.
+func TestPromotionUnderFanout(t *testing.T) {
+	prim := routerOf(t, openPrimary(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false))
+	psrv, err := server.New(server.Config{Router: prim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pErr := serveOn(psrv, pln)
+
+	// Three followers, each announced and serving its own address.
+	fs := make([]*repl.Follower, 3)
+	fsrvs := make([]*server.Server, 3)
+	addrs := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		fln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = fln.Addr().String()
+		sh := openFollower(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false)
+		f, err := repl.NewFollower(repl.Config{
+			PrimaryAddr: pln.Addr().String(),
+			Announce:    addrs[i],
+			Shards:      []*engine.Facade{sh.Facade},
+			Logf:        t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsrv, err := server.New(server.Config{Router: routerOf(t, sh), Replica: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fErr := serveOn(fsrv, fln)
+		t.Cleanup(func() {
+			fsrv.Shutdown(context.Background())
+			<-fErr
+		})
+		f.Run()
+		t.Cleanup(f.Stop)
+		fs[i] = f
+		fsrvs[i] = fsrv
+	}
+
+	pc, err := client.Dial(pln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	loadKeys(t, pc, 0, 30, "v")
+	for i, f := range fs {
+		f := f
+		waitFor(t, 10*time.Second, fmt.Sprintf("follower %d to catch up", i), func() bool { return caughtUp(f) })
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- psrv.Shutdown(context.Background()) }()
+	waitFor(t, 10*time.Second, "exactly one follower to promote", func() bool {
+		n := 0
+		for _, f := range fs {
+			if f.Promoted() {
+				n++
+			}
+		}
+		return n == 1
+	})
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("primary shutdown: %v", err)
+	}
+	if err := <-pErr; err != nil {
+		t.Fatalf("primary serve: %v", err)
+	}
+
+	promoted := -1
+	for i, f := range fs {
+		if f.Promoted() {
+			promoted = i
+		}
+	}
+
+	// The survivors must follow the successor, not promote themselves.
+	for i, f := range fs {
+		if i == promoted {
+			continue
+		}
+		i, f := i, f
+		waitFor(t, 10*time.Second, fmt.Sprintf("follower %d to repoint at the successor", i), func() bool {
+			return f.PrimaryAddr() == addrs[promoted]
+		})
+		if f.Promoted() {
+			t.Fatalf("follower %d promoted alongside the successor", i)
+		}
+	}
+
+	// A write on the new primary reaches both remaining followers: lag
+	// converges and routed reads see the row.
+	nc, err := client.Dial(addrs[promoted], client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	loadKeys(t, nc, 100, 110, "w")
+	for i, f := range fs {
+		if i == promoted {
+			continue
+		}
+		i, f := i, f
+		waitFor(t, 10*time.Second, fmt.Sprintf("follower %d to converge on the successor", i), func() bool { return caughtUp(f) })
+		fc, err := client.Dial(addrs[i], client.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// caughtUp compares against the follower's last-heard durable LSN,
+		// which can predate the new commit — poll until the row replicates.
+		waitFor(t, 10*time.Second, fmt.Sprintf("follower %d to serve the post-failover row", i), func() bool {
+			tx, err := fc.Begin()
+			if err != nil {
+				return false
+			}
+			defer tx.Abort()
+			got, err := tx.Get(105)
+			return err == nil && string(got) == "w105"
+		})
+		fc.Close()
+	}
+}
+
+// TestReadYourWritesRouting drives a client configured with two replica
+// addresses: every write is immediately followed by a routed read of the
+// same key, which must never be stale — the COMMIT LSN vector gates which
+// replica (if any) may serve it, with the primary as fallback. After the
+// fleet converges, routed reads must actually land on replicas.
+func TestReadYourWritesRouting(t *testing.T) {
+	prim := routerOf(t, openPrimary(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false))
+	psrv, err := server.New(server.Config{Router: prim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pErr := serveOn(psrv, pln)
+	t.Cleanup(func() {
+		psrv.Kill()
+		<-pErr
+	})
+
+	fs := make([]*repl.Follower, 2)
+	addrs := make([]string, 2)
+	for i := range fs {
+		fln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = fln.Addr().String()
+		sh := openFollower(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false)
+		f, err := repl.NewFollower(repl.Config{
+			PrimaryAddr: pln.Addr().String(),
+			Shards:      []*engine.Facade{sh.Facade},
+			Logf:        t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsrv, err := server.New(server.Config{Router: routerOf(t, sh), Replica: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fErr := serveOn(fsrv, fln)
+		t.Cleanup(func() {
+			fsrv.Kill()
+			<-fErr
+		})
+		f.Run()
+		t.Cleanup(f.Stop)
+		fs[i] = f
+	}
+
+	c, err := client.Dial(pln.Addr().String(), client.Options{Replicas: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Write-then-routed-read: the read must observe the write every single
+	// time, no matter which server serves it or how far replication lags.
+	for i := int64(0); i < 200; i++ {
+		want := fmt.Sprintf("v%d", i)
+		tx, err := c.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Insert(i, []byte(want)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		rtx, err := c.BeginRead()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rtx.Get(i)
+		if err != nil || string(got) != want {
+			t.Fatalf("stale routed read of key %d: %q, %v", i, got, err)
+		}
+		if err := rtx.Insert(i, []byte("nope")); !errors.Is(err, engine.ErrReadOnly) {
+			t.Fatalf("write on read-only tx: got %v, want engine.ErrReadOnly", err)
+		}
+		rtx.Abort()
+	}
+
+	// Once both replicas cover the session's commit point, routed reads must
+	// leave the primary. Poll with fresh reads — each BeginRead re-probes.
+	for i, f := range fs {
+		f := f
+		waitFor(t, 10*time.Second, fmt.Sprintf("replica %d to catch up", i), func() bool { return caughtUp(f) })
+	}
+	waitFor(t, 10*time.Second, "a routed read to land on a replica", func() bool {
+		rtx, err := c.BeginRead()
+		if err != nil {
+			return false
+		}
+		got, err := rtx.Get(42)
+		rtx.Abort()
+		if err != nil || string(got) != "v42" {
+			t.Fatalf("replica read of key 42: %q, %v", got, err)
+		}
+		_, replica := c.ReadRouting()
+		return replica > 0
+	})
+	primary, replica := c.ReadRouting()
+	t.Logf("read routing: primary=%d replica=%d", primary, replica)
+	if primary+replica < 201 {
+		t.Fatalf("routing counters lost reads: primary=%d replica=%d", primary, replica)
 	}
 }

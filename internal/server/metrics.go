@@ -354,6 +354,50 @@ func (s *Server) setupMetrics(reg *obs.Registry, slow *obs.SlowOpLog) {
 				emit(obs.Labels{"shard": strconv.Itoa(i)}, float64(sh.PrimaryDurableLSN))
 			}
 		})
+	// Primary-side per-subscriber stream health: how far each connected
+	// follower's shipped position trails the durable logs, and the send-queue
+	// backlog the bounded-lag policy watches. Labeled by the follower's
+	// announce address (its remote address when it did not announce).
+	snapshotSubs := func() []*subscriber {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make([]*subscriber, 0, len(s.subs))
+		for _, sub := range s.subs {
+			out = append(out, sub)
+		}
+		return out
+	}
+	reg.CollectGauge("sias_repl_subscriber_lag_bytes",
+		"Per-subscriber ship lag on the primary: durable LSN minus shipped LSN.",
+		func(emit func(obs.Labels, float64)) {
+			n := router.N()
+			durables := make([]uint64, n)
+			for i := 0; i < n; i++ {
+				durables[i] = uint64(router.Shard(i).Facade.DB().WAL().Durable())
+			}
+			for _, sub := range snapshotSubs() {
+				for i := 0; i < n; i++ {
+					lag := 0.0
+					if sent := sub.sent[i].Load(); durables[i] > sent {
+						lag = float64(durables[i] - sent)
+					}
+					emit(obs.Labels{"peer": sub.peer, "shard": strconv.Itoa(i)}, lag)
+				}
+			}
+		})
+	reg.CollectGauge("sias_repl_subscriber_queue_depth",
+		"Frames buffered in a subscriber's bounded send queue.",
+		func(emit func(obs.Labels, float64)) {
+			for _, sub := range snapshotSubs() {
+				emit(obs.Labels{"peer": sub.peer}, float64(len(sub.q)))
+			}
+		})
+	reg.CollectCounter("sias_server_subscriber_drops_total",
+		"Subscribers disconnected by the bounded-lag slow-subscriber policy.",
+		func(emit func(obs.Labels, float64)) {
+			emit(nil, float64(s.subDrops.Load()))
+		})
+
 	reg.CollectGauge("sias_repl_promoted",
 		"1 once a follower has been promoted to primary, 0 before.",
 		func(emit func(obs.Labels, float64)) {

@@ -55,6 +55,16 @@ type Config struct {
 	// serve the applied snapshot, and PROMOTE flips it writable. The
 	// Follower's shard order must match the Router's.
 	Replica *repl.Follower
+	// SubscriberQueue bounds the frames buffered per replication subscriber
+	// between the log reader and that subscriber's socket (default 32). The
+	// queue is what lets N followers stream at independent speeds.
+	SubscriberQueue int
+	// SubscriberStall bounds how long a full subscriber queue may block the
+	// log reader before the subscriber is judged too slow and disconnected
+	// (default 1s). A dropped follower resumes from its applied LSN on
+	// reconnect, so the policy trades a resend for bounded memory and an
+	// unwedged stream.
+	SubscriberStall time.Duration
 	// Obs, when set, wires the whole deployment into this metrics registry
 	// (see metrics.go) and times every data op. The registry is typically
 	// served on a side HTTP listener via obs.Handler.
@@ -73,6 +83,9 @@ type Stats struct {
 	DrainRejected int64 // requests rejected because the server was draining
 	OpenTxns      int64 // transactions currently open across sessions
 	Subscribers   int64 // connections currently streaming the WAL (replication)
+	// SubscriberDrops counts subscribers disconnected by the bounded-lag
+	// slow-subscriber policy (they resume from their applied LSN).
+	SubscriberDrops int64
 }
 
 // Server serves the wire protocol over TCP.
@@ -84,10 +97,11 @@ type Server struct {
 	mu           sync.Mutex
 	ln           net.Listener
 	sessions     map[*session]struct{}
-	subs         map[*session]struct{} // sessions that became replication streams
+	subs         map[*session]*subscriber // sessions that became replication streams
 	draining     bool
 	killed       bool
-	failoverAddr string // announced by a subscribed follower; given to drained clients
+	failoverAddr string // last announced follower; fallback when no stream is live
+	designated   string // successor latched by Shutdown, shipped at end-of-stream
 
 	// drainedCh closes after Shutdown's checkpoint: subscribers ship the
 	// final log tail (which the checkpoint made durable) and end the stream.
@@ -101,6 +115,7 @@ type Server struct {
 	drainRejected atomic.Int64
 	openTxns      atomic.Int64
 	inflight      atomic.Int64 // requests read but not yet fully answered
+	subDrops      atomic.Int64 // subscribers cut by the slow-subscriber policy
 
 	// Observability (nil/zero when Config.Obs is unset): per-op latency
 	// histograms indexed by wire op code, and the slow-op log. timeOps
@@ -135,12 +150,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
+	if cfg.SubscriberQueue <= 0 {
+		cfg.SubscriberQueue = 32
+	}
+	if cfg.SubscriberStall <= 0 {
+		cfg.SubscriberStall = time.Second
+	}
 	s := &Server{
 		cfg:       cfg,
 		valCol:    valCol,
 		sem:       make(chan struct{}, cfg.MaxInFlight),
 		sessions:  map[*session]struct{}{},
-		subs:      map[*session]struct{}{},
+		subs:      map[*session]*subscriber{},
 		drainedCh: make(chan struct{}),
 	}
 	if cfg.Obs != nil {
@@ -156,12 +177,13 @@ func (s *Server) Stats() Stats {
 	subs := int64(len(s.subs))
 	s.mu.Unlock()
 	return Stats{
-		Connections:   s.conns.Load(),
-		Requests:      s.requests.Load(),
-		Overloaded:    s.overloaded.Load(),
-		DrainRejected: s.drainRejected.Load(),
-		OpenTxns:      s.openTxns.Load(),
-		Subscribers:   subs,
+		Connections:     s.conns.Load(),
+		Requests:        s.requests.Load(),
+		Overloaded:      s.overloaded.Load(),
+		DrainRejected:   s.drainRejected.Load(),
+		OpenTxns:        s.openTxns.Load(),
+		Subscribers:     subs,
+		SubscriberDrops: s.subDrops.Load(),
 	}
 }
 
@@ -340,6 +362,13 @@ wait:
 	// streams with a typed SHUTTING_DOWN frame — the follower's cue to
 	// promote itself.
 	err := s.cfg.Router.Checkpoint()
+	// Designate the failover successor once, before releasing the
+	// subscribers: every stream's end-of-stream frame must name the same
+	// follower, or two could promote themselves (split brain).
+	designated := s.followerAddr()
+	s.mu.Lock()
+	s.designated = designated
+	s.mu.Unlock()
 	close(s.drainedCh)
 	s.wg.Wait()
 	return err
@@ -441,10 +470,40 @@ func (c *session) run() {
 	}
 }
 
-// followerAddr reports the announce address of the most recent subscriber.
+// followerAddr reports the best failover target: among live announced
+// subscribers, the one whose shipped position trails the durable logs the
+// least (ties go to the most recent subscription — a fresh stream that
+// already caught up beats one that merely got there first). When no announced
+// stream is live, the last announced address is the fallback, so a drain that
+// races a follower reconnect still hands clients somewhere.
 func (s *Server) followerAddr() string {
+	n := s.cfg.Router.N()
+	durables := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		durables[i] = uint64(s.cfg.Router.Shard(i).Facade.DB().WAL().Durable())
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	best := ""
+	var bestLag uint64
+	var bestSince time.Time
+	for _, sub := range s.subs {
+		if sub.announce == "" {
+			continue
+		}
+		var lag uint64
+		for i := 0; i < n; i++ {
+			if sent := sub.sent[i].Load(); durables[i] > sent {
+				lag += durables[i] - sent
+			}
+		}
+		if best == "" || lag < bestLag || (lag == bestLag && sub.since.After(bestSince)) {
+			best, bestLag, bestSince = sub.announce, lag, sub.since
+		}
+	}
+	if best != "" {
+		return best
+	}
 	return s.failoverAddr
 }
 
@@ -466,13 +525,43 @@ func (c *session) replyErr(err error) {
 	_ = c.send(uint8(wire.CodeOf(err)), eb.B)
 }
 
+// subFrame is one queued stream frame: tag+payload for the sender goroutine,
+// plus the cursor the frame advances (data-carrying LOGBATCH frames only) so
+// shipped positions are tracked at socket-write granularity.
+type subFrame struct {
+	tag   uint8
+	data  []byte
+	shard int    // -1 when the frame advances no cursor
+	next  uint64 // cursor value once the frame is on the wire
+}
+
+// subscriber is the server-side state of one replication stream: identity
+// for failover designation, per-shard shipped cursors for lag accounting,
+// and the bounded send queue that decouples log reads from the peer's
+// socket so N followers stream at independent speeds.
+type subscriber struct {
+	peer     string // announce address, or remote address when not announced
+	announce string
+	since    time.Time
+	q        chan subFrame
+	sent     []atomic.Uint64 // per-shard LSN shipped to the socket
+}
+
 // runSubscriber services one SUBSCRIBE for the rest of the connection's
 // life: handshake with the current durable LSNs, then ship LOGBATCH frames
 // as the logs grow, heartbeat while idle, and end the stream with a typed
-// SHUTTING_DOWN frame once the drain checkpoint has run and every cursor has
-// caught up — the follower's cue to promote. The subscriber reads flushed
-// WAL pages only (never past the durable LSN), so no writer coordination is
-// needed beyond the LSN load.
+// SHUTTING_DOWN frame (carrying the designated successor's address) once the
+// drain checkpoint has run and every cursor has caught up. The subscriber
+// reads flushed WAL pages only (never past the durable LSN), so no writer
+// coordination is needed beyond the LSN load.
+//
+// The loop is split in two: this goroutine reads the logs and fills a
+// bounded queue; a sender goroutine owns the socket and drains it. A peer
+// that stops draining — dead network, wedged follower — fills the queue and
+// trips the bounded-lag policy: after SubscriberStall it is disconnected and
+// left to resume from its applied LSN, instead of wedging the reader or
+// buffering the log without bound. Fast followers on the same primary never
+// notice.
 func (c *session) runSubscriber(payload []byte) {
 	srv := c.srv
 	r := wire.Reader{B: payload}
@@ -496,11 +585,24 @@ func (c *session) runSubscriber(payload []byte) {
 		cursors[i] = wal.LSN(v)
 	}
 
-	srv.mu.Lock()
-	if len(announce) > 0 {
-		srv.failoverAddr = string(announce)
+	sub := &subscriber{
+		peer:     c.conn.RemoteAddr().String(),
+		announce: string(announce),
+		since:    time.Now(),
+		q:        make(chan subFrame, srv.cfg.SubscriberQueue),
+		sent:     make([]atomic.Uint64, n),
 	}
-	srv.subs[c] = struct{}{}
+	if sub.announce != "" {
+		sub.peer = sub.announce
+	}
+	for i := range cursors {
+		sub.sent[i].Store(uint64(cursors[i]))
+	}
+	srv.mu.Lock()
+	if sub.announce != "" {
+		srv.failoverAddr = sub.announce
+	}
+	srv.subs[c] = sub
 	srv.mu.Unlock()
 
 	var hs wire.Buf
@@ -515,9 +617,58 @@ func (c *session) runSubscriber(payload []byte) {
 		return
 	}
 
+	// Sender: the only goroutine touching the socket from here on. It
+	// records each data frame's cursor once the bytes are handed to the
+	// kernel, so lag gauges and failover designation see shipped — not
+	// merely read — positions.
+	senderDone := make(chan struct{})
+	go func() {
+		defer close(senderDone)
+		for fr := range sub.q {
+			if c.send(fr.tag, fr.data) != nil {
+				return
+			}
+			if fr.shard >= 0 {
+				sub.sent[fr.shard].Store(fr.next)
+			}
+		}
+	}()
+	defer func() {
+		close(sub.q)
+		<-senderDone
+	}()
+
+	// enqueue applies the bounded-lag policy: a frame that cannot be
+	// buffered within SubscriberStall means the peer is neither reading nor
+	// draining its queue — disconnect it rather than wedge.
+	enqueue := func(fr subFrame) bool {
+		select {
+		case sub.q <- fr:
+			return true
+		case <-senderDone:
+			return false
+		default:
+		}
+		stall := time.NewTimer(srv.cfg.SubscriberStall)
+		defer stall.Stop()
+		select {
+		case sub.q <- fr:
+			return true
+		case <-senderDone:
+			return false
+		case <-stall.C:
+			srv.subDrops.Add(1)
+			c.conn.Close() // kick the sender out of its blocked write
+			return false
+		}
+	}
+
 	heartbeat := time.NewTicker(200 * time.Millisecond)
 	defer heartbeat.Stop()
-	poll := time.NewTicker(5 * time.Millisecond)
+	// The poll interval bounds replica freshness between batches, which in
+	// turn bounds how often LSN-gated read routing can use a replica under a
+	// write-heavy mix — keep it tight.
+	poll := time.NewTicker(time.Millisecond)
 	defer poll.Stop()
 	for {
 		progressed := false
@@ -536,7 +687,7 @@ func (c *session) runSubscriber(payload []byte) {
 					lb.U64(uint64(start))
 					lb.U64(uint64(durable))
 					lb.Bytes(data)
-					if c.send(uint8(wire.CodeLogBatch), lb.B) != nil {
+					if !enqueue(subFrame{uint8(wire.CodeLogBatch), lb.B, i, uint64(next)}) {
 						return
 					}
 					progressed = true
@@ -555,11 +706,15 @@ func (c *session) runSubscriber(payload []byte) {
 			if caughtUp {
 				srv.mu.Lock()
 				killed := srv.killed
+				successor := srv.designated
 				srv.mu.Unlock()
 				if !killed {
-					var eb wire.Buf
-					eb.B = append(eb.B, "primary drained; log shipped in full"...)
-					_ = c.send(uint8(wire.CodeShuttingDown), eb.B)
+					// End-of-stream: the payload names the designated
+					// successor (empty when none was announced). The matching
+					// follower promotes itself; every other follower repoints
+					// there and resubscribes. The frame rides the same queue
+					// as the data, so it cannot overtake the final batches.
+					_ = enqueue(subFrame{uint8(wire.CodeShuttingDown), []byte(successor), -1, 0})
 				}
 				return
 			}
@@ -574,8 +729,13 @@ func (c *session) runSubscriber(payload []byte) {
 				hb.U64(uint64(cursors[i]))
 				hb.U64(uint64(db.WAL().Durable()))
 				hb.Bytes(nil)
-				if c.send(uint8(wire.CodeLogBatch), hb.B) != nil {
+				// Heartbeats are droppable: a full queue already carries
+				// fresher positions in its data frames.
+				select {
+				case sub.q <- subFrame{uint8(wire.CodeLogBatch), hb.B, -1, 0}:
+				case <-senderDone:
 					return
+				default:
 				}
 			}
 		case <-poll.C:
@@ -603,8 +763,13 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 	// STATS is exempt from admission control so monitoring stays
 	// responsive under overload and during drain. PROMOTE is exempt too:
 	// it must get through exactly when a follower is being failed over.
+	// REPL_LSN is exempt because read routing probes it before every routed
+	// read — it must answer fast and must not consume data-op slots.
 	if op == wire.OpStats {
 		return c.handleStats()
+	}
+	if op == wire.OpReplLSN {
+		return c.handleReplLSN()
 	}
 	if op == wire.OpPromote {
 		if srv.cfg.Replica == nil {
@@ -675,7 +840,14 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 		delete(c.txs, h)
 		srv.openTxns.Add(-1)
 		if op == wire.OpCommit {
-			return nil, tx.Commit()
+			if err := tx.Commit(); err != nil {
+				return nil, err
+			}
+			// The reply carries the durable LSN vector at ack time — an upper
+			// bound on everything this transaction wrote, which is what lets
+			// the client route later reads to replicas without losing
+			// read-your-writes.
+			return c.lsnVector(), nil
 		}
 		return nil, tx.Abort()
 
@@ -766,6 +938,33 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 	// Unknown opcode: answer ERR_BAD_OP (wire.CodeBadOp) on the same
 	// connection — a protocol error, never a dropped session.
 	return nil, fmt.Errorf("%w: %s", wire.ErrBadRequest, op)
+}
+
+// lsnVector encodes the per-shard durable WAL positions.
+func (c *session) lsnVector() []byte {
+	n := c.srv.cfg.Router.N()
+	var b wire.Buf
+	b.U32(uint32(n))
+	for i := 0; i < n; i++ {
+		b.U64(uint64(c.srv.cfg.Router.Shard(i).Facade.DB().WAL().Durable()))
+	}
+	return b.B
+}
+
+// handleReplLSN answers the REPL_LSN probe: the LSN vector reads on this
+// server are guaranteed to observe — the replication applied positions while
+// an unpromoted follower, the durable log positions otherwise.
+func (c *session) handleReplLSN() ([]byte, error) {
+	if rep := c.srv.cfg.Replica; rep != nil && !rep.Promoted() {
+		applied := rep.AppliedLSNs()
+		var b wire.Buf
+		b.U32(uint32(len(applied)))
+		for _, l := range applied {
+			b.U64(l)
+		}
+		return b.B, nil
+	}
+	return c.lsnVector(), nil
 }
 
 // tx decodes a handle and resolves it to a live transaction.

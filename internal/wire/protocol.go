@@ -8,7 +8,7 @@
 //
 //	op  name          request payload                                  -> CodeOK payload
 //	 1  BEGIN         ()                                               -> handle u64
-//	 2  COMMIT        handle u64                                       -> ()
+//	 2  COMMIT        handle u64                                       -> shards u32, {durable LSN u64}*
 //	 3  ABORT         handle u64                                       -> ()
 //	 4  GET           handle u64, key i64                              -> val bytes
 //	 5  INSERT        handle u64, key i64, val bytes                   -> ()
@@ -35,6 +35,14 @@
 //	24  INDEX_RANGE   handle u64, table bytes, index bytes, lo i64,
 //	                  hi i64, limit u32                                -> count u32, {ikey i64, row bytes}*
 //	25  LIST_TABLES   ()                                               -> JSON bytes (catalog listing)
+//	26  REPL_LSN      ()                                               -> shards u32, {applied LSN u64}*
+//
+// COMMIT's reply vector is the per-shard durable WAL position at ack time —
+// an upper bound on everything the transaction wrote. REPL_LSN reports the
+// LSN vector reads on this server are guaranteed to observe: the replication
+// applied positions on an unpromoted follower, the durable positions
+// otherwise. A client enforces read-your-writes by routing reads only to
+// servers whose REPL_LSN covers (is >= per shard) its last COMMIT vector.
 //
 // Rows in *_ROW/SCAN_TABLE/INDEX_* payloads are tuple.Schema row encodings
 // (see internal/tuple), carried opaquely as u32-length-prefixed byte strings.
@@ -114,6 +122,11 @@ const (
 	OpIndexLookup Op = 23
 	OpIndexRange  Op = 24
 	OpListTables  Op = 25
+
+	// OpReplLSN reports the per-shard LSN vector reads on this server observe
+	// (applied positions on a follower, durable positions on a primary). Cheap
+	// and admission-exempt: clients probe it before routing a read.
+	OpReplLSN Op = 26
 )
 
 func (o Op) String() string {
@@ -168,6 +181,8 @@ func (o Op) String() string {
 		return "INDEX_RANGE"
 	case OpListTables:
 		return "LIST_TABLES"
+	case OpReplLSN:
+		return "REPL_LSN"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }

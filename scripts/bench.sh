@@ -30,6 +30,19 @@
 #   readahead-vs-none speedup land in the same BENCH_read.json under
 #   "cold_scan_runs".
 #
+#   BENCH_MODE=repl — read-scaling over a replica fleet. For each follower
+#   count (default 0 1 2) start one primary plus that many follower
+#   siasservers, wait for the fleet to converge, then run a read-heavy
+#   siasload (default read fraction 95%) with -replicas pointing at the
+#   followers, so pure-read transactions are LSN-routed to them under the
+#   read-your-writes gate. Every server runs with the same -max-inflight
+#   admission cap (default 4, well under the worker count), so each
+#   server's admission pool models its capacity and the fleet's extra
+#   pooled capacity is what is measured — the honest lever on a machine
+#   where every process shares the same cores.
+#   Medians land in BENCH_repl.json with the replica-read fraction and the
+#   followers-vs-primary-only speedup per follower count.
+#
 # Any siasload or server failure aborts the script with the server log on
 # stderr — no partial BENCH JSON is ever written. Override via environment:
 #
@@ -74,16 +87,28 @@ read)
     STRIPES=8 # per-shard stripes for the striped configuration
     READAHEAD="${BENCH_READAHEAD:-32}"
     ;;
+repl)
+    TXNS="${BENCH_TXNS:-400}"
+    VALUE="${BENCH_VALUE:-256}"
+    KEYS="${BENCH_KEYS:-4096}"
+    SHARDS=1
+    READ_FRAC="${BENCH_READ_FRAC:-95}"
+    FOLLOWERS="${BENCH_FOLLOWERS:-0 1 2}"
+    POOL=8192
+    INFLIGHT="${BENCH_REPL_INFLIGHT:-4}"
+    ;;
 *)
-    echo "unknown BENCH_MODE '$MODE' (want write or read)" >&2
+    echo "unknown BENCH_MODE '$MODE' (want write, read or repl)" >&2
     exit 1
     ;;
 esac
 
 WORK="$(mktemp -d)"
 SERVER_PID=""
+FLEET_PIDS=""
 cleanup() {
     [ -n "$SERVER_PID" ] && kill -TERM "$SERVER_PID" 2>/dev/null || true
+    for pid in $FLEET_PIDS; do kill -TERM "$pid" 2>/dev/null || true; done
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -183,6 +208,65 @@ run_cold_scan() {
     SERVER_PID=""
 }
 
+# run_repl followers out_json logdir
+# Starts one primary plus N followers on consecutive ports, preloads the
+# keyspace, waits for every follower to reach zero replication lag, then
+# measures a read-heavy load with -replicas routing (when followers exist).
+run_repl() {
+    local nfollow=$1 out=$2 logdir=$3
+    mkdir -p "$logdir"
+    rm -rf "$WORK/repl"
+    FLEET_PIDS=""
+    "$WORK/siasserver" -addr "$ADDR" -shards "$SHARDS" -data "$WORK/repl/primary" \
+        -pool "$POOL" -max-inflight "$INFLIGHT" \
+        -data-pages 262144 -wal-pages 131072 \
+        -gc-linger "$LINGER" >"$logdir/primary.log" 2>&1 &
+    FLEET_PIDS="$!"
+    wait_port "$PORT" || die_with_log "primary never listened" "$logdir/primary.log"
+    local faddrs=""
+    for i in $(seq 1 "$nfollow"); do
+        local fport=$((PORT + i))
+        "$WORK/siasserver" -addr "$HOST:$fport" -shards "$SHARDS" -data "$WORK/repl/follower-$i" \
+            -pool "$POOL" -max-inflight "$INFLIGHT" \
+            -data-pages 262144 -wal-pages 131072 \
+            -follow "$ADDR" -announce "$HOST:$fport" >"$logdir/follower-$i.log" 2>&1 &
+        FLEET_PIDS="$FLEET_PIDS $!"
+        wait_port "$fport" || die_with_log "follower $i never listened" "$logdir/follower-$i.log"
+        faddrs="${faddrs:+$faddrs,}$HOST:$fport"
+    done
+    # Warmup: preload the keyspace and touch every code path once.
+    "$WORK/siasload" -addr "$ADDR" -workers "$WORKERS" -txns 50 \
+        -ops-per-txn 1 -read-frac 0.5 -keys "$KEYS" -value "$VALUE" \
+        >/dev/null ||
+        die_with_log "repl warmup exited non-zero (followers=$nfollow)" "$logdir/primary.log"
+    # Convergence gate: every follower at zero lag before the measured run.
+    for i in $(seq 1 "$nfollow"); do
+        local fport=$((PORT + i)) converged=""
+        for _ in $(seq 1 100); do
+            if "$WORK/siasload" -addr "$HOST:$fport" -stats-only -json "$WORK/st.json" 2>/dev/null &&
+                python3 -c '
+import json, sys
+sh = (json.load(open(sys.argv[1])).get("repl") or {}).get("shards") or []
+sys.exit(0 if sh and all(s["lag_bytes"] == 0 and s["applied_lsn"] > 0 for s in sh) else 1)' "$WORK/st.json"; then
+                converged=1
+                break
+            fi
+            sleep 0.1
+        done
+        [ -n "$converged" ] || die_with_log "follower $i never converged" "$logdir/follower-$i.log"
+    done
+    local repflag=()
+    [ -n "$faddrs" ] && repflag=(-replicas "$faddrs")
+    "$WORK/siasload" -addr "$ADDR" -workers "$WORKERS" -txns "$TXNS" \
+        -ops-per-txn 1 -read-frac "$(awk "BEGIN{print $READ_FRAC/100}")" \
+        -keys "$KEYS" -value "$VALUE" ${repflag[@]+"${repflag[@]}"} -json "$out" >/dev/null ||
+        die_with_log "measured repl siasload exited non-zero (followers=$nfollow)" "$logdir/primary.log"
+    [ -s "$out" ] || die_with_log "repl siasload produced no JSON at $out" "$logdir/primary.log"
+    for pid in $FLEET_PIDS; do kill -TERM "$pid" 2>/dev/null || true; done
+    for pid in $FLEET_PIDS; do wait "$pid" 2>/dev/null || true; done
+    FLEET_PIDS=""
+}
+
 if [ "$MODE" = write ]; then
     expected=0
     for s in $SHARDS; do
@@ -238,6 +322,78 @@ for r in report["runs"]:
           f"{r['latency_p99_ms']:>8.2f} {r['wal_flushes_per_commit']:>10.4f}")
 if "speedup_4_vs_1" in report:
     print(f"\n4-shard speedup over 1 shard: {report['speedup_4_vs_1']:.2f}x")
+print(f"wrote {out}")
+EOF
+
+elif [ "$MODE" = repl ]; then
+    expected=0
+    for nf in $FOLLOWERS; do
+        for rep in $(seq 1 "$REPS"); do
+            echo "followers=$nf rep=$rep/$REPS ..."
+            run_repl "$nf" "$WORK/repl_${nf}_${rep}.json" "$WORK/repllog_${nf}_${rep}"
+            expected=$((expected + 1))
+        done
+    done
+
+    python3 - "$WORK" "$ROOT/BENCH_repl.json" "$expected" "$WORKERS" "$INFLIGHT" "$READ_FRAC" <<'EOF'
+import glob, json, os, sys
+
+work, out = sys.argv[1], sys.argv[2]
+expected, workers, inflight, read_frac = map(int, sys.argv[3:7])
+paths = glob.glob(os.path.join(work, "repl_*_*.json"))
+if len(paths) != expected:
+    sys.exit(f"expected {expected} result files, found {len(paths)}; refusing to write partial {out}")
+
+runs = {}
+for path in paths:
+    nf = int(os.path.basename(path).split("_")[1])
+    runs.setdefault(nf, []).append(json.load(open(path)))
+
+report = {
+    "benchmark": "read-scaling replica fleet: LSN-routed reads vs primary-only",
+    "workers": workers,
+    "max_inflight_per_server": inflight,
+    "read_frac_pct": read_frac,
+    "runs": [],
+}
+median = {}
+for nf in sorted(runs):
+    reps = sorted(runs[nf], key=lambda r: r["txn_per_sec"])
+    med = reps[len(reps) // 2]
+    median[nf] = med
+    entry = {
+        "followers": nf,
+        "reps": len(reps),
+        "txn_per_sec": round(med["txn_per_sec"], 1),
+        "txn_per_sec_all_reps": [round(r["txn_per_sec"], 1) for r in reps],
+        "latency_p50_ms": med["latency"]["p50_ms"],
+        "latency_p99_ms": med["latency"]["p99_ms"],
+        "config": med["config"],
+    }
+    rr = med.get("read_routing")
+    if rr:
+        entry["replica_reads"] = rr["replica_reads"]
+        entry["primary_reads"] = rr["primary_reads"]
+        entry["replica_frac"] = round(rr["replica_frac"], 4)
+    report["runs"].append(entry)
+
+base = median.get(0)
+speed = {}
+for nf, med in median.items():
+    if nf == 0 or not base or base["txn_per_sec"] <= 0:
+        continue
+    speed[f"followers_{nf}"] = round(med["txn_per_sec"] / base["txn_per_sec"], 3)
+report["speedup_vs_primary_only"] = speed
+
+json.dump(report, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+
+print(f"\n{'followers':>9} {'txn/s':>9} {'p99 ms':>8} {'replica%':>9}")
+for r in report["runs"]:
+    frac = 100 * r.get("replica_frac", 0.0)
+    print(f"{r['followers']:>9} {r['txn_per_sec']:>9.0f} {r['latency_p99_ms']:>8.2f} {frac:>8.1f}%")
+for k, v in sorted(speed.items()):
+    print(f"read throughput {k} over primary-only: {v:.2f}x")
 print(f"wrote {out}")
 EOF
 
