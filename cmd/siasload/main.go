@@ -10,8 +10,9 @@
 //
 //	siasload [-addr :4544] [-workers 8] [-txns 2000] [-keys 1024]
 //	         [-value 64] [-read-frac 0.5] [-ops-per-txn 2] [-json FILE]
-//	         [-metrics-addr HOST:PORT] [-workload kv|scan|index]
+//	         [-metrics-addr HOST:PORT] [-workload kv|scan|index|xshard]
 //	         [-state-out FILE] [-verify-state FILE]
+//	         [-groups N] [-expect-crash] [-xshard-verify]
 //
 // With -json, a machine-readable result (the same numbers as the text
 // report) is written to FILE for scripts/bench.sh to aggregate.
@@ -22,6 +23,13 @@
 // with an AS OF verification against a pre-churn snapshot; see index.go.
 // -state-out/-verify-state persist and check that snapshot across a server
 // restart, which is how CI proves catalog DDL and AS OF survive a crash.
+//
+// With -workload xshard, every transaction rewrites a whole cross-shard key
+// group (one key per shard) to a fresh uniform token, exercising the 2PC
+// commit path; -expect-crash makes a server dying mid-run (CI's
+// SIAS_CRASHPOINT fault injection) the expected end, and -xshard-verify
+// rereads every group on a restarted server — or a caught-up follower — and
+// asserts all members are equal, proving all-or-nothing; see xshard.go.
 //
 // With -metrics-addr pointed at the server's observability listener, the
 // tool scrapes /metrics before and after the measured run and folds the
@@ -72,6 +80,9 @@ func main() {
 	workload := flag.String("workload", "kv", "workload: kv (key/value ops), scan (full-keyspace range scans) or index (typed table with secondary-index lookups and AS OF verification)")
 	stateOut := flag.String("state-out", "", "index workload: write snapshot tokens and group counts to this file for a later -verify-state run")
 	verifyPath := flag.String("verify-state", "", "verify a recovered server against a -state-out file and exit")
+	groups := flag.Int("groups", 64, "xshard workload: cross-shard key groups (one key per shard each)")
+	expectCrash := flag.Bool("expect-crash", false, "xshard workload: treat the server dying mid-run (transport failure, in-doubt commit) as the expected end instead of an error")
+	verifyXshard := flag.Bool("xshard-verify", false, "verify cross-shard atomicity on a recovered server: reread every xshard group, assert all members equal, and exit")
 	flag.Parse()
 	if *poolSize <= 0 {
 		*poolSize = *workers
@@ -84,6 +95,12 @@ func main() {
 	}
 	if *verifyPath != "" {
 		if err := verifyState(*addr, *verifyPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *verifyXshard {
+		if err := verifyXShard(*addr, *groups); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -117,8 +134,14 @@ func main() {
 		if err := runIndex(cfg, *jsonPath, *stateOut); err != nil {
 			log.Fatal(err)
 		}
+	case "xshard":
+		// Cross-shard 2PC atomicity workload: group rewrites spanning every
+		// shard, with an all-or-nothing verify pass; see xshard.go.
+		if err := runXShard(cfg, *jsonPath, *groups, *expectCrash); err != nil {
+			log.Fatal(err)
+		}
 	default:
-		log.Fatalf("unknown -workload %q (want kv, scan or index)", *workload)
+		log.Fatalf("unknown -workload %q (want kv, scan, index or xshard)", *workload)
 	}
 }
 

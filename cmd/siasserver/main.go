@@ -136,10 +136,21 @@ type serverConfig struct {
 	slowOpMs      int    // slow-op log threshold; 0 = disabled
 }
 
-// openShard assembles one engine shard. Device sizes and pool frames are
-// per-shard shares of the configured totals, so varying -shards compares
-// layouts at constant resource budgets.
-func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
+// openedShard is one shard after openShard: engine open and the kv table
+// bootstrapped, but not yet recovered. Recovery runs from run() once every
+// shard is open, so in-doubt cross-shard (2PC) transactions can be resolved
+// against the sibling shards' decision logs.
+type openedShard struct {
+	db      *engine.DB
+	tab     *engine.Table
+	recover bool
+	closers []func() error
+}
+
+// openShard assembles one engine shard up to (not including) WAL replay.
+// Device sizes and pool frames are per-shard shares of the configured
+// totals, so varying -shards compares layouts at constant resource budgets.
+func openShard(cfg serverConfig, i int) (openedShard, error) {
 	opts := engine.Options{
 		PoolFrames:      max(cfg.pool/cfg.shards, 64),
 		PoolPartitions:  cfg.poolParts,
@@ -153,7 +164,7 @@ func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 	case "si":
 		opts.Kind = engine.KindSI
 	default:
-		return shard.Shard{}, nil, fmt.Errorf("unknown -engine %q (want sias or si)", cfg.kind)
+		return openedShard{}, fmt.Errorf("unknown -engine %q (want sias or si)", cfg.kind)
 	}
 	switch cfg.policy {
 	case "t2":
@@ -161,7 +172,7 @@ func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 	case "t1":
 		opts.Policy = engine.PolicyT1
 	default:
-		return shard.Shard{}, nil, fmt.Errorf("unknown -policy %q (want t2 or t1)", cfg.policy)
+		return openedShard{}, fmt.Errorf("unknown -policy %q (want t2 or t1)", cfg.policy)
 	}
 	dataPages := max(cfg.dataPages/int64(cfg.shards), 1<<10)
 	walPages := max(cfg.walPages/int64(cfg.shards), 1<<9)
@@ -170,7 +181,7 @@ func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 	if cfg.dataDir != "" {
 		dir := filepath.Join(cfg.dataDir, fmt.Sprintf("shard-%d", i))
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return shard.Shard{}, nil, err
+			return openedShard{}, err
 		}
 		walPath := filepath.Join(dir, "wal.img")
 		// A pre-existing WAL means a previous generation to replay. A
@@ -182,12 +193,12 @@ func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 		}
 		data, err := device.OpenFile(filepath.Join(dir, "data.img"), page.Size, dataPages)
 		if err != nil {
-			return shard.Shard{}, nil, err
+			return openedShard{}, err
 		}
 		walDev, err := device.OpenFile(walPath, page.Size, walPages)
 		if err != nil {
 			data.Close()
-			return shard.Shard{}, nil, err
+			return openedShard{}, err
 		}
 		// Commit acknowledgements must mean durable; group commit keeps
 		// the per-transaction cost of this down to a share of one fsync.
@@ -201,7 +212,7 @@ func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 
 	db, err := engine.Open(opts)
 	if err != nil {
-		return shard.Shard{}, closers, err
+		return openedShard{closers: closers}, err
 	}
 	if cfg.follow != "" {
 		// Replica mode must be on before the table exists: its extents come
@@ -213,25 +224,65 @@ func openShard(cfg serverConfig, i int) (shard.Shard, []func() error, error) {
 		tuple.Column{Name: "v", Type: tuple.TypeBytes},
 	), "k")
 	if err != nil {
-		return shard.Shard{}, closers, err
+		return openedShard{closers: closers}, err
 	}
-	if opts.Recover {
-		start := time.Now()
-		if _, err := db.Recover(0); err != nil {
-			return shard.Shard{}, closers, fmt.Errorf("shard %d recover: %w", i, err)
+	return openedShard{db: db, tab: tab, recover: opts.Recover, closers: closers}, nil
+}
+
+// recoverShards replays every pre-existing WAL in parallel. Before replay
+// it collects each shard's pre-scanned coordinator decisions and installs a
+// cross-shard resolver on every primary shard, so prepared-but-undecided
+// 2PC participants are resolved from the coordinator shard's decision log
+// (presumed abort when no decision exists anywhere). Followers skip the
+// resolver: their mirrored logs must stay byte-identical to the primary's,
+// and the replication stream carries the outcomes.
+func recoverShards(cfg serverConfig, opened []openedShard) error {
+	any := false
+	for _, o := range opened {
+		any = any || o.recover
+	}
+	if !any {
+		return nil
+	}
+	if cfg.follow == "" {
+		decs := make([]map[uint64]bool, len(opened))
+		for i, o := range opened {
+			decs[i] = o.db.Decisions()
 		}
-		log.Printf("siasserver: shard %d recovered in %.3fs", i, time.Since(start).Seconds())
-		if cfg.follow != "" {
-			// Recovery fast-forwarded the id allocator; re-seed the replica
-			// read horizon to cover the replayed history.
-			db.SetReplica(true)
+		for _, o := range opened {
+			o.db.SetInDoubtResolver(func(gid uint64, coord uint32) (bool, bool) {
+				if int(coord) >= len(decs) {
+					return false, false
+				}
+				commit, known := decs[coord][gid]
+				return commit, known
+			})
 		}
 	}
-	fac := engine.NewFacade(db)
-	if cfg.gcLinger > 0 {
-		fac.SetGroupCommitLinger(cfg.gcLinger, cfg.gcBatch)
+	errs := make([]error, len(opened))
+	var wg sync.WaitGroup
+	for i, o := range opened {
+		if !o.recover {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, o openedShard) {
+			defer wg.Done()
+			start := time.Now()
+			if _, err := o.db.Recover(0); err != nil {
+				errs[i] = fmt.Errorf("shard %d recover: %w", i, err)
+				return
+			}
+			log.Printf("siasserver: shard %d recovered in %.3fs", i, time.Since(start).Seconds())
+			if cfg.follow != "" {
+				// Recovery fast-forwarded the id allocator; re-seed the
+				// replica read horizon to cover the replayed history.
+				o.db.SetReplica(true)
+			}
+		}(i, o)
 	}
-	return shard.Shard{Facade: fac, Table: tab}, closers, nil
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 func run(cfg serverConfig) error {
@@ -239,11 +290,10 @@ func run(cfg serverConfig) error {
 		return fmt.Errorf("-shards must be >= 1, got %d", cfg.shards)
 	}
 
-	// Open (and, for pre-existing data dirs, recover) all shards in
-	// parallel: each shard's WAL is independent, so replay scales with the
-	// shard count instead of serializing on one log scan.
-	shards := make([]shard.Shard, cfg.shards)
-	closerss := make([][]func() error, cfg.shards)
+	// Open all shards in parallel, then replay pre-existing WALs in a second
+	// parallel phase: recovery needs every shard open first so in-doubt 2PC
+	// participants can consult the coordinator shard's decision log.
+	opened := make([]openedShard, cfg.shards)
 	errs := make([]error, cfg.shards)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -251,19 +301,31 @@ func run(cfg serverConfig) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			shards[i], closerss[i], errs[i] = openShard(cfg, i)
+			opened[i], errs[i] = openShard(cfg, i)
 		}(i)
 	}
 	wg.Wait()
 	var closers []func() error
-	for _, cs := range closerss {
-		closers = append(closers, cs...)
+	for _, o := range opened {
+		closers = append(closers, o.closers...)
 	}
 	for _, err := range errs {
 		if err != nil {
 			closeAll(closers)
 			return err
 		}
+	}
+	if err := recoverShards(cfg, opened); err != nil {
+		closeAll(closers)
+		return err
+	}
+	shards := make([]shard.Shard, cfg.shards)
+	for i, o := range opened {
+		fac := engine.NewFacade(o.db)
+		if cfg.gcLinger > 0 {
+			fac.SetGroupCommitLinger(cfg.gcLinger, cfg.gcBatch)
+		}
+		shards[i] = shard.Shard{Facade: fac, Table: o.tab}
 	}
 	if cfg.dataDir != "" {
 		log.Printf("siasserver: %d shard(s) opened in %.3fs under %s", cfg.shards, time.Since(start).Seconds(), cfg.dataDir)

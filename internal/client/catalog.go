@@ -208,6 +208,9 @@ func (t *Tx) InsertRow(table string, row tuple.Row) error {
 		return err
 	}
 	_, err = t.rowCall(wire.OpInsertRow, table, func(b *wire.Buf) { b.Bytes(enc) })
+	if err == nil {
+		t.wrote = true
+	}
 	return err
 }
 
@@ -225,6 +228,9 @@ func (t *Tx) UpdateRow(table string, row tuple.Row) error {
 		return err
 	}
 	_, err = t.rowCall(wire.OpUpdateRow, table, func(b *wire.Buf) { b.Bytes(enc) })
+	if err == nil {
+		t.wrote = true
+	}
 	return err
 }
 
@@ -252,6 +258,9 @@ func (t *Tx) DeleteRow(table string, key int64) error {
 		return engine.ErrReadOnly
 	}
 	_, err := t.rowCall(wire.OpDeleteRow, table, func(b *wire.Buf) { b.I64(key) })
+	if err == nil {
+		t.wrote = true
+	}
 	return err
 }
 

@@ -33,6 +33,18 @@ import (
 	"sias/internal/wire"
 )
 
+// ErrInDoubt is returned by Commit when the connection died after the
+// commit request may have reached the server but before its outcome came
+// back. The transaction may have committed — for a cross-shard transaction,
+// the coordinator may have logged its decision right as the connection
+// dropped — so the caller must NOT assume failure: re-read the written keys
+// on a fresh connection to learn the outcome (recovery and 2PC resolution
+// guarantee the server converges on exactly one of committed-everywhere or
+// aborted-everywhere). Only transactions that performed a write can be
+// in-doubt; a read-only commit that loses its connection has no durable
+// effect either way.
+var ErrInDoubt = errors.New("client: commit outcome unknown (connection lost mid-commit)")
+
 // ErrNoPrimary is returned by Begin once the bounded failover-retry budget
 // is exhausted without reaching a server that accepts new transactions.
 var ErrNoPrimary = errors.New("client: no reachable primary")
@@ -247,6 +259,7 @@ type Tx struct {
 	handle   uint64
 	done     bool
 	readOnly bool // opened by BeginRead; writes are rejected client-side
+	wrote    bool // a write op succeeded; COMMIT transport loss is then in-doubt
 }
 
 // Begin opens a transaction on a pooled connection. When the server is
@@ -494,6 +507,9 @@ func (t *Tx) Insert(key int64, val []byte) error {
 		return engine.ErrReadOnly
 	}
 	_, err := t.call(wire.OpInsert, func(b *wire.Buf) { b.I64(key); b.Bytes(val) })
+	if err == nil {
+		t.wrote = true
+	}
 	return err
 }
 
@@ -503,6 +519,9 @@ func (t *Tx) Update(key int64, val []byte) error {
 		return engine.ErrReadOnly
 	}
 	_, err := t.call(wire.OpUpdate, func(b *wire.Buf) { b.I64(key); b.Bytes(val) })
+	if err == nil {
+		t.wrote = true
+	}
 	return err
 }
 
@@ -512,6 +531,9 @@ func (t *Tx) Delete(key int64) error {
 		return engine.ErrReadOnly
 	}
 	_, err := t.call(wire.OpDelete, func(b *wire.Buf) { b.I64(key) })
+	if err == nil {
+		t.wrote = true
+	}
 	return err
 }
 
@@ -558,6 +580,7 @@ func (t *Tx) finish(op wire.Op) error {
 		return errors.New("client: transaction finished")
 	}
 	resp, err := t.call(op, nil)
+	broken := t.cn != nil && t.cn.broken
 	t.done = true
 	t.c.put(t.cn)
 	t.cn = nil
@@ -566,6 +589,14 @@ func (t *Tx) finish(op wire.Op) error {
 		// it so BeginRead only routes to replicas that have caught up past
 		// this session's writes.
 		t.c.noteCommit(resp)
+	}
+	if err != nil && op == wire.OpCommit && broken && t.wrote {
+		// The connection died with the commit in flight: the server may have
+		// carried it through (for a cross-shard transaction, the coordinator
+		// may already have logged its decision), so this is not a failure —
+		// it is an unknown outcome. Surface the typed sentinel so callers
+		// re-read instead of blindly retrying the writes.
+		return fmt.Errorf("%w: %w", ErrInDoubt, err)
 	}
 	return err
 }

@@ -177,6 +177,14 @@ type DB struct {
 	commitFlushes  atomic.Int64 // WAL flushes issued for commits (batched or not)
 	commitBatches  atomic.Int64 // group-commit batches with more than one member
 	commitMaxBatch atomic.Int64 // largest group-commit batch observed
+
+	// 2PC state: participant prepares logged, and in-doubt transactions
+	// recovery resolved each way. resolver consults sibling shards' decision
+	// logs (set between Open and Recover; nil outside a multi-shard restart).
+	prepares       atomic.Int64
+	inDoubtCommits atomic.Int64
+	inDoubtAborts  atomic.Int64
+	resolver       InDoubtResolver
 }
 
 type recRecord struct {
@@ -527,6 +535,13 @@ type Stats struct {
 	CommitFlushes  int64
 	CommitBatches  int64
 	CommitMaxBatch int64
+	// Prepares counts 2PC participant PREPARE records this engine forced;
+	// InDoubtCommits/InDoubtAborts count in-doubt prepared transactions that
+	// crash recovery resolved by consulting (or presuming against) the
+	// coordinator's decision log.
+	Prepares       int64
+	InDoubtCommits int64
+	InDoubtAborts  int64
 	Data           device.Stats
 	WALDevice      device.Stats
 	Pool           buffer.Stats
@@ -605,6 +620,9 @@ func (db *DB) Stats() Stats {
 		CommitFlushes:  db.commitFlushes.Load(),
 		CommitBatches:  db.commitBatches.Load(),
 		CommitMaxBatch: db.commitMaxBatch.Load(),
+		Prepares:       db.prepares.Load(),
+		InDoubtCommits: db.inDoubtCommits.Load(),
+		InDoubtAborts:  db.inDoubtAborts.Load(),
 		Data:           db.opts.DataDevice.Stats(),
 		WALDevice:      db.opts.WALDevice.Stats(),
 		Pool:           ps,

@@ -38,8 +38,17 @@ func (db *DB) Recover(at simclock.Time) (simclock.Time, error) {
 
 	// Pass 1: CLOG and allocator state, so visibility decisions and page
 	// placement are correct during redo; also locate the last checkpoint's
-	// redo point — heap records before it are already on the device.
+	// redo point — heap records before it are already on the device. 2PC
+	// state rides along: prepared transactions stay in the prepared map
+	// until an outcome record decides them, and coordinator decisions are
+	// collected so the in-doubt remainder can be resolved after the pass.
 	redoFrom := wal.LSN(0)
+	type preparedTxn struct {
+		gid   uint64
+		coord uint32
+	}
+	prepared := map[txn.ID]preparedTxn{}
+	decisions := map[uint64]bool{}
 	for _, rr := range db.recovered {
 		rec := rr.rec
 		if rec.Tx > maxTx {
@@ -48,8 +57,22 @@ func (db *DB) Recover(at simclock.Time) (simclock.Time, error) {
 		switch rec.Type {
 		case wal.RecCommit:
 			clog.Set(rec.Tx, txn.StatusCommitted)
+			delete(prepared, rec.Tx)
 		case wal.RecAbort:
 			clog.Set(rec.Tx, txn.StatusAborted)
+			delete(prepared, rec.Tx)
+		case wal.RecPrepare:
+			gid, coord, derr := wal.DecodePrepareData(rec.Data)
+			if derr != nil {
+				return t, fmt.Errorf("engine: recover prepare record tx %d: %w", rec.Tx, derr)
+			}
+			prepared[rec.Tx] = preparedTxn{gid: gid, coord: coord}
+		case wal.RecDecide:
+			commit, derr := wal.DecodeDecideData(rec.Data)
+			if derr != nil {
+				return t, fmt.Errorf("engine: recover decide record gid %d: %w", rec.Aux, derr)
+			}
+			decisions[rec.Aux] = commit
 		case wal.RecAllocExtent:
 			db.alloc.Restore(rec.Rel, uint32(rec.Aux), int64(rec.Aux>>32))
 		case wal.RecDDL:
@@ -67,6 +90,37 @@ func (db *DB) Recover(at simclock.Time) (simclock.Time, error) {
 		}
 	}
 	db.txm.SetNextID(maxTx + 1)
+
+	// Resolve in-doubt prepared transactions before anything reads the CLOG
+	// (the volatile rebuild in pass 3 bakes commit status into the read
+	// structures). A prepared transaction with no outcome record commits iff
+	// the coordinator's decision log says so — consulted through the
+	// installed resolver, or directly when this shard's own log is the
+	// coordinator's — and aborts otherwise (presumed abort). The outcome
+	// record recovery appends is the one the crash lost; re-replaying it on
+	// the next recovery is idempotent (it just decides an already-decided
+	// id). A replica resolves nothing: decisions are the primary's to make
+	// and arrive through the stream, and appending locally would fork the
+	// byte-mirrored log — the undecided writers land in replicaUnresolved
+	// below, which re-arms the rebuild when their decision ships.
+	if !db.replica.Load() {
+		for id, p := range prepared {
+			commit, known := decisions[p.gid]
+			if !known && db.resolver != nil {
+				commit, known = db.resolver(p.gid, p.coord)
+			}
+			commit = commit && known
+			if commit {
+				clog.Set(id, txn.StatusCommitted)
+				db.walw.Append(&wal.Record{Type: wal.RecCommit, Tx: id})
+				db.inDoubtCommits.Add(1)
+			} else {
+				clog.Set(id, txn.StatusAborted)
+				db.walw.Append(&wal.Record{Type: wal.RecAbort, Tx: id})
+				db.inDoubtAborts.Add(1)
+			}
+		}
+	}
 
 	// Pass 2: heap redo in log order, starting at the checkpoint redo
 	// point. Block high-water marks still come from the whole log, since

@@ -83,6 +83,16 @@ func (db *DB) ApplyRecord(at simclock.Time, rec *wal.Record) (simclock.Time, err
 		db.txm.CLOG().Set(rec.Tx, txn.StatusAborted)
 		db.applyFinish(rec.Tx, false)
 		db.replicaDirty.Store(true)
+	case wal.RecPrepare, wal.RecDecide:
+		// 2PC control records need no follower-side action beyond the id
+		// tracking above: a prepared transaction's CLOG entry stays
+		// in-progress (its writes correctly invisible to replica reads) until
+		// the participant's outcome record arrives as an ordinary
+		// RecCommit/RecAbort. The follower never resolves in-doubt state
+		// itself — decisions are the primary's, and the primary's own
+		// recovery appends the missing outcome records into the stream. The
+		// records are still mirrored into the local log verbatim, so a
+		// promoted follower's recovery can resolve from them.
 	case wal.RecAllocExtent:
 		db.alloc.Restore(rec.Rel, uint32(rec.Aux), int64(rec.Aux>>32))
 	case wal.RecDDL:

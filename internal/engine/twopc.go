@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"sias/internal/simclock"
+	"sias/internal/txn"
+	"sias/internal/wal"
+)
+
+// Two-phase commit primitives. A cross-shard transaction is one txn.Tx per
+// touched shard; the shard router drives the protocol, each engine only
+// logs and resolves its own side:
+//
+//   - Prepare makes a participant durable-but-undecided: the sub-transaction's
+//     heap records already sit in this WAL, so one flush through the PREPARE
+//     record covers both. The CLOG stays in-progress, which is exactly what
+//     keeps the prepared writes invisible to every snapshot (Visible requires
+//     StatusCommitted) and the write locks held.
+//   - Decide logs the coordinator's verdict. A commit decision is flushed —
+//     that flush is the transaction's commit point; an abort decision rides
+//     along unflushed because a missing decision already means abort
+//     (presumed abort).
+//   - FinishPrepared flips a prepared participant to its outcome: the
+//     lightweight RecCommit/RecAbort outcome record is appended without a
+//     flush (recovery re-resolves through the coordinator if it is torn) and
+//     the CLOG flips, publishing or discarding the writes atomically.
+//
+// Recovery (recover.go) completes the picture: a PREPARE with no outcome
+// record is in-doubt and is resolved by consulting the coordinator shard's
+// decision log — commit if a flushed decision says so, abort otherwise.
+
+// InDoubtResolver answers "did gid commit?" for an in-doubt prepared
+// transaction by consulting the coordinator shard's decision log. known is
+// false when the resolver cannot see that shard's decisions (the engine then
+// presumes abort).
+type InDoubtResolver func(gid uint64, coordShard uint32) (commit, known bool)
+
+// SetInDoubtResolver installs the cross-shard decision lookup used by
+// Recover. Call between Open and Recover, after every sibling shard's
+// Decisions() map has been collected. Without a resolver the engine falls
+// back to its own decision log (sufficient when it is itself the
+// coordinator) and presumed abort.
+func (db *DB) SetInDoubtResolver(r InDoubtResolver) { db.resolver = r }
+
+// Decisions returns the coordinator decisions recorded in this engine's
+// pre-scanned WAL: global transaction id -> committed. Valid between Open
+// (with Options.Recover) and Recover, which consumes the pre-scan.
+func (db *DB) Decisions() map[uint64]bool {
+	decs := map[uint64]bool{}
+	for _, rr := range db.recovered {
+		if rr.rec.Type != wal.RecDecide {
+			continue
+		}
+		if commit, err := wal.DecodeDecideData(rr.rec.Data); err == nil {
+			decs[rr.rec.Aux] = commit
+		}
+	}
+	return decs
+}
+
+// Prepare logs a PREPARE record for tx and forces the log through it: tx's
+// heap records and the prepare become durable in one flush. gid names the
+// global transaction, coordShard the shard whose log will hold the decision.
+// After a successful Prepare the participant may no longer unilaterally
+// abort — only FinishPrepared (or recovery resolution) decides it.
+func (db *DB) Prepare(tx *txn.Tx, gid uint64, coordShard uint32, at simclock.Time) (simclock.Time, error) {
+	lsn := db.walw.Append(&wal.Record{
+		Type: wal.RecPrepare,
+		Tx:   tx.ID,
+		Aux:  tx.WriteSetFingerprint(),
+		Data: wal.EncodePrepareData(gid, coordShard),
+	})
+	t, err := db.walw.Flush(at, lsn)
+	if err != nil {
+		return t, err
+	}
+	db.prepares.Add(1)
+	return t, nil
+}
+
+// Decide logs the coordinator's decision for gid. coordTx is the
+// coordinator's own participant transaction (its id keeps the recovery id
+// allocator ahead of every logged record). Commit decisions are flushed —
+// the commit point; abort decisions are appended unflushed since presumed
+// abort makes the record advisory.
+func (db *DB) Decide(coordTx *txn.Tx, gid uint64, commit bool, at simclock.Time) (simclock.Time, error) {
+	lsn := db.walw.Append(&wal.Record{
+		Type: wal.RecDecide,
+		Tx:   coordTx.ID,
+		Aux:  gid,
+		Data: wal.EncodeDecideData(commit),
+	})
+	if !commit {
+		return at, nil
+	}
+	return db.walw.Flush(at, lsn)
+}
+
+// FinishPrepared applies the decision to a prepared participant: the outcome
+// record is appended (not flushed — it is recoverable from the coordinator's
+// decision) and the CLOG flips, atomically publishing or discarding the
+// writes and releasing the transaction's locks.
+func (db *DB) FinishPrepared(tx *txn.Tx, commit bool, at simclock.Time) (simclock.Time, error) {
+	typ := wal.RecAbort
+	if commit {
+		typ = wal.RecCommit
+	}
+	db.walw.Append(&wal.Record{Type: typ, Tx: tx.ID})
+	if commit {
+		if err := db.txm.Commit(tx); err != nil {
+			return at, err
+		}
+		db.commits.Add(1)
+	} else {
+		if err := db.txm.Abort(tx); err != nil {
+			return at, err
+		}
+		db.aborts.Add(1)
+	}
+	return at, nil
+}
+
+// Prepare, Decide and FinishPrepared through the facade's virtual-clock
+// sequencer (see Facade.run).
+
+// Prepare logs and forces a participant PREPARE record for tx.
+func (f *Facade) Prepare(tx *txn.Tx, gid uint64, coordShard uint32) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return f.db.Prepare(tx, gid, coordShard, at)
+	})
+}
+
+// Decide logs the coordinator decision for gid (flushed iff commit).
+func (f *Facade) Decide(coordTx *txn.Tx, gid uint64, commit bool) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return f.db.Decide(coordTx, gid, commit, at)
+	})
+}
+
+// FinishPrepared flips a prepared participant to its decided outcome.
+func (f *Facade) FinishPrepared(tx *txn.Tx, commit bool) error {
+	return f.run(func(at simclock.Time) (simclock.Time, error) {
+		return f.db.FinishPrepared(tx, commit, at)
+	})
+}

@@ -1,0 +1,82 @@
+package server_test
+
+import (
+	"errors"
+	"testing"
+
+	"sias/internal/client"
+	"sias/internal/shard"
+)
+
+// TestCommitConnectionLossInDoubt: a transaction that wrote and loses its
+// connection mid-COMMIT must surface the typed client.ErrInDoubt — the
+// outcome is unknown (for a cross-shard transaction the coordinator may
+// have logged its decision as the connection died), so callers retry reads,
+// not the writes.
+func TestCommitConnectionLossInDoubt(t *testing.T) {
+	srv, addr := startServer(t, memRouter(t, 2), nil)
+	c, err := client.Dial(addr, client.Options{MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two keys on different shards so the commit is a cross-shard 2PC.
+	var k0, k1 int64 = -1, -1
+	for k := int64(0); k0 < 0 || k1 < 0; k++ {
+		if shard.Of(k, 2) == 0 && k0 < 0 {
+			k0 = k
+		} else if shard.Of(k, 2) == 1 && k1 < 0 {
+			k1 = k
+		}
+	}
+	if err := tx.Insert(k0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(k1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Kill() // the connection dies with the commit about to be in flight
+
+	err = tx.Commit()
+	if err == nil {
+		t.Fatal("commit over a killed connection succeeded")
+	}
+	if !errors.Is(err, client.ErrInDoubt) {
+		t.Fatalf("commit error = %v, want errors.Is(err, client.ErrInDoubt)", err)
+	}
+}
+
+// TestCommitConnectionLossReadOnlyNotInDoubt: losing the connection on a
+// transaction that never wrote is a plain failure, not an in-doubt outcome —
+// there is nothing whose durability could be unknown.
+func TestCommitConnectionLossReadOnlyNotInDoubt(t *testing.T) {
+	srv, addr := startServer(t, memRouter(t, 2), nil)
+	c, err := client.Dial(addr, client.Options{MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A read only (the key need not exist; only the transport matters here).
+	_, _ = tx.Get(1)
+
+	srv.Kill()
+
+	err = tx.Commit()
+	if err == nil {
+		t.Fatal("commit over a killed connection succeeded")
+	}
+	if errors.Is(err, client.ErrInDoubt) {
+		t.Fatalf("read-only commit classified in-doubt: %v", err)
+	}
+}

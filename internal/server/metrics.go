@@ -97,6 +97,26 @@ func (s *Server) setupMetrics(reg *obs.Registry, slow *obs.SlowOpLog) {
 			emit(nil, float64(router.RouterStats().RangeFanouts))
 		})
 
+	// --- cross-shard 2PC ---------------------------------------------------
+	// Router-level outcomes plus the prepare fan-out latency. Aborts carry a
+	// reason label so dashboards separate participant prepare failures from
+	// coordinator decision-flush failures.
+	reg.CollectCounter("sias_2pc_commits_total",
+		"Cross-shard transactions that reached a durable commit decision.",
+		func(emit func(obs.Labels, float64)) {
+			emit(nil, float64(router.RouterStats().TwoPCCommits))
+		})
+	reg.CollectCounter("sias_2pc_aborts_total",
+		"Cross-shard transactions aborted by the coordinator, by reason.",
+		func(emit func(obs.Labels, float64)) {
+			rs := router.RouterStats()
+			emit(obs.Labels{"reason": "prepare"}, float64(rs.TwoPCAbortPrepare))
+			emit(obs.Labels{"reason": "decide"}, float64(rs.TwoPCAbortDecide))
+		})
+	router.SetTwoPCMetrics(reg.Histogram("sias_2pc_prepare_seconds",
+		"Wall-clock duration of the parallel prepare fan-out across participants.",
+		obs.DefLatencyBuckets, nil))
+
 	// --- per-shard engine/pool/device/vidmap (collected) -----------------
 	// One callback per family; each snapshots the same engine.Stats the
 	// STATS frame serializes. perShard hides the snapshot loop.
@@ -124,6 +144,21 @@ func (s *Server) setupMetrics(reg *obs.Registry, slow *obs.SlowOpLog) {
 		"Commit flushes that covered more than one transaction.",
 		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
 			emit(l, float64(st.CommitBatches))
+		}))
+	reg.CollectCounter("sias_engine_prepares_total",
+		"2PC prepare records durably logged as a participant.",
+		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
+			emit(l, float64(st.Prepares))
+		}))
+	reg.CollectCounter("sias_engine_indoubt_commits_total",
+		"In-doubt transactions recovery resolved to commit via the decision log.",
+		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
+			emit(l, float64(st.InDoubtCommits))
+		}))
+	reg.CollectCounter("sias_engine_indoubt_aborts_total",
+		"In-doubt transactions recovery resolved to abort (presumed abort).",
+		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {
+			emit(l, float64(st.InDoubtAborts))
 		}))
 	reg.CollectGauge("sias_engine_allocated_pages", "Heap pages allocated.",
 		perShard(func(l obs.Labels, st engine.Stats, emit func(obs.Labels, float64)) {

@@ -9,6 +9,7 @@ import (
 	"sias/internal/client"
 	"sias/internal/obs"
 	"sias/internal/server"
+	"sias/internal/shard"
 	"sias/internal/tuple"
 )
 
@@ -39,6 +40,31 @@ func TestMetricsMatchStatsFrame(t *testing.T) {
 			t.Fatal(err)
 		}
 		if _, err := tx.Get(i); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One cross-shard commit so the 2PC families are live.
+	{
+		tx, err := c.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var k0, k1 int64 = -1, -1
+		for k := int64(1000); k0 < 0 || k1 < 0; k++ {
+			switch {
+			case shard.Of(k, 3) == 0 && k0 < 0:
+				k0 = k
+			case shard.Of(k, 3) == 1 && k1 < 0:
+				k1 = k
+			}
+		}
+		if err := tx.Insert(k0, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Insert(k1, []byte("x")); err != nil {
 			t.Fatal(err)
 		}
 		if err := tx.Commit(); err != nil {
@@ -141,6 +167,44 @@ func TestMetricsMatchStatsFrame(t *testing.T) {
 	if !strings.Contains(text, "# TYPE sias_pool_read_wait_seconds histogram") {
 		t.Error("sias_pool_read_wait_seconds family absent")
 	}
+	// 2PC families: router-level outcomes and per-shard participant counters
+	// match the STATS frame exactly; the cross-shard commit above makes them
+	// nonzero and the in-doubt resolution counters stay flat without a crash.
+	if st.Router.TwoPCCommits == 0 {
+		t.Error("TwoPCCommits flat after a cross-shard commit")
+	}
+	for _, want := range []string{
+		fmt.Sprintf("sias_2pc_commits_total %d\n", st.Router.TwoPCCommits),
+		fmt.Sprintf("sias_2pc_aborts_total{reason=%q} %d\n", "prepare", st.Router.TwoPCAbortPrepare),
+		fmt.Sprintf("sias_2pc_aborts_total{reason=%q} %d\n", "decide", st.Router.TwoPCAbortDecide),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	var prepares int64
+	for i, sh := range st.Shards {
+		prepares += sh.Prepares
+		if sh.InDoubtCommits != 0 || sh.InDoubtAborts != 0 {
+			t.Errorf("shard %d: in-doubt resolution ran without a crash: commits=%d aborts=%d",
+				i, sh.InDoubtCommits, sh.InDoubtAborts)
+		}
+		for _, wantLine := range []string{
+			fmt.Sprintf("sias_engine_prepares_total{shard=%q} %d\n", fmt.Sprint(i), sh.Prepares),
+			fmt.Sprintf("sias_engine_indoubt_commits_total{shard=%q} %d\n", fmt.Sprint(i), sh.InDoubtCommits),
+			fmt.Sprintf("sias_engine_indoubt_aborts_total{shard=%q} %d\n", fmt.Sprint(i), sh.InDoubtAborts),
+		} {
+			if !strings.Contains(text, wantLine) {
+				t.Errorf("exposition missing %q", wantLine)
+			}
+		}
+	}
+	if prepares < 2 {
+		t.Errorf("engine prepares = %d after a two-participant 2PC commit, want >= 2", prepares)
+	}
+	if !strings.Contains(text, "# TYPE sias_2pc_prepare_seconds histogram") {
+		t.Error("sias_2pc_prepare_seconds family absent")
+	}
 	// Server-layer counters.
 	for _, want := range []string{
 		fmt.Sprintf("sias_server_requests_total %d\n", st.Server.Requests),
@@ -156,10 +220,10 @@ func TestMetricsMatchStatsFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 200 kv transactions + 1 typed-row transaction.
+	// 200 kv transactions + 1 cross-shard + 1 typed-row transaction.
 	commit := hists[`sias_server_op_seconds{op="COMMIT"}`]
-	if commit == nil || commit.Count != 201 {
-		t.Fatalf("COMMIT histogram count = %v, want 201", commit)
+	if commit == nil || commit.Count != 202 {
+		t.Fatalf("COMMIT histogram count = %v, want 202", commit)
 	}
 	if st.Ops["COMMIT"].Count != commit.Count {
 		t.Fatalf("STATS Ops[COMMIT].Count = %d, exposition has %d", st.Ops["COMMIT"].Count, commit.Count)

@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Crash-injection fault points for the 2PC crash matrix (CI's crash-2pc
+// job). Setting SIAS_CRASHPOINT to one of the names below makes the process
+// die with exit status 137 (the SIGKILL status) the first time a cross-shard
+// commit crosses that phase boundary; SIAS_CRASHPOINT_SKIP=N lets N
+// traversals survive first, so a run can complete some cross-shard commits
+// before the injected crash. Unset (the default) the hook is a no-op with
+// one early string compare as its only cost.
+const (
+	// crashAfterPrepare fires after every participant's PREPARE record is
+	// durable but before the coordinator logs its decision: recovery must
+	// presume abort.
+	crashAfterPrepare = "2pc-after-prepare"
+	// crashAfterDecide fires after the commit decision is durable in the
+	// coordinator's WAL but before any participant logs an outcome record:
+	// recovery must resolve every participant to commit.
+	crashAfterDecide = "2pc-after-decide"
+	// crashMidOutcome fires after the first participant's outcome record is
+	// durable but before the remaining participants log theirs: recovery
+	// must converge the stragglers onto the same committed outcome.
+	crashMidOutcome = "2pc-mid-outcome"
+)
+
+var (
+	crashOnce  sync.Once
+	crashPoint string
+	crashSkip  atomic.Int64
+)
+
+func crashInit() {
+	crashPoint = os.Getenv("SIAS_CRASHPOINT")
+	if n, err := strconv.Atoi(os.Getenv("SIAS_CRASHPOINT_SKIP")); err == nil {
+		crashSkip.Store(int64(n))
+	}
+}
+
+// crashpoint kills the process if the named fault point is armed. beforeExit
+// (optional) runs first — the mid-outcome hook uses it to force the first
+// outcome record to the device so the simulated crash leaves exactly the log
+// state the scenario describes.
+func crashpoint(name string, beforeExit func()) {
+	crashOnce.Do(crashInit)
+	if crashPoint != name {
+		return
+	}
+	if crashSkip.Add(-1) >= 0 {
+		return
+	}
+	if beforeExit != nil {
+		beforeExit()
+	}
+	os.Exit(137)
+}

@@ -19,14 +19,19 @@
 // would produce.
 //
 // Transactions. A Txn lazily opens one sub-transaction per shard on first
-// touch. Each sub-transaction has its own snapshot in its own shard —
-// snapshot isolation therefore holds per shard, and commit of a
-// multi-shard transaction is NOT atomic across shards (no 2PC): COMMIT runs
-// the touched shards' group commits in parallel and, if any shard fails,
-// aborts every sub-transaction that has not yet committed and reports the
-// failure; shards that already committed stay committed. Single-shard
-// transactions (the common case under hash routing) keep full SI semantics.
-// DESIGN.md "Sharding" documents this scope.
+// touch. Each sub-transaction has its own snapshot in its own shard.
+// Single-shard transactions (the common case under hash routing) commit
+// through their shard's group-commit batcher exactly as before — one WAL
+// flush, no coordination records. Multi-shard commits are ATOMIC via
+// two-phase commit over the per-shard WALs: every touched shard forces a
+// PREPARE record (phase 1, parallel fan-out), the lowest touched shard acts
+// as coordinator and forces a single DECIDE record (the commit point), and
+// participants then log lightweight outcome records without flushing.
+// Recovery resolves in-doubt prepared transactions against the
+// coordinator's decision log, presuming abort when no decision survived —
+// so after a crash a cross-shard transaction's writes are visible in all
+// shards or none. DESIGN.md "Cross-shard atomic commit" documents the
+// protocol, record formats and recovery rules.
 package shard
 
 import (
@@ -35,9 +40,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sias/internal/device"
 	"sias/internal/engine"
+	"sias/internal/obs"
+	"sias/internal/simclock"
 	"sias/internal/tuple"
 	"sias/internal/txn"
 )
@@ -54,7 +62,21 @@ type Router struct {
 
 	crossCommits atomic.Int64 // commits that touched >1 shard
 	fanouts      atomic.Int64 // range ops that fanned out to all shards
+
+	// 2PC outcome counters, split by abort reason.
+	twopcCommits      atomic.Int64 // cross-shard commits decided commit
+	twopcAbortPrepare atomic.Int64 // aborted: a participant's prepare failed
+	twopcAbortDecide  atomic.Int64 // aborted: the decision flush failed
+
+	// prepareHist observes the wall-clock duration of each parallel prepare
+	// fan-out (nil = not collected). Set once via SetTwoPCMetrics before the
+	// router is shared.
+	prepareHist *obs.Histogram
 }
+
+// SetTwoPCMetrics attaches the 2PC prepare-phase latency histogram. Must be
+// called before the router is shared between goroutines.
+func (r *Router) SetTwoPCMetrics(prepare *obs.Histogram) { r.prepareHist = prepare }
 
 // NewRouter validates the shards (at least one, same schema everywhere) and
 // returns a Router over them.
@@ -140,14 +162,23 @@ type RouterStats struct {
 	Shards       int   // configured shard count
 	CrossCommits int64 // commits spanning more than one shard
 	RangeFanouts int64 // range ops fanned out across all shards
+	// 2PC outcomes: TwoPCCommits counts cross-shard transactions that
+	// reached a durable commit decision; the aborts split by reason —
+	// a participant's prepare failing vs the decision flush failing.
+	TwoPCCommits      int64
+	TwoPCAbortPrepare int64
+	TwoPCAbortDecide  int64
 }
 
 // RouterStats snapshots the router-level counters.
 func (r *Router) RouterStats() RouterStats {
 	return RouterStats{
-		Shards:       len(r.shards),
-		CrossCommits: r.crossCommits.Load(),
-		RangeFanouts: r.fanouts.Load(),
+		Shards:            len(r.shards),
+		CrossCommits:      r.crossCommits.Load(),
+		RangeFanouts:      r.fanouts.Load(),
+		TwoPCCommits:      r.twopcCommits.Load(),
+		TwoPCAbortPrepare: r.twopcAbortPrepare.Load(),
+		TwoPCAbortDecide:  r.twopcAbortDecide.Load(),
 	}
 }
 
@@ -162,6 +193,9 @@ func Aggregate(ss []engine.Stats) engine.Stats {
 		if s.CommitMaxBatch > a.CommitMaxBatch {
 			a.CommitMaxBatch = s.CommitMaxBatch
 		}
+		a.Prepares += s.Prepares
+		a.InDoubtCommits += s.InDoubtCommits
+		a.InDoubtAborts += s.InDoubtAborts
 		a.WALPageWrites += s.WALPageWrites
 		a.AllocatedPages += s.AllocatedPages
 		a.Pool.Hits += s.Pool.Hits
@@ -294,11 +328,11 @@ func (t *Txn) Delete(key int64) error {
 	return s.Facade.Delete(s.Table, t.at(i), key)
 }
 
-// Commit makes the transaction durable. Touched shards commit in parallel,
-// each through its own group-commit batcher, so a cross-shard commit costs
-// one (concurrent) WAL flush per touched shard rather than their sum. On any
-// failure the sub-transactions that have not committed are aborted and the
-// first error is returned; see the package comment for the atomicity scope.
+// Commit makes the transaction durable. A single touched shard commits
+// through its own group-commit batcher — one WAL flush, no coordination
+// records logged (the 2PC-free fast path). Multiple touched shards go
+// through two-phase commit (commit2PC), which makes the commit atomic
+// across shards even through a crash at any point of the protocol.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrFinished
@@ -318,16 +352,56 @@ func (t *Txn) Commit() error {
 		return t.r.shards[i].Facade.Commit(t.sub[i])
 	}
 	t.r.crossCommits.Add(1)
+	if t.asOf {
+		// Read-only snapshot transactions log nothing; "commit" just runs
+		// finish hooks and releases the per-shard horizon pins.
+		var first error
+		for _, i := range touched {
+			if err := t.r.shards[i].Facade.Commit(t.sub[i]); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return t.commit2PC(touched)
+}
+
+// commit2PC runs two-phase commit over the touched shards. The lowest
+// touched shard is the coordinator; the global transaction id is the
+// coordinator's sub-transaction id (unique in its log — recovery
+// fast-forwards the id allocator past every logged id).
+//
+// Phase 1 forces a PREPARE record on every participant in parallel: the
+// sub-transaction's heap records precede it in the same WAL, so one flush
+// covers both, and the flushes across shards overlap. Phase 2 forces one
+// DECIDE record in the coordinator's WAL — the commit point. Outcome
+// records then append and are forced in a final parallel round — crash
+// recovery re-derives any lost one from the decision (a missing decision
+// means abort — presumed abort), but followers flip visibility only on a
+// shipped outcome record, so the commit path makes them durable before
+// acknowledging.
+func (t *Txn) commit2PC(touched []int) error {
+	r := t.r
+	coord := touched[0]
+	gid := uint64(t.sub[coord].ID)
+
+	var t0 time.Time
+	if r.prepareHist != nil {
+		t0 = time.Now()
+	}
 	errs := make([]error, len(touched))
 	var wg sync.WaitGroup
 	for j, i := range touched {
 		wg.Add(1)
 		go func(j, i int) {
 			defer wg.Done()
-			errs[j] = t.r.shards[i].Facade.Commit(t.sub[i])
+			errs[j] = r.shards[i].Facade.Prepare(t.sub[i], gid, uint32(coord))
 		}(j, i)
 	}
 	wg.Wait()
+	if r.prepareHist != nil {
+		r.prepareHist.ObserveSince(t0)
+	}
 	var first error
 	for _, err := range errs {
 		if err != nil {
@@ -336,18 +410,73 @@ func (t *Txn) Commit() error {
 		}
 	}
 	if first != nil {
-		// A failed sub-commit (e.g. WAL flush error) leaves its
-		// transaction in progress; roll those back so they release locks
-		// and never win visibility later. ErrFinished from a sub-commit
-		// that did complete is impossible here because errs[j] == nil for
-		// those shards.
-		for j, i := range touched {
-			if errs[j] != nil {
-				t.r.shards[i].Facade.Abort(t.sub[i])
-			}
+		// Decide abort. The record is advisory (a missing decision already
+		// means abort), so it is appended without a flush; every participant
+		// then aborts — the prepared ones via their outcome record, the one
+		// whose prepare failed simply rolls back.
+		r.shards[coord].Facade.Decide(t.sub[coord], gid, false)
+		for _, i := range touched {
+			r.shards[i].Facade.FinishPrepared(t.sub[i], false)
+		}
+		r.twopcAbortPrepare.Add(1)
+		return first
+	}
+	crashpoint(crashAfterPrepare, nil)
+
+	// The commit point: the decision is durable in the coordinator's log.
+	if err := r.shards[coord].Facade.Decide(t.sub[coord], gid, true); err != nil {
+		// The decision could not be forced; without a durable decision the
+		// transaction is (presumed) aborted. Participants roll back.
+		for _, i := range touched {
+			r.shards[i].Facade.FinishPrepared(t.sub[i], false)
+		}
+		r.twopcAbortDecide.Add(1)
+		return err
+	}
+	crashpoint(crashAfterDecide, nil)
+
+	// Outcome records: the CLOG flips here, which is what makes the writes
+	// visible (and releases the write locks) on each shard.
+	for n, i := range touched {
+		if err := r.shards[i].Facade.FinishPrepared(t.sub[i], true); err != nil && first == nil {
+			first = err
+		}
+		if n == 0 {
+			// Crash-matrix hook: the first participant's outcome record must
+			// be durable for the mid-outcome scenario to actually exercise a
+			// partially-outcome-logged log set, so force it before dying.
+			f := r.shards[i].Facade
+			crashpoint(crashMidOutcome, func() { flushFacadeWAL(f) })
 		}
 	}
+	// Force the outcome records in one parallel round before returning.
+	// Recovery never needs them (the durable decision already implies
+	// commit, so a flush failure here cannot un-commit the transaction),
+	// but followers ship records only up to the durable LSN and flip
+	// visibility only on the shipped outcome — without this round a
+	// follower reporting zero lag could still be missing the commit, and
+	// on an otherwise idle shard would stay stale forever.
+	var fwg sync.WaitGroup
+	for _, i := range touched {
+		fwg.Add(1)
+		go func(i int) {
+			defer fwg.Done()
+			flushFacadeWAL(r.shards[i].Facade)
+		}(i)
+	}
+	fwg.Wait()
+	r.twopcCommits.Add(1)
 	return first
+}
+
+// flushFacadeWAL forces a shard's entire pending log to the device. The
+// commit path uses it to make outcome records durable before acknowledging;
+// the mid-outcome crash hook uses it to pin the partially-logged state.
+func flushFacadeWAL(f *engine.Facade) {
+	db := f.DB()
+	_ = f.Advance(func(at simclock.Time) (simclock.Time, error) {
+		return db.WAL().Flush(at, db.WAL().NextLSN())
+	})
 }
 
 // Abort rolls every touched shard back.

@@ -284,10 +284,10 @@ func (d *failingWAL) WritePage(at simclock.Time, pageNo int64, p []byte) (simclo
 	return d.BlockDevice.WritePage(at, pageNo, p)
 }
 
-// TestCrossShardCommitFailure documents the atomicity scope: when one
-// shard's commit flush fails, the error surfaces, the failing shard's
-// sub-transaction is rolled back, and shards that already committed stay
-// committed (no 2PC).
+// TestCrossShardCommitFailure verifies 2PC atomicity under a participant
+// failure: when one shard's prepare flush fails, the whole cross-shard
+// transaction aborts — the error surfaces and NO shard's write is visible,
+// including the healthy shard whose prepare succeeded.
 func TestCrossShardCommitFailure(t *testing.T) {
 	bad := &failingWAL{BlockDevice: device.NewMem(page.Size, 1<<13)}
 	shards := []shard.Shard{
@@ -326,10 +326,15 @@ func TestCrossShardCommitFailure(t *testing.T) {
 	if _, err := check.Get(k1); err == nil {
 		t.Error("failed shard's write is visible after commit error")
 	}
-	// Shard 0's outcome (committed, since its flush succeeded) is part of
-	// the documented non-atomic scope.
-	if _, err := check.Get(k0); err != nil {
-		t.Logf("note: healthy shard's write not visible either: %v", err)
+	if _, err := check.Get(k0); err == nil {
+		t.Error("healthy shard's write is visible after a failed cross-shard commit (atomicity broken)")
+	}
+	rs := r.RouterStats()
+	if rs.TwoPCAbortPrepare != 1 {
+		t.Errorf("TwoPCAbortPrepare = %d, want 1", rs.TwoPCAbortPrepare)
+	}
+	if rs.TwoPCCommits != 0 {
+		t.Errorf("TwoPCCommits = %d, want 0", rs.TwoPCCommits)
 	}
 }
 

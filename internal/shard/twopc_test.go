@@ -1,0 +1,329 @@
+package shard_test
+
+import (
+	"testing"
+
+	"sias/internal/device"
+	"sias/internal/engine"
+	"sias/internal/page"
+	"sias/internal/shard"
+	"sias/internal/tuple"
+	"sias/internal/wal"
+)
+
+// shardDevs keeps a shard's device handles so tests can "crash" (discard the
+// engine, losing everything unflushed) and recover from the surviving bytes.
+type shardDevs struct {
+	data, wal device.BlockDevice
+}
+
+func newShardDevs() shardDevs {
+	return shardDevs{
+		data: device.NewMem(page.Size, 1<<14),
+		wal:  device.NewMem(page.Size, 1<<13),
+	}
+}
+
+func openShardOn(t *testing.T, d shardDevs) (shard.Shard, *engine.DB) {
+	t.Helper()
+	opts := engine.DefaultOptions(d.data, d.wal)
+	opts.PoolFrames = 512
+	db, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _, err := db.CreateTable(0, "kv", kvSchema(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shard.Shard{Facade: engine.NewFacade(db), Table: tab}, db
+}
+
+// recoverShards reopens every shard from its devices the way siasserver
+// restarts a fleet: open + bootstrap schema everywhere, collect each shard's
+// coordinator decisions, install the cross-shard resolver, then recover.
+func recoverShards(t *testing.T, devs []shardDevs) ([]shard.Shard, []*engine.DB) {
+	t.Helper()
+	dbs := make([]*engine.DB, len(devs))
+	shards := make([]shard.Shard, len(devs))
+	for i, d := range devs {
+		opts := engine.DefaultOptions(d.data, d.wal)
+		opts.PoolFrames = 512
+		opts.Recover = true
+		db, err := engine.Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, _, err := db.CreateTable(0, "kv", kvSchema(), "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbs[i] = db
+		shards[i] = shard.Shard{Facade: engine.NewFacade(db), Table: tab}
+	}
+	decs := make([]map[uint64]bool, len(dbs))
+	for i, db := range dbs {
+		decs[i] = db.Decisions()
+	}
+	for _, db := range dbs {
+		db.SetInDoubtResolver(func(gid uint64, coord uint32) (bool, bool) {
+			if int(coord) >= len(decs) {
+				return false, false
+			}
+			c, ok := decs[coord][gid]
+			return c, ok
+		})
+	}
+	for _, db := range dbs {
+		if _, err := db.Recover(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return shards, dbs
+}
+
+// keysFor returns one key homed on each of n shards.
+func keysFor(t *testing.T, n int) []int64 {
+	t.Helper()
+	keys := make([]int64, n)
+	seen := make([]bool, n)
+	found := 0
+	for k := int64(1); found < n; k++ {
+		if i := shard.Of(k, n); !seen[i] {
+			seen[i] = true
+			keys[i] = k
+			found++
+		}
+	}
+	return keys
+}
+
+func mustGet(t *testing.T, s shard.Shard, key int64) ([]byte, error) {
+	t.Helper()
+	tx := s.Facade.Begin()
+	defer s.Facade.Abort(tx)
+	r, err := s.Facade.Get(s.Table, tx, key)
+	if err != nil {
+		return nil, err
+	}
+	return r[1].([]byte), nil
+}
+
+// TestRecoveryPresumedAbort: both participants prepared, no decision record
+// survived — recovery must abort the transaction on every shard.
+func TestRecoveryPresumedAbort(t *testing.T) {
+	devs := []shardDevs{newShardDevs(), newShardDevs()}
+	s0, _ := openShardOn(t, devs[0])
+	s1, _ := openShardOn(t, devs[1])
+	keys := keysFor(t, 2)
+
+	tx0 := s0.Facade.Begin()
+	tx1 := s1.Facade.Begin()
+	if err := s0.Facade.Insert(s0.Table, tx0, row(keys[0], []byte("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Facade.Insert(s1.Table, tx1, row(keys[1], []byte("b"))); err != nil {
+		t.Fatal(err)
+	}
+	gid := uint64(tx0.ID)
+	if err := s0.Facade.Prepare(tx0, gid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Facade.Prepare(tx1, gid, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Crash here: no decision was ever logged.
+
+	shards, dbs := recoverShards(t, devs)
+	for i, s := range shards {
+		if _, err := mustGet(t, s, keys[i]); err == nil {
+			t.Errorf("shard %d: prepared-but-undecided write visible after recovery", i)
+		}
+		st := dbs[i].Stats()
+		if st.InDoubtAborts != 1 || st.InDoubtCommits != 0 {
+			t.Errorf("shard %d: in-doubt resolution = %d commits / %d aborts, want 0/1",
+				i, st.InDoubtCommits, st.InDoubtAborts)
+		}
+	}
+}
+
+// TestRecoveryDecidedCommitLaggingParticipant: the commit decision is durable
+// in the coordinator's log but the lagging participant crashed before its
+// outcome record — recovery must resolve the participant to COMMIT through
+// the coordinator's decision log, making the write visible on both shards.
+func TestRecoveryDecidedCommitLaggingParticipant(t *testing.T) {
+	devs := []shardDevs{newShardDevs(), newShardDevs()}
+	s0, _ := openShardOn(t, devs[0])
+	s1, _ := openShardOn(t, devs[1])
+	keys := keysFor(t, 2)
+
+	tx0 := s0.Facade.Begin()
+	tx1 := s1.Facade.Begin()
+	if err := s0.Facade.Insert(s0.Table, tx0, row(keys[0], []byte("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Facade.Insert(s1.Table, tx1, row(keys[1], []byte("b"))); err != nil {
+		t.Fatal(err)
+	}
+	gid := uint64(tx0.ID)
+	if err := s0.Facade.Prepare(tx0, gid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Facade.Prepare(tx1, gid, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The commit point: decision durable on the coordinator.
+	if err := s0.Facade.Decide(tx0, gid, true); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before either participant logged a durable outcome record.
+
+	shards, dbs := recoverShards(t, devs)
+	for i, s := range shards {
+		v, err := mustGet(t, s, keys[i])
+		if err != nil {
+			t.Fatalf("shard %d: decided-commit write lost after recovery: %v", i, err)
+		}
+		want := []byte{"a"[0], "b"[0]}[i : i+1]
+		if string(v) != string(want) {
+			t.Errorf("shard %d: value %q, want %q", i, v, want)
+		}
+		st := dbs[i].Stats()
+		if st.InDoubtCommits != 1 || st.InDoubtAborts != 0 {
+			t.Errorf("shard %d: in-doubt resolution = %d commits / %d aborts, want 1/0",
+				i, st.InDoubtCommits, st.InDoubtAborts)
+		}
+	}
+}
+
+// TestRecoveryOutcomeReplayIdempotent: once outcome records ARE durable, a
+// further recovery must not count the transaction as in-doubt again, and the
+// state must be stable across repeated replays of the same log.
+func TestRecoveryOutcomeReplayIdempotent(t *testing.T) {
+	devs := []shardDevs{newShardDevs(), newShardDevs()}
+	s0, _ := openShardOn(t, devs[0])
+	s1, _ := openShardOn(t, devs[1])
+	keys := keysFor(t, 2)
+
+	tx0 := s0.Facade.Begin()
+	tx1 := s1.Facade.Begin()
+	if err := s0.Facade.Insert(s0.Table, tx0, row(keys[0], []byte("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Facade.Insert(s1.Table, tx1, row(keys[1], []byte("b"))); err != nil {
+		t.Fatal(err)
+	}
+	gid := uint64(tx0.ID)
+	if err := s0.Facade.Prepare(tx0, gid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Facade.Prepare(tx1, gid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Facade.Decide(tx0, gid, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// First recovery resolves the in-doubt participants and appends their
+	// outcome records; checkpointing makes those durable.
+	shards, dbs := recoverShards(t, devs)
+	for i := range shards {
+		if st := dbs[i].Stats(); st.InDoubtCommits != 1 {
+			t.Fatalf("first recovery shard %d: InDoubtCommits = %d, want 1", i, st.InDoubtCommits)
+		}
+		if err := shards[i].Facade.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Second recovery replays prepare + outcome: nothing is in-doubt, the
+	// write survives, and re-replaying the outcome record is a no-op.
+	shards, dbs = recoverShards(t, devs)
+	for i, s := range shards {
+		if _, err := mustGet(t, s, keys[i]); err != nil {
+			t.Fatalf("shard %d: committed write lost on re-replay: %v", i, err)
+		}
+		st := dbs[i].Stats()
+		if st.InDoubtCommits != 0 || st.InDoubtAborts != 0 {
+			t.Errorf("shard %d: re-replay counted in-doubt resolution (%d/%d), want 0/0",
+				i, st.InDoubtCommits, st.InDoubtAborts)
+		}
+	}
+}
+
+// TestSingleShardFastPathNoTwoPCRecords pins the fast-path guarantee: a
+// transaction that touches one shard commits with the plain group-commit
+// flush and logs NO 2PC records — counted record by record in the WAL.
+func TestSingleShardFastPathNoTwoPCRecords(t *testing.T) {
+	devs := []shardDevs{newShardDevs(), newShardDevs()}
+	s0, _ := openShardOn(t, devs[0])
+	s1, _ := openShardOn(t, devs[1])
+	r, err := shard.NewRouter([]shard.Shard{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keysFor(t, 2)
+
+	tx := r.Begin()
+	if err := tx.Insert(row(keys[0], []byte("solo"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[wal.RecType]int{}
+	if _, err := wal.Scan(devs[0].wal, func(_ wal.LSN, rec wal.Record) error {
+		counts[rec.Type]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if counts[wal.RecPrepare] != 0 || counts[wal.RecDecide] != 0 {
+		t.Errorf("single-shard commit logged 2PC records: %d prepares, %d decides",
+			counts[wal.RecPrepare], counts[wal.RecDecide])
+	}
+	if counts[wal.RecCommit] != 1 {
+		t.Errorf("single-shard commit logged %d commit records, want exactly 1", counts[wal.RecCommit])
+	}
+	if counts[wal.RecHeapInsert] != 1 {
+		t.Errorf("single-shard commit logged %d heap inserts, want exactly 1", counts[wal.RecHeapInsert])
+	}
+	if st := s0.Facade.Stats(); st.Prepares != 0 {
+		t.Errorf("fast path forced %d prepares, want 0", st.Prepares)
+	}
+	if rs := r.RouterStats(); rs.CrossCommits != 0 || rs.TwoPCCommits != 0 {
+		t.Errorf("fast path counted as cross-shard (%+v)", rs)
+	}
+
+	// Contrast: the same router's cross-shard commit DOES log the protocol —
+	// one prepare per participant plus one decision at the coordinator.
+	tx = r.Begin()
+	if err := tx.Update(keys[0], func(old tuple.Row) (tuple.Row, error) {
+		out := append(tuple.Row(nil), old...)
+		out[1] = []byte("both")
+		return out, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(row(keys[1], []byte("both"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	counts = map[wal.RecType]int{}
+	if _, err := wal.Scan(devs[0].wal, func(_ wal.LSN, rec wal.Record) error {
+		counts[rec.Type]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if counts[wal.RecPrepare] != 1 || counts[wal.RecDecide] != 1 {
+		t.Errorf("cross-shard commit logged %d prepares / %d decides on the coordinator, want 1/1",
+			counts[wal.RecPrepare], counts[wal.RecDecide])
+	}
+	if rs := r.RouterStats(); rs.CrossCommits != 1 || rs.TwoPCCommits != 1 {
+		t.Errorf("cross-shard commit counters (%+v), want CrossCommits=1 TwoPCCommits=1", rs)
+	}
+}

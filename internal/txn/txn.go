@@ -114,6 +114,30 @@ func (t *Tx) OnFinish(fn func(committed bool)) {
 	t.mu.Unlock()
 }
 
+// WriteSetFingerprint folds the transaction's write set (the lock keys it
+// holds — one per written data item) into an order-independent 64-bit hash.
+// A 2PC participant logs it in its PREPARE record so recovery and operators
+// can sanity-check that the prepared state matches what the coordinator
+// fanned out. Must be called before Commit/Abort: finish() releases the
+// locks, after which the set is empty.
+func (t *Tx) WriteSetFingerprint() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var fp uint64
+	for _, k := range t.locks {
+		// SplitMix64-style mix of each key; XOR keeps the fold independent of
+		// lock-acquisition order.
+		x := uint64(k.Rel)<<40 ^ k.Item
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		fp ^= x
+	}
+	return fp
+}
+
 // Visible implements the paper's isVisible check for this transaction:
 // the version created by `create` is visible iff it is the transaction's own
 // write, or it committed before this transaction began.

@@ -1,0 +1,58 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// 2PC record payload codecs.
+//
+// A RecPrepare record's Data names the transaction globally and points at the
+// shard whose log holds the decision; a RecDecide record's Data carries the
+// verdict. Both payloads are fixed-size and versioned only by their record
+// type, mirroring the rest of the WAL framing: deterministic bytes so
+// replication followers mirror them verbatim.
+
+const (
+	prepareDataSize = 8 + 4 // gid u64 | coordinator shard u32
+	decideDataSize  = 1     // commit flag
+)
+
+// ErrBadTwoPCData reports a malformed 2PC record payload — wrong length for
+// the record type. Recovery treats such a record as corruption of the commit
+// protocol state and fails loudly rather than guessing an outcome.
+var ErrBadTwoPCData = errors.New("wal: malformed 2PC record payload")
+
+// EncodePrepareData encodes a RecPrepare payload: the global transaction id
+// and the shard index whose WAL holds (or will hold) the decision record.
+func EncodePrepareData(gid uint64, coordShard uint32) []byte {
+	b := make([]byte, prepareDataSize)
+	binary.LittleEndian.PutUint64(b[0:], gid)
+	binary.LittleEndian.PutUint32(b[8:], coordShard)
+	return b
+}
+
+// DecodePrepareData parses a RecPrepare payload.
+func DecodePrepareData(b []byte) (gid uint64, coordShard uint32, err error) {
+	if len(b) != prepareDataSize {
+		return 0, 0, ErrBadTwoPCData
+	}
+	return binary.LittleEndian.Uint64(b[0:]), binary.LittleEndian.Uint32(b[8:]), nil
+}
+
+// EncodeDecideData encodes a RecDecide payload: one byte, 1 = commit,
+// 0 = abort.
+func EncodeDecideData(commit bool) []byte {
+	if commit {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// DecodeDecideData parses a RecDecide payload.
+func DecodeDecideData(b []byte) (commit bool, err error) {
+	if len(b) != decideDataSize || b[0] > 1 {
+		return false, ErrBadTwoPCData
+	}
+	return b[0] == 1, nil
+}

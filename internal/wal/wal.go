@@ -57,6 +57,17 @@ const (
 	// shipped to replication followers like any other record, so schema is
 	// durable and consistent across crash and failover.
 	RecDDL
+	// RecPrepare marks a participant in a cross-shard (2PC) transaction as
+	// prepared: its heap records are durable and it will commit or abort
+	// according to the coordinator's decision. Tx is the participant's local
+	// sub-transaction id, Aux the write-set fingerprint, Data the encoded
+	// global id + coordinator shard (EncodePrepareData).
+	RecPrepare
+	// RecDecide is the coordinator's durable commit/abort decision for a
+	// cross-shard transaction — the 2PC commit point. Tx is the coordinator's
+	// local sub-transaction id, Aux the global transaction id, Data a single
+	// commit/abort byte (EncodeDecideData).
+	RecDecide
 )
 
 func (t RecType) String() string {
@@ -77,6 +88,10 @@ func (t RecType) String() string {
 		return "checkpoint"
 	case RecDDL:
 		return "ddl"
+	case RecPrepare:
+		return "prepare"
+	case RecDecide:
+		return "decide"
 	}
 	return "unknown"
 }
