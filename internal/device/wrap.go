@@ -27,6 +27,11 @@ type Wrap struct {
 	// touching the inner device.
 	onRead func(pageNo int64, n int) error
 
+	// onWrite runs before each write op. Returning an error fails the op
+	// without touching the inner device — the write-side fault injector
+	// (e.g. fail a 2PC commit-decision flush).
+	onWrite func(pageNo int64) error
+
 	readOps  atomic.Int64 // host read ops (batched = 1)
 	batchOps atomic.Int64 // read ops served via ReadPages with n > 1
 }
@@ -36,6 +41,9 @@ func NewWrap(inner BlockDevice) *Wrap { return &Wrap{inner: inner} }
 
 // SetReadHook installs fn; call before the device is shared.
 func (w *Wrap) SetReadHook(fn func(pageNo int64, n int) error) { w.onRead = fn }
+
+// SetWriteHook installs fn; call before the device is shared.
+func (w *Wrap) SetWriteHook(fn func(pageNo int64) error) { w.onWrite = fn }
 
 // ReadOps reports host read operations issued to the inner device.
 func (w *Wrap) ReadOps() int64 { return w.readOps.Load() }
@@ -90,6 +98,11 @@ func (w *Wrap) ReadPages(at simclock.Time, pageNo int64, n int, p []byte) (simcl
 
 // WritePage implements BlockDevice.
 func (w *Wrap) WritePage(at simclock.Time, pageNo int64, p []byte) (simclock.Time, error) {
+	if w.onWrite != nil {
+		if err := w.onWrite(pageNo); err != nil {
+			return at, err
+		}
+	}
 	if w.WriteDelay > 0 {
 		time.Sleep(w.WriteDelay)
 	}

@@ -94,16 +94,22 @@ func (db *DB) Recover(at simclock.Time) (simclock.Time, error) {
 	// Resolve in-doubt prepared transactions before anything reads the CLOG
 	// (the volatile rebuild in pass 3 bakes commit status into the read
 	// structures). A prepared transaction with no outcome record commits iff
-	// the coordinator's decision log says so — consulted through the
-	// installed resolver, or directly when this shard's own log is the
-	// coordinator's — and aborts otherwise (presumed abort). The outcome
-	// record recovery appends is the one the crash lost; re-replaying it on
-	// the next recovery is idempotent (it just decides an already-decided
-	// id). A replica resolves nothing: decisions are the primary's to make
-	// and arrive through the stream, and appending locally would fork the
-	// byte-mirrored log — the undecided writers land in replicaUnresolved
-	// below, which re-arms the rebuild when their decision ships.
+	// the coordinator's decision log says so and aborts otherwise (presumed
+	// abort). Consulting this shard's OWN decision map first is safe on
+	// every shard — coordinator or not — because gids fold the coordinating
+	// shard's index into their top bits (shard.GlobalID): a shard that was
+	// merely a participant can never hold a decision under the transaction's
+	// gid, and two coordinators can never have issued the same gid. The
+	// installed resolver covers decisions living in a sibling shard's log.
+	// The outcome record recovery appends is the one the crash lost;
+	// re-replaying it on the next recovery is idempotent (it just decides an
+	// already-decided id). A replica resolves nothing: decisions are the
+	// primary's to make and arrive through the stream, and appending locally
+	// would fork the byte-mirrored log — the undecided writers land in
+	// replicaUnresolved below, which re-arms the rebuild when their decision
+	// ships.
 	if !db.replica.Load() {
+		resolved := false
 		for id, p := range prepared {
 			commit, known := decisions[p.gid]
 			if !known && db.resolver != nil {
@@ -118,6 +124,20 @@ func (db *DB) Recover(at simclock.Time) (simclock.Time, error) {
 				clog.Set(id, txn.StatusAborted)
 				db.walw.Append(&wal.Record{Type: wal.RecAbort, Tx: id})
 				db.inDoubtAborts.Add(1)
+			}
+			resolved = true
+		}
+		if resolved {
+			// Force the appended outcome records before the engine serves.
+			// Followers ship only durable bytes and flip visibility only on
+			// a shipped outcome record — the invariant the commit path's
+			// final flush round protects — so leaving the resolution
+			// unflushed would let a zero-lag follower of an otherwise idle
+			// shard serve the pre-resolution state indefinitely.
+			var ferr error
+			t, ferr = db.walw.Flush(t, db.walw.NextLSN())
+			if ferr != nil {
+				return t, fmt.Errorf("engine: flush in-doubt resolution outcomes: %w", ferr)
 			}
 		}
 	}

@@ -37,8 +37,10 @@ type InDoubtResolver func(gid uint64, coordShard uint32) (commit, known bool)
 // SetInDoubtResolver installs the cross-shard decision lookup used by
 // Recover. Call between Open and Recover, after every sibling shard's
 // Decisions() map has been collected. Without a resolver the engine falls
-// back to its own decision log (sufficient when it is itself the
-// coordinator) and presumed abort.
+// back to its own decision log and presumed abort — safe on any shard,
+// coordinator or not, because gids fold the coordinating shard into their
+// top bits (shard.GlobalID): a mere participant can never hold a decision
+// under the transaction's gid.
 func (db *DB) SetInDoubtResolver(r InDoubtResolver) { db.resolver = r }
 
 // Decisions returns the coordinator decisions recorded in this engine's

@@ -98,9 +98,10 @@ func (s *Server) setupMetrics(reg *obs.Registry, slow *obs.SlowOpLog) {
 		})
 
 	// --- cross-shard 2PC ---------------------------------------------------
-	// Router-level outcomes plus the prepare fan-out latency. Aborts carry a
-	// reason label so dashboards separate participant prepare failures from
-	// coordinator decision-flush failures.
+	// Router-level outcomes plus the prepare fan-out latency. A failed
+	// commit-decision flush is NOT an abort — the decision may still be on
+	// the device — so it gets its own in-doubt counter rather than an abort
+	// reason.
 	reg.CollectCounter("sias_2pc_commits_total",
 		"Cross-shard transactions that reached a durable commit decision.",
 		func(emit func(obs.Labels, float64)) {
@@ -109,9 +110,12 @@ func (s *Server) setupMetrics(reg *obs.Registry, slow *obs.SlowOpLog) {
 	reg.CollectCounter("sias_2pc_aborts_total",
 		"Cross-shard transactions aborted by the coordinator, by reason.",
 		func(emit func(obs.Labels, float64)) {
-			rs := router.RouterStats()
-			emit(obs.Labels{"reason": "prepare"}, float64(rs.TwoPCAbortPrepare))
-			emit(obs.Labels{"reason": "decide"}, float64(rs.TwoPCAbortDecide))
+			emit(obs.Labels{"reason": "prepare"}, float64(router.RouterStats().TwoPCAbortPrepare))
+		})
+	reg.CollectCounter("sias_2pc_indoubt_total",
+		"Cross-shard transactions whose commit-decision flush failed; outcome unknown until restart recovery consults the log.",
+		func(emit func(obs.Labels, float64)) {
+			emit(nil, float64(router.RouterStats().TwoPCInDoubt))
 		})
 	router.SetTwoPCMetrics(reg.Histogram("sias_2pc_prepare_seconds",
 		"Wall-clock duration of the parallel prepare fan-out across participants.",

@@ -176,7 +176,7 @@ func TestMetricsMatchStatsFrame(t *testing.T) {
 	for _, want := range []string{
 		fmt.Sprintf("sias_2pc_commits_total %d\n", st.Router.TwoPCCommits),
 		fmt.Sprintf("sias_2pc_aborts_total{reason=%q} %d\n", "prepare", st.Router.TwoPCAbortPrepare),
-		fmt.Sprintf("sias_2pc_aborts_total{reason=%q} %d\n", "decide", st.Router.TwoPCAbortDecide),
+		fmt.Sprintf("sias_2pc_indoubt_total %d\n", st.Router.TwoPCInDoubt),
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"sync"
@@ -45,8 +46,11 @@ func crashInit() {
 // crashpoint kills the process if the named fault point is armed. beforeExit
 // (optional) runs first — the mid-outcome hook uses it to force the first
 // outcome record to the device so the simulated crash leaves exactly the log
-// state the scenario describes.
-func crashpoint(name string, beforeExit func()) {
+// state the scenario describes. If the hook fails, that precondition does
+// not hold: exiting 137 anyway would hand the crash matrix a log state the
+// scenario does not describe, so the process dies loudly with status 1
+// instead and the matrix run fails visibly.
+func crashpoint(name string, beforeExit func() error) {
 	crashOnce.Do(crashInit)
 	if crashPoint != name {
 		return
@@ -55,7 +59,10 @@ func crashpoint(name string, beforeExit func()) {
 		return
 	}
 	if beforeExit != nil {
-		beforeExit()
+		if err := beforeExit(); err != nil {
+			fmt.Fprintf(os.Stderr, "sias: crashpoint %s pre-exit hook failed: %v\n", name, err)
+			os.Exit(1)
+		}
 	}
 	os.Exit(137)
 }

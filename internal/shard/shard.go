@@ -63,10 +63,10 @@ type Router struct {
 	crossCommits atomic.Int64 // commits that touched >1 shard
 	fanouts      atomic.Int64 // range ops that fanned out to all shards
 
-	// 2PC outcome counters, split by abort reason.
+	// 2PC outcome counters.
 	twopcCommits      atomic.Int64 // cross-shard commits decided commit
 	twopcAbortPrepare atomic.Int64 // aborted: a participant's prepare failed
-	twopcAbortDecide  atomic.Int64 // aborted: the decision flush failed
+	twopcInDoubt      atomic.Int64 // decision flush failed: outcome unknown until recovery
 
 	// prepareHist observes the wall-clock duration of each parallel prepare
 	// fan-out (nil = not collected). Set once via SetTwoPCMetrics before the
@@ -134,6 +134,19 @@ func Of(key int64, n int) int {
 // ShardOf returns the shard index owning key.
 func (r *Router) ShardOf(key int64) int { return Of(key, len(r.shards)) }
 
+// GlobalID forms the globally unique id of a cross-shard transaction from
+// the coordinating shard's index and the coordinator sub-transaction's local
+// id. Local txn ids are per-shard allocations that all start at 1, so the
+// raw local id collides across coordinators routinely; folding the
+// coordinator into the top 16 bits makes gids unique fleet-wide, which is
+// what lets recovery consult any decision map keyed by gid — including a
+// participant's own — without first proving which shard coordinated. The
+// low 48 bits outlast the allocator (recovery fast-forwards it past every
+// logged id; it never wraps in practice).
+func GlobalID(coordShard uint32, localID uint64) uint64 {
+	return uint64(coordShard&0xFFFF)<<48 | localID&(1<<48-1)
+}
+
 // Checkpoint flushes every shard, strictly one shard at a time. Holding a
 // single shard's tickMu at a time keeps the other shards' group-commit
 // leaders free to run opportunistic maintenance while a drain checkpoint is
@@ -163,11 +176,13 @@ type RouterStats struct {
 	CrossCommits int64 // commits spanning more than one shard
 	RangeFanouts int64 // range ops fanned out across all shards
 	// 2PC outcomes: TwoPCCommits counts cross-shard transactions that
-	// reached a durable commit decision; the aborts split by reason —
-	// a participant's prepare failing vs the decision flush failing.
+	// reached a durable commit decision, TwoPCAbortPrepare those aborted
+	// because a participant's prepare failed, and TwoPCInDoubt those whose
+	// commit-decision flush failed — the outcome is unknown (the record may
+	// or may not be on the device) until restart recovery consults the log.
 	TwoPCCommits      int64
 	TwoPCAbortPrepare int64
-	TwoPCAbortDecide  int64
+	TwoPCInDoubt      int64
 }
 
 // RouterStats snapshots the router-level counters.
@@ -178,7 +193,7 @@ func (r *Router) RouterStats() RouterStats {
 		RangeFanouts:      r.fanouts.Load(),
 		TwoPCCommits:      r.twopcCommits.Load(),
 		TwoPCAbortPrepare: r.twopcAbortPrepare.Load(),
-		TwoPCAbortDecide:  r.twopcAbortDecide.Load(),
+		TwoPCInDoubt:      r.twopcInDoubt.Load(),
 	}
 }
 
@@ -288,6 +303,13 @@ func (t *Txn) at(i int) *txn.Tx {
 // ErrFinished reports an op on a committed or aborted transaction.
 var ErrFinished = errors.New("shard: transaction already finished")
 
+// ErrInDoubt reports a cross-shard commit whose decision flush failed after
+// the decide record was appended: a torn flush may still have made the
+// decision durable, so the outcome is neither commit nor abort until restart
+// recovery consults the log. The participants stay prepared (writes
+// invisible, locks held); callers must not assume either outcome.
+var ErrInDoubt = errors.New("shard: cross-shard commit outcome in doubt")
+
 // Get returns the visible row of key.
 func (t *Txn) Get(key int64) (tuple.Row, error) {
 	if t.done {
@@ -367,9 +389,10 @@ func (t *Txn) Commit() error {
 }
 
 // commit2PC runs two-phase commit over the touched shards. The lowest
-// touched shard is the coordinator; the global transaction id is the
-// coordinator's sub-transaction id (unique in its log — recovery
-// fast-forwards the id allocator past every logged id).
+// touched shard is the coordinator; the global transaction id folds the
+// coordinator's shard index over its sub-transaction id (GlobalID), so gids
+// never collide across coordinators even though every shard's local id
+// allocator starts at 1.
 //
 // Phase 1 forces a PREPARE record on every participant in parallel: the
 // sub-transaction's heap records precede it in the same WAL, so one flush
@@ -383,7 +406,7 @@ func (t *Txn) Commit() error {
 func (t *Txn) commit2PC(touched []int) error {
 	r := t.r
 	coord := touched[0]
-	gid := uint64(t.sub[coord].ID)
+	gid := GlobalID(uint32(coord), uint64(t.sub[coord].ID))
 
 	var t0 time.Time
 	if r.prepareHist != nil {
@@ -425,13 +448,17 @@ func (t *Txn) commit2PC(touched []int) error {
 
 	// The commit point: the decision is durable in the coordinator's log.
 	if err := r.shards[coord].Facade.Decide(t.sub[coord], gid, true); err != nil {
-		// The decision could not be forced; without a durable decision the
-		// transaction is (presumed) aborted. Participants roll back.
-		for _, i := range touched {
-			r.shards[i].Facade.FinishPrepared(t.sub[i], false)
-		}
-		r.twopcAbortDecide.Add(1)
-		return err
+		// The decide record was appended before the flush failed, so it may
+		// or may not have reached the device — a torn flush can leave the
+		// decision durable even as the flush reports failure. Presumed abort
+		// only licenses aborting while NO decision record exists; deciding
+		// abort here could disagree with what recovery reads back and tear
+		// the transaction. Leave every participant prepared (writes
+		// invisible, locks held) and surface the ambiguity: restart
+		// recovery resolves the outcome from whatever the log actually
+		// holds.
+		r.twopcInDoubt.Add(1)
+		return fmt.Errorf("%w: commit-decision flush on coordinator shard %d: %w", ErrInDoubt, coord, err)
 	}
 	crashpoint(crashAfterDecide, nil)
 
@@ -446,7 +473,7 @@ func (t *Txn) commit2PC(touched []int) error {
 			// be durable for the mid-outcome scenario to actually exercise a
 			// partially-outcome-logged log set, so force it before dying.
 			f := r.shards[i].Facade
-			crashpoint(crashMidOutcome, func() { flushFacadeWAL(f) })
+			crashpoint(crashMidOutcome, func() error { return flushFacadeWAL(f) })
 		}
 	}
 	// Force the outcome records in one parallel round before returning.
@@ -455,16 +482,25 @@ func (t *Txn) commit2PC(touched []int) error {
 	// but followers ship records only up to the durable LSN and flip
 	// visibility only on the shipped outcome — without this round a
 	// follower reporting zero lag could still be missing the commit, and
-	// on an otherwise idle shard would stay stale forever.
+	// on an otherwise idle shard would stay stale forever. A flush failure
+	// therefore surfaces in the returned error: the transaction IS
+	// committed, but the caller must not trust follower lag until the
+	// outcome records eventually reach the device.
 	var fwg sync.WaitGroup
-	for _, i := range touched {
+	ferrs := make([]error, len(touched))
+	for j, i := range touched {
 		fwg.Add(1)
-		go func(i int) {
+		go func(j, i int) {
 			defer fwg.Done()
-			flushFacadeWAL(r.shards[i].Facade)
-		}(i)
+			ferrs[j] = flushFacadeWAL(r.shards[i].Facade)
+		}(j, i)
 	}
 	fwg.Wait()
+	for j, err := range ferrs {
+		if err != nil && first == nil {
+			first = fmt.Errorf("shard %d: outcome-record flush after commit: %w", touched[j], err)
+		}
+	}
 	r.twopcCommits.Add(1)
 	return first
 }
@@ -472,9 +508,9 @@ func (t *Txn) commit2PC(touched []int) error {
 // flushFacadeWAL forces a shard's entire pending log to the device. The
 // commit path uses it to make outcome records durable before acknowledging;
 // the mid-outcome crash hook uses it to pin the partially-logged state.
-func flushFacadeWAL(f *engine.Facade) {
+func flushFacadeWAL(f *engine.Facade) error {
 	db := f.DB()
-	_ = f.Advance(func(at simclock.Time) (simclock.Time, error) {
+	return f.Advance(func(at simclock.Time) (simclock.Time, error) {
 		return db.WAL().Flush(at, db.WAL().NextLSN())
 	})
 }

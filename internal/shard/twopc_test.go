@@ -1,6 +1,7 @@
 package shard_test
 
 import (
+	"errors"
 	"testing"
 
 	"sias/internal/device"
@@ -125,7 +126,7 @@ func TestRecoveryPresumedAbort(t *testing.T) {
 	if err := s1.Facade.Insert(s1.Table, tx1, row(keys[1], []byte("b"))); err != nil {
 		t.Fatal(err)
 	}
-	gid := uint64(tx0.ID)
+	gid := shard.GlobalID(0, uint64(tx0.ID))
 	if err := s0.Facade.Prepare(tx0, gid, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestRecoveryDecidedCommitLaggingParticipant(t *testing.T) {
 	if err := s1.Facade.Insert(s1.Table, tx1, row(keys[1], []byte("b"))); err != nil {
 		t.Fatal(err)
 	}
-	gid := uint64(tx0.ID)
+	gid := shard.GlobalID(0, uint64(tx0.ID))
 	if err := s0.Facade.Prepare(tx0, gid, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestRecoveryOutcomeReplayIdempotent(t *testing.T) {
 	if err := s1.Facade.Insert(s1.Table, tx1, row(keys[1], []byte("b"))); err != nil {
 		t.Fatal(err)
 	}
-	gid := uint64(tx0.ID)
+	gid := shard.GlobalID(0, uint64(tx0.ID))
 	if err := s0.Facade.Prepare(tx0, gid, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -246,6 +247,166 @@ func TestRecoveryOutcomeReplayIdempotent(t *testing.T) {
 		st := dbs[i].Stats()
 		if st.InDoubtCommits != 0 || st.InDoubtAborts != 0 {
 			t.Errorf("shard %d: re-replay counted in-doubt resolution (%d/%d), want 0/0",
+				i, st.InDoubtCommits, st.InDoubtAborts)
+		}
+	}
+}
+
+// TestRecoveryGidCollisionAcrossCoordinators: every shard's txn-id allocator
+// starts at 1, so two coordinators routinely issue sub-transactions with the
+// same LOCAL id. The gid folds the coordinator's shard index into its top
+// bits (shard.GlobalID) precisely so such transactions can never share a gid
+// — a participant that itself coordinated an unrelated transaction must not
+// resolve an in-doubt prepare from its own, colliding decision record. Here
+// shard 1 holds a COMMIT decision for a transaction it coordinated while it
+// is also a participant of an UNDECIDED transaction coordinated by shard 0
+// whose coordinator local id matches: recovery must presume abort for the
+// latter on every shard, or the fleet tears exactly the way 2PC exists to
+// prevent.
+func TestRecoveryGidCollisionAcrossCoordinators(t *testing.T) {
+	devs := []shardDevs{newShardDevs(), newShardDevs()}
+	s0, _ := openShardOn(t, devs[0])
+	s1, _ := openShardOn(t, devs[1])
+	keys := keysFor(t, 2)
+	// A second key homed on shard 1 for the cross-shard transaction.
+	k1b := keys[1]
+	for k := keys[1] + 1; ; k++ {
+		if shard.Of(k, 2) == 1 {
+			k1b = k
+			break
+		}
+	}
+
+	// Shard 1 coordinates and durably commits its own transaction: its
+	// decision log now holds a COMMIT under gidOwn.
+	tx1a := s1.Facade.Begin()
+	if err := s1.Facade.Insert(s1.Table, tx1a, row(keys[1], []byte("own"))); err != nil {
+		t.Fatal(err)
+	}
+	gidOwn := shard.GlobalID(1, uint64(tx1a.ID))
+	if err := s1.Facade.Prepare(tx1a, gidOwn, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Facade.Decide(tx1a, gidOwn, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Facade.FinishPrepared(tx1a, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cross-shard transaction coordinated by shard 0 whose coordinator
+	// sub-transaction carries the SAME local id (the fresh allocators run in
+	// lockstep). Both participants prepare; the decision never lands.
+	tx0 := s0.Facade.Begin()
+	tx1 := s1.Facade.Begin()
+	if tx0.ID != tx1a.ID {
+		t.Fatalf("allocators out of lockstep (%d vs %d): the collision under test is gone", tx0.ID, tx1a.ID)
+	}
+	if err := s0.Facade.Insert(s0.Table, tx0, row(keys[0], []byte("torn"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Facade.Insert(s1.Table, tx1, row(k1b, []byte("torn"))); err != nil {
+		t.Fatal(err)
+	}
+	gid := shard.GlobalID(0, uint64(tx0.ID))
+	if err := s0.Facade.Prepare(tx0, gid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Facade.Prepare(tx1, gid, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Crash here: no decision for gid exists in any shard's log.
+
+	shards, dbs := recoverShards(t, devs)
+	if v, err := mustGet(t, shards[1], keys[1]); err != nil || string(v) != "own" {
+		t.Errorf("shard 1: own coordinated commit lost after recovery (v=%q, err=%v)", v, err)
+	}
+	if _, err := mustGet(t, shards[0], keys[0]); err == nil {
+		t.Error("shard 0: undecided cross-shard write visible after recovery")
+	}
+	if _, err := mustGet(t, shards[1], k1b); err == nil {
+		t.Error("shard 1: undecided cross-shard write resolved from a colliding decision record")
+	}
+	for i := range dbs {
+		st := dbs[i].Stats()
+		if st.InDoubtAborts != 1 || st.InDoubtCommits != 0 {
+			t.Errorf("shard %d: in-doubt resolution = %d commits / %d aborts, want 0/1",
+				i, st.InDoubtCommits, st.InDoubtAborts)
+		}
+	}
+}
+
+// TestDecideFlushFailureInDoubt: when the coordinator cannot force the
+// commit-decision record, the outcome is genuinely unknown — a torn flush
+// could still have made the decision durable, so unilaterally aborting the
+// participants could disagree with what recovery later reads back. The
+// router must surface shard.ErrInDoubt, leave every participant prepared
+// (writes invisible on all shards), and count the transaction as in-doubt
+// rather than aborted; restart recovery then resolves it from the surviving
+// log — here the decision never reached the device, so presumed abort.
+func TestDecideFlushFailureInDoubt(t *testing.T) {
+	devs := []shardDevs{newShardDevs(), newShardDevs()}
+
+	// Shard 0 is the coordinator (lowest touched index). Wrap its WAL device
+	// to fail every write issued after its prepare record is durable — the
+	// first failed write is the commit-decision flush.
+	wrapped := device.NewWrap(devs[0].wal)
+	opts := engine.DefaultOptions(devs[0].data, wrapped)
+	opts.PoolFrames = 512
+	db0, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab0, _, err := db0.CreateTable(0, "kv", kvSchema(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped.SetWriteHook(func(int64) error {
+		if db0.Stats().Prepares > 0 {
+			return errors.New("injected WAL write failure")
+		}
+		return nil
+	})
+	s0 := shard.Shard{Facade: engine.NewFacade(db0), Table: tab0}
+	s1, _ := openShardOn(t, devs[1])
+	r, err := shard.NewRouter([]shard.Shard{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keysFor(t, 2)
+
+	tx := r.Begin()
+	if err := tx.Insert(row(keys[0], []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(row(keys[1], []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Commit()
+	if !errors.Is(err, shard.ErrInDoubt) {
+		t.Fatalf("commit error = %v, want errors.Is(err, shard.ErrInDoubt)", err)
+	}
+	rs := r.RouterStats()
+	if rs.TwoPCInDoubt != 1 || rs.TwoPCCommits != 0 || rs.TwoPCAbortPrepare != 0 {
+		t.Errorf("router counters %+v, want exactly one in-doubt outcome", rs)
+	}
+	// The participants stay prepared: neither shard's write is visible.
+	for i, s := range []shard.Shard{s0, s1} {
+		if _, err := mustGet(t, s, keys[i]); err == nil {
+			t.Errorf("shard %d: in-doubt write visible before recovery", i)
+		}
+	}
+
+	// Restart from the surviving bytes: the decision never reached the
+	// device, so recovery presumes abort everywhere.
+	shards, dbs := recoverShards(t, devs)
+	for i, s := range shards {
+		if _, err := mustGet(t, s, keys[i]); err == nil {
+			t.Errorf("shard %d: in-doubt write visible after recovery", i)
+		}
+		st := dbs[i].Stats()
+		if st.InDoubtAborts != 1 || st.InDoubtCommits != 0 {
+			t.Errorf("shard %d: in-doubt resolution = %d commits / %d aborts, want 0/1",
 				i, st.InDoubtCommits, st.InDoubtAborts)
 		}
 	}
