@@ -35,7 +35,10 @@
 // tool scrapes /metrics before and after the measured run and folds the
 // server-side latency histograms — per-op p50/p95/p99 and the WAL fsync
 // distribution, as deltas covering exactly the measured window — into the
-// report next to the client-observed latencies.
+// report next to the client-observed latencies. Adding -trace-sample F
+// traces that fraction of transactions end to end (TRACE envelopes) and
+// fetches the sampled traces back from /debug/traces, reporting p50/p99 per
+// commit-pipeline stage (route, prepare, decide, outcome, linger, fsync).
 package main
 
 import (
@@ -77,6 +80,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable result JSON to this file")
 	statsOnly := flag.Bool("stats-only", false, "fetch STATS, print the raw reply JSON (to -json FILE if set, else stdout), and exit")
 	metricsAddr := flag.String("metrics-addr", "", "server metrics listener to scrape for server-side latency histograms (empty = skip)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of transactions traced end to end (TRACE envelopes); with -metrics-addr, the per-stage span breakdown from /debug/traces joins the report")
 	workload := flag.String("workload", "kv", "workload: kv (key/value ops), scan (full-keyspace range scans) or index (typed table with secondary-index lookups and AS OF verification)")
 	stateOut := flag.String("state-out", "", "index workload: write snapshot tokens and group counts to this file for a later -verify-state run")
 	verifyPath := flag.String("verify-state", "", "verify a recovered server against a -state-out file and exit")
@@ -110,7 +114,7 @@ func main() {
 		Addr: *addr, Workers: *workers, Txns: *txns, Keys: *keys,
 		ValueSize: *valueSize, ReadFrac: *readFrac, OpsPerTxn: *opsPerTxn,
 		PoolSize: *poolSize, Affinity: *affinity, MetricsAddr: *metricsAddr,
-		Workload: *workload,
+		Workload: *workload, TraceSample: *traceSample,
 	}
 	if *replicas != "" {
 		for _, a := range strings.Split(*replicas, ",") {
@@ -187,6 +191,10 @@ type loadConfig struct {
 	// MetricsAddr is the server's observability listener; non-empty enables
 	// the before/after /metrics scrape.
 	MetricsAddr string `json:"metrics_addr,omitempty"`
+	// TraceSample is the fraction of transactions traced end to end
+	// (client.Options.TraceSample); with MetricsAddr set, the sampled
+	// traces are fetched back and summarized per stage.
+	TraceSample float64 `json:"trace_sample,omitempty"`
 }
 
 // latencyMs summarizes a latency distribution in milliseconds.
@@ -261,6 +269,9 @@ type result struct {
 	// Server carries server-side histogram percentiles scraped from
 	// /metrics (-metrics-addr), as deltas over the measured window.
 	Server *serverSide `json:"server,omitempty"`
+	// Trace is the per-stage span breakdown fetched from /debug/traces;
+	// present when -trace-sample and -metrics-addr are both set.
+	Trace *traceBreakdown `json:"trace,omitempty"`
 }
 
 // serverSide is the /metrics slice of the report: what the server itself
@@ -359,7 +370,7 @@ type txnSample struct {
 }
 
 func run(cfg loadConfig, jsonPath string) error {
-	c, err := client.Dial(cfg.Addr, client.Options{PoolSize: cfg.PoolSize, Replicas: cfg.Replicas})
+	c, err := client.Dial(cfg.Addr, client.Options{PoolSize: cfg.PoolSize, Replicas: cfg.Replicas, TraceSample: cfg.TraceSample})
 	if err != nil {
 		return fmt.Errorf("dial %s: %w", cfg.Addr, err)
 	}
@@ -433,7 +444,7 @@ func run(cfg loadConfig, jsonPath string) error {
 	}
 	if len(cfg.Replicas) > 0 {
 		for w := range workerC {
-			wc, err := client.Dial(cfg.Addr, client.Options{PoolSize: 2, Replicas: cfg.Replicas})
+			wc, err := client.Dial(cfg.Addr, client.Options{PoolSize: 2, Replicas: cfg.Replicas, TraceSample: cfg.TraceSample})
 			if err != nil {
 				return fmt.Errorf("dial worker client: %w", err)
 			}
@@ -503,6 +514,13 @@ func run(cfg loadConfig, jsonPath string) error {
 			fmt.Fprintf(os.Stderr, "metrics scrape (after): %v\n", err)
 		} else {
 			res.Server = foldServerSide(mBefore, mAfter)
+		}
+		if cfg.TraceSample > 0 {
+			if bd, err := scrapeTraces(cfg.MetricsAddr, 1000); err != nil {
+				fmt.Fprintf(os.Stderr, "trace scrape: %v\n", err)
+			} else {
+				res.Trace = bd
+			}
 		}
 	}
 	res.Conflicts = conflicts
@@ -767,6 +785,10 @@ func printResult(res result) {
 		if f := res.Server.WALFsync; f != nil {
 			fmt.Printf("  WAL fsync: %d flushes, p50 %.3f ms, p99 %.3f ms\n", f.Count, f.P50, f.P99)
 		}
+	}
+
+	if res.Trace != nil {
+		printTraceBreakdown(res.Trace)
 	}
 
 	if res.Reads != nil {

@@ -61,6 +61,10 @@ type xshardResult struct {
 	InDoubt   int64   `json:"in_doubt"`
 	Crashed   bool    `json:"crashed"`
 	Elapsed   float64 `json:"elapsed_sec"`
+	// Trace is the per-stage span breakdown from /debug/traces; present when
+	// -trace-sample and -metrics-addr are both set. For this workload the
+	// 2PC stages (route, prepare, decide, outcome) dominate.
+	Trace *traceBreakdown `json:"trace,omitempty"`
 }
 
 // runXShard preloads the groups with single-shard transactions (one batch
@@ -68,7 +72,7 @@ type xshardResult struct {
 // cross-shard group rewrites from cfg.Workers workers. Unless -expect-crash
 // is set, the run ends with an in-process verify pass.
 func runXShard(cfg loadConfig, jsonPath string, groups int, expectCrash bool) error {
-	opts := client.Options{PoolSize: cfg.PoolSize}
+	opts := client.Options{PoolSize: cfg.PoolSize, TraceSample: cfg.TraceSample}
 	if expectCrash {
 		// Retries would only thrash against a server that killed itself at a
 		// crashpoint; fail fast so the run ends at the first broken commit.
@@ -162,6 +166,14 @@ func runXShard(cfg loadConfig, jsonPath string, groups int, expectCrash bool) er
 	}
 	fmt.Printf("xshard churn: %d committed, %d conflicts, %d in-doubt, crashed=%v in %.2fs\n",
 		res.Committed, res.Conflicts, res.InDoubt, res.Crashed, res.Elapsed)
+	if cfg.MetricsAddr != "" && cfg.TraceSample > 0 && !res.Crashed {
+		if bd, err := scrapeTraces(cfg.MetricsAddr, 1000); err != nil {
+			fmt.Fprintf(os.Stderr, "trace scrape: %v\n", err)
+		} else if bd != nil {
+			res.Trace = bd
+			printTraceBreakdown(bd)
+		}
+	}
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

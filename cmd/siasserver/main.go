@@ -9,15 +9,21 @@
 //	           [-pool FRAMES] [-pool-partitions P] [-readahead ROWS]
 //	           [-prefetch-depth N] [-max-inflight N]
 //	           [-drain SECONDS] [-data DIR] [-follow ADDR] [-announce ADDR]
-//	           [-metrics-addr :9544] [-slow-op-ms MS] [-asof-retention N]
+//	           [-metrics-addr :9544] [-slow-op-ms MS] [-slow-op-ring N]
+//	           [-trace-sample F] [-asof-retention N]
 //
 // With -metrics-addr, a side HTTP listener serves /metrics (Prometheus text
 // exposition of every layer: per-op latency histograms, WAL append/fsync
 // timings, buffer pool hit ratios, device write amplification, replication
 // lag), /healthz (readiness: 200 while serving and not draining), /debug/pprof
-// (CPU/heap/goroutine profiles) and /debug/slowops. -slow-op-ms additionally
-// logs every request slower than MS milliseconds with its op, shard and
-// transaction handle, and keeps the recent tail at /debug/slowops.
+// (CPU/heap/goroutine profiles), /debug/slowops and /debug/traces. -slow-op-ms
+// additionally logs every request slower than MS milliseconds with its op,
+// shard, transaction handle and trace id, keeping the most recent -slow-op-ring
+// records at /debug/slowops. Whenever observability is on, a distributed
+// tracer records spans for client requests carrying TRACE envelopes, for
+// over-threshold slow ops (always force-kept), and — with -trace-sample F —
+// for a head-sampled fraction F of bare data ops; /debug/traces serves the
+// recent traces grouped and filterable by trace id, op and duration.
 //
 // With -follow, the server runs as a replication follower: it subscribes to
 // the primary at ADDR (which must run the same shard count), mirrors its
@@ -54,6 +60,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -90,6 +97,8 @@ func main() {
 	announce := flag.String("announce", "", "follower address announced to the primary for client failover (default: loopback form of -addr)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
 	slowOpMs := flag.Int("slow-op-ms", 0, "log requests slower than this many milliseconds (0 = disabled)")
+	slowOpRing := flag.Int("slow-op-ring", 0, "slow-op records kept for /debug/slowops (0 = default 128)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of bare data ops traced server-side; traced client requests (TRACE envelopes) are always recorded. Needs -metrics-addr or -slow-op-ms")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -101,6 +110,7 @@ func main() {
 		gcLinger: *gcLinger, gcBatch: *gcBatch, asofRetention: *asofRetention,
 		follow: *follow, announce: *announce,
 		metricsAddr: *metricsAddr, slowOpMs: *slowOpMs,
+		slowOpRing: *slowOpRing, traceSample: *traceSample,
 	}
 	if cfg.follow != "" && cfg.announce == "" {
 		cfg.announce = cfg.addr
@@ -129,12 +139,17 @@ type serverConfig struct {
 	walSync       bool
 	gcLinger      time.Duration
 	gcBatch       int
-	asofRetention uint64 // engine.Options.GCRetention for every shard
-	follow        string // primary address; non-empty = follower mode
-	announce      string // follower address handed to clients on drain
-	metricsAddr   string // HTTP side listener; empty = observability off
-	slowOpMs      int    // slow-op log threshold; 0 = disabled
+	asofRetention uint64  // engine.Options.GCRetention for every shard
+	follow        string  // primary address; non-empty = follower mode
+	announce      string  // follower address handed to clients on drain
+	metricsAddr   string  // HTTP side listener; empty = observability off
+	slowOpMs      int     // slow-op log threshold; 0 = disabled
+	slowOpRing    int     // /debug/slowops ring size; 0 = obs default
+	traceSample   float64 // server-side head-sampling rate for bare data ops
 }
+
+// version is stamped by the build via -ldflags "-X main.version=...".
+var version = "dev"
 
 // openedShard is one shard after openShard: engine open and the kv table
 // bootstrapped, but not yet recovered. Recovery runs from run() once every
@@ -336,6 +351,31 @@ func run(cfg serverConfig) error {
 		closeAll(closers)
 		return err
 	}
+	// Observability: one registry wires every layer (server, engine, WAL,
+	// pool, devices, replication); a side HTTP listener exposes it so the
+	// wire port stays pure protocol. The slow-op log works even without the
+	// listener — it logs through the standard logger either way.
+	var reg *obs.Registry
+	var slow *obs.SlowOpLog
+	var tracer *obs.Tracer
+	if cfg.metricsAddr != "" || cfg.slowOpMs > 0 {
+		reg = obs.NewRegistry()
+		slow = obs.NewSlowOpLog(time.Duration(cfg.slowOpMs)*time.Millisecond, log.Printf,
+			obs.WithRingSize(cfg.slowOpRing))
+		// The tracer exists whenever observability does: client-carried TRACE
+		// envelopes and slow-op force-keeps record even with -trace-sample 0.
+		tracer = obs.NewTracer(cfg.traceSample, 0)
+		defer tracer.Close()
+		serveStart := time.Now()
+		reg.CollectGauge("sias_build_info",
+			"Build metadata; value is always 1.", func(emit func(obs.Labels, float64)) {
+				emit(obs.Labels{"version": version, "goversion": runtime.Version()}, 1)
+			})
+		reg.CollectGauge("sias_server_uptime_seconds",
+			"Seconds since this process started serving.", func(emit func(obs.Labels, float64)) {
+				emit(nil, time.Since(serveStart).Seconds())
+			})
+	}
 	var follower *repl.Follower
 	if cfg.follow != "" {
 		facades := make([]*engine.Facade, len(shards))
@@ -346,21 +386,12 @@ func run(cfg serverConfig) error {
 			PrimaryAddr: cfg.follow,
 			Announce:    cfg.announce,
 			Shards:      facades,
+			Tracer:      tracer,
 		})
 		if err != nil {
 			closeAll(closers)
 			return err
 		}
-	}
-	// Observability: one registry wires every layer (server, engine, WAL,
-	// pool, devices, replication); a side HTTP listener exposes it so the
-	// wire port stays pure protocol. The slow-op log works even without the
-	// listener — it logs through the standard logger either way.
-	var reg *obs.Registry
-	var slow *obs.SlowOpLog
-	if cfg.metricsAddr != "" || cfg.slowOpMs > 0 {
-		reg = obs.NewRegistry()
-		slow = obs.NewSlowOpLog(time.Duration(cfg.slowOpMs)*time.Millisecond, log.Printf)
 	}
 	srv, err := server.New(server.Config{
 		Router:       router,
@@ -369,6 +400,7 @@ func run(cfg serverConfig) error {
 		Replica:      follower,
 		Obs:          reg,
 		SlowOps:      slow,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		closeAll(closers)
@@ -382,8 +414,8 @@ func run(cfg serverConfig) error {
 		}
 		defer mln.Close()
 		go func() {
-			log.Printf("siasserver: metrics on http://%s/metrics (healthz, debug/pprof, debug/slowops)", mln.Addr())
-			msrv := &http.Server{Handler: obs.Handler(reg, slow, srv.Ready)}
+			log.Printf("siasserver: metrics on http://%s/metrics (healthz, debug/pprof, debug/slowops, debug/traces)", mln.Addr())
+			msrv := &http.Server{Handler: obs.Handler(reg, slow, tracer, srv.Ready)}
 			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
 				log.Printf("siasserver: metrics listener: %v", err)
 			}

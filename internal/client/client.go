@@ -67,6 +67,13 @@ type Options struct {
 	// Replicas are read-only follower addresses eligible to serve BeginRead
 	// transactions. Optional; with none, BeginRead runs on the primary.
 	Replicas []string
+	// TraceSample is the fraction of Begin transactions traced end to end
+	// (0 = never, 1 = always). A sampled transaction's BEGIN and COMMIT ride
+	// in TRACE envelopes carrying a client-generated trace id, so the
+	// server's spans — routing, 2PC phases, group-commit flushes, follower
+	// apply — stitch into one trace. Old servers answer BAD_REQUEST to
+	// TRACE, degrading tracing rather than the workload.
+	TraceSample float64
 }
 
 // Client is a pooled connection to one primary (plus optional read replicas).
@@ -236,6 +243,15 @@ func (cn *conn) call(op wire.Op, payload []byte) ([]byte, error) {
 	return resp, nil
 }
 
+// callTraced is call with an optional trace envelope: a nonzero traceID
+// wraps the frame in OpTrace so the server continues the client's trace.
+func (cn *conn) callTraced(traceID uint64, op wire.Op, payload []byte) ([]byte, error) {
+	if traceID == 0 {
+		return cn.call(op, payload)
+	}
+	return cn.call(wire.OpTrace, wire.EncodeTraceEnvelope(traceID, 0, true, op, payload))
+}
+
 // withRetry runs fn, retrying wire.ErrOverloaded with exponential backoff
 // and full jitter.
 func (c *Client) withRetry(fn func() error) error {
@@ -258,8 +274,9 @@ type Tx struct {
 	cn       *conn
 	handle   uint64
 	done     bool
-	readOnly bool // opened by BeginRead; writes are rejected client-side
-	wrote    bool // a write op succeeded; COMMIT transport loss is then in-doubt
+	readOnly bool   // opened by BeginRead; writes are rejected client-side
+	wrote    bool   // a write op succeeded; COMMIT transport loss is then in-doubt
+	traceID  uint64 // nonzero when this transaction is trace-sampled
 }
 
 // Begin opens a transaction on a pooled connection. When the server is
@@ -274,6 +291,14 @@ type Tx struct {
 // last error is surfaced wrapped in ErrNoPrimary so callers can
 // errors.Is(err, client.ErrNoPrimary) rather than pattern-match.
 func (c *Client) Begin() (*Tx, error) {
+	// Head sampling happens here, at the root of the request: one coin flip
+	// per transaction, and the decision rides every traced frame.
+	var traceID uint64
+	if c.opts.TraceSample > 0 && rand.Float64() < c.opts.TraceSample {
+		for traceID == 0 {
+			traceID = rand.Uint64()
+		}
+	}
 	var lastErr error
 	redirects, reconnects := 0, 0
 	delay := c.opts.RetryBase
@@ -297,7 +322,7 @@ func (c *Client) Begin() (*Tx, error) {
 		}
 		var handle uint64
 		err = c.withRetry(func() error {
-			resp, err := cn.call(wire.OpBegin, nil)
+			resp, err := cn.callTraced(traceID, wire.OpBegin, nil)
 			if err != nil {
 				return err
 			}
@@ -306,7 +331,7 @@ func (c *Client) Begin() (*Tx, error) {
 			return err
 		})
 		if err == nil {
-			return &Tx{c: c, cn: cn, handle: handle}, nil
+			return &Tx{c: c, cn: cn, handle: handle, traceID: traceID}, nil
 		}
 		c.put(cn) // broken connections are closed, healthy ones pooled
 		lastErr = err
@@ -485,7 +510,15 @@ func (t *Tx) call(op wire.Op, build func(*wire.Buf)) ([]byte, error) {
 			build(&b)
 		}
 		var err error
-		resp, err = t.cn.call(op, b.B)
+		if op == wire.OpCommit {
+			// Only the COMMIT rides the envelope: it is the frame whose
+			// server-side span parents the whole commit pipeline. Point ops
+			// stay bare — tracing every GET would double framing overhead
+			// for spans nobody looks at.
+			resp, err = t.cn.callTraced(t.traceID, op, b.B)
+		} else {
+			resp, err = t.cn.call(op, b.B)
+		}
 		return err
 	})
 	return resp, err

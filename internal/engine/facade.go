@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"sias/internal/simclock"
 	"sias/internal/tuple"
 	"sias/internal/txn"
+	"sias/internal/wal"
 )
 
 // Facade is the concurrency-safe front door to a DB for many goroutines.
@@ -48,6 +50,10 @@ type Facade struct {
 	// commit flush and wall-clock linger wait per lingered batch.
 	batchHist  *obs.Histogram
 	lingerHist *obs.Histogram
+
+	// tracer records group-commit stage spans for sampled commits
+	// (CommitTraced); nil disables tracing.
+	tracer *obs.Tracer
 }
 
 // SetCommitMetrics attaches group-commit instruments: batch observes the
@@ -59,10 +65,19 @@ func (f *Facade) SetCommitMetrics(batch, linger *obs.Histogram) {
 	f.lingerHist = linger
 }
 
+// SetTracer attaches the distributed tracer used by CommitTraced. Must be
+// called before the facade is shared between goroutines.
+func (f *Facade) SetTracer(t *obs.Tracer) { f.tracer = t }
+
 type commitWaiter struct {
 	tx   *txn.Tx
 	err  error
 	done chan struct{}
+
+	// Trace context of a sampled commit (zero otherwise): the group-commit
+	// stage spans hang off it, and enq timestamps the admission wait.
+	tc  obs.SpanContext
+	enq time.Time
 }
 
 // NewFacade wraps db for concurrent use.
@@ -126,8 +141,20 @@ func (f *Facade) Advance(op func(at simclock.Time) (simclock.Time, error)) error
 func (f *Facade) Begin() *txn.Tx { return f.db.Begin() }
 
 // Commit makes tx durable through the group-commit batcher.
-func (f *Facade) Commit(tx *txn.Tx) error {
+func (f *Facade) Commit(tx *txn.Tx) error { return f.CommitTraced(tx, obs.SpanContext{}) }
+
+// CommitTraced is Commit carrying a distributed-trace context. For a
+// sampled tc the group-commit stages are recorded as spans under it: the
+// leader's linger wait and the shared WAL flush, each commit in the batch
+// annotated with whether it led the flush or rode another leader's, and an
+// advisory RecTraceCtx WAL record links the commit to its trace in the
+// replication stream.
+func (f *Facade) CommitTraced(tx *txn.Tx, tc obs.SpanContext) error {
 	w := &commitWaiter{tx: tx, done: make(chan struct{})}
+	if f.tracer != nil && tc.Sampled {
+		w.tc = tc
+		w.enq = time.Now()
+	}
 	f.gcMu.Lock()
 	f.queue = append(f.queue, w)
 	if f.leader {
@@ -147,17 +174,28 @@ func (f *Facade) Commit(tx *txn.Tx) error {
 		f.queue = nil
 		f.gcMu.Unlock()
 
+		lingerStart := time.Now()
 		batch = f.lingerForBatch(batch)
 		if f.batchHist != nil {
 			f.batchHist.Observe(float64(len(batch)))
 		}
 
+		sampled := false
 		txs := make([]*txn.Tx, len(batch))
 		for i, b := range batch {
 			txs[i] = b.tx
+			if b.tc.Sampled {
+				sampled = true
+				// Advisory trace linkage: rides the batch's commit flush.
+				f.db.walw.Append(&wal.Record{Type: wal.RecTraceCtx, Tx: b.tx.ID, Aux: b.tc.TraceID})
+			}
 		}
+		flushStart := time.Now()
 		t, errs := f.db.CommitBatch(txs, f.Now())
 		f.publish(t)
+		if sampled {
+			f.traceBatch(batch, w, lingerStart, flushStart, time.Now())
+		}
 		for i, b := range batch {
 			b.err = errs[i]
 			close(b.done)
@@ -173,6 +211,33 @@ func (f *Facade) Commit(tx *txn.Tx) error {
 	f.maybeTick()
 	<-w.done
 	return w.err
+}
+
+// traceBatch records the group-commit stage spans for every sampled commit
+// in a flushed batch. The flush is one shared event: each sampled waiter
+// gets its own "fsync" span over the same window, annotated with the batch
+// size and whether it led the flush (leader == the waiter running this
+// loop) or rode along; the leader additionally gets the "linger" span
+// covering batch growth. Runs before the waiters are signalled, so every
+// span of a commit is retained before its reply leaves the server.
+func (f *Facade) traceBatch(batch []*commitWaiter, leader *commitWaiter, lingerStart, flushStart, flushEnd time.Time) {
+	for _, b := range batch {
+		if !b.tc.Sampled {
+			continue
+		}
+		if b == leader && flushStart.Sub(lingerStart) > 0 {
+			ls := f.tracer.StartSpanAt(b.tc, "linger", lingerStart)
+			ls.Annotate("batch", strconv.Itoa(len(batch)))
+			ls.FinishAt(flushStart)
+		}
+		fs := f.tracer.StartSpanAt(b.tc, "fsync", flushStart)
+		fs.Annotate("batch", strconv.Itoa(len(batch)))
+		fs.Annotate("shared", strconv.FormatBool(b != leader))
+		if !b.enq.IsZero() {
+			fs.Annotate("queued_ms", strconv.FormatFloat(float64(flushStart.Sub(b.enq))/float64(time.Millisecond), 'f', 3, 64))
+		}
+		fs.FinishAt(flushEnd)
+	}
 }
 
 // lingerForBatch optionally grows a small commit batch by waiting (bounded

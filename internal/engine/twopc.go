@@ -144,3 +144,12 @@ func (f *Facade) FinishPrepared(tx *txn.Tx, commit bool) error {
 		return f.db.FinishPrepared(tx, commit, at)
 	})
 }
+
+// NoteTrace appends an advisory RecTraceCtx record linking tx's WAL records
+// to a distributed trace id. Unflushed — it rides the next flush on this
+// shard (for a 2PC participant, the outcome-flush round) — and ignored by
+// recovery and replica apply; only a follower's replication loop reads it,
+// to stamp its apply span with the originating request's trace.
+func (f *Facade) NoteTrace(tx *txn.Tx, traceID uint64) {
+	f.db.walw.Append(&wal.Record{Type: wal.RecTraceCtx, Tx: tx.ID, Aux: traceID})
+}

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -253,7 +255,7 @@ func TestSlowOpLog(t *testing.T) {
 		t.Fatal("threshold 0 must return the nil (disabled) log")
 	}
 	var nilLog *SlowOpLog
-	nilLog.Record("GET", 0, 1, time.Second) // must not panic
+	nilLog.Record("GET", 0, 1, 0, time.Second) // must not panic
 
 	var lines []string
 	l := NewSlowOpLog(10*time.Millisecond, func(format string, args ...any) {
@@ -261,8 +263,8 @@ func TestSlowOpLog(t *testing.T) {
 	})
 	c := &Counter{}
 	l.SetCounter(c)
-	l.Record("GET", 2, 7, 5*time.Millisecond) // under threshold
-	l.Record("COMMIT", -1, 9, 50*time.Millisecond)
+	l.Record("GET", 2, 7, 0, 5*time.Millisecond) // under threshold
+	l.Record("COMMIT", -1, 9, 0xabcd, 50*time.Millisecond)
 	if c.Value() != 1 || l.Total() != 1 || len(lines) != 1 {
 		t.Fatalf("counter=%d total=%d lines=%d, want 1/1/1", c.Value(), l.Total(), len(lines))
 	}
@@ -270,17 +272,32 @@ func TestSlowOpLog(t *testing.T) {
 	if len(rec) != 1 || rec[0].Op != "COMMIT" || rec[0].Txn != 9 || rec[0].Shard != -1 {
 		t.Fatalf("unexpected recent: %+v", rec)
 	}
+	if rec[0].TraceID != fmt.Sprintf("%016x", uint64(0xabcd)) {
+		t.Fatalf("trace id %q, want %016x", rec[0].TraceID, uint64(0xabcd))
+	}
 
 	// Ring wraps: newest first, bounded length.
-	for i := 0; i < slowRingSize+10; i++ {
-		l.Record("SCAN", 0, uint64(i), 20*time.Millisecond)
+	for i := 0; i < defSlowRingSize+10; i++ {
+		l.Record("SCAN", 0, uint64(i), 0, 20*time.Millisecond)
 	}
 	rec = l.Recent()
-	if len(rec) != slowRingSize {
-		t.Fatalf("ring length %d, want %d", len(rec), slowRingSize)
+	if len(rec) != defSlowRingSize {
+		t.Fatalf("ring length %d, want %d", len(rec), defSlowRingSize)
 	}
-	if rec[0].Txn != uint64(slowRingSize+10-1) {
-		t.Fatalf("newest entry txn %d, want %d", rec[0].Txn, slowRingSize+10-1)
+	if rec[0].Txn != uint64(defSlowRingSize+10-1) {
+		t.Fatalf("newest entry txn %d, want %d", rec[0].Txn, defSlowRingSize+10-1)
+	}
+
+	// WithRingSize overrides the default bound.
+	small := NewSlowOpLog(time.Millisecond, nil, WithRingSize(4))
+	if small.RingSize() != 4 {
+		t.Fatalf("ring size %d, want 4", small.RingSize())
+	}
+	for i := 0; i < 10; i++ {
+		small.Record("GET", 0, uint64(i), 0, 2*time.Millisecond)
+	}
+	if got := small.Recent(); len(got) != 4 || got[0].Txn != 9 {
+		t.Fatalf("small ring: len=%d newest=%+v", len(got), got[0])
 	}
 }
 
@@ -288,8 +305,17 @@ func TestHandler(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("sias_h_total", "h", nil).Inc()
 	slow := NewSlowOpLog(time.Millisecond, nil)
+	slow.Record("COMMIT", 1, 42, 0xbeef, 30*time.Millisecond)
+	tracer := NewTracer(1, 0)
+	defer tracer.Close()
+	sp := tracer.StartSpan(tracer.NewContext(), "COMMIT")
+	child := tracer.StartSpan(sp.Context(), "route")
+	child.SetShard(0)
+	child.Annotate("shards", "2")
+	child.Finish()
+	sp.Finish()
 	var readyErr error
-	h := Handler(reg, slow, func() error { return readyErr })
+	h := Handler(reg, slow, tracer, func() error { return readyErr })
 
 	srv := httptest.NewServer(h)
 	defer srv.Close()
@@ -308,11 +334,80 @@ func TestHandler(t *testing.T) {
 	if got := httpGet(t, srv.URL+"/healthz"); got.status != 503 {
 		t.Fatalf("/healthz while unready = %d, want 503", got.status)
 	}
-	if got := httpGet(t, srv.URL+"/debug/slowops"); got.status != 200 || !strings.Contains(got.body, "threshold_ms") {
+	if got := httpGet(t, srv.URL+"/debug/slowops"); got.status != 200 ||
+		!strings.Contains(got.body, "threshold_ms=1") || !strings.Contains(got.body, "trace=000000000000beef") {
 		t.Fatalf("/debug/slowops = %d %q", got.status, got.body)
+	}
+	var slowDoc struct {
+		ThresholdMs int64    `json:"threshold_ms"`
+		RingSize    int      `json:"ring_size"`
+		Total       int      `json:"total"`
+		Recent      []SlowOp `json:"recent"`
+	}
+	got := httpGet(t, srv.URL+"/debug/slowops?format=json")
+	if got.status != 200 || !strings.HasPrefix(got.contentType, "application/json") {
+		t.Fatalf("/debug/slowops?format=json = %d %q", got.status, got.contentType)
+	}
+	if err := json.Unmarshal([]byte(got.body), &slowDoc); err != nil {
+		t.Fatalf("slowops json: %v\n%s", err, got.body)
+	}
+	if slowDoc.ThresholdMs != 1 || slowDoc.Total != 1 || len(slowDoc.Recent) != 1 ||
+		slowDoc.Recent[0].Op != "COMMIT" || slowDoc.Recent[0].TraceID != "000000000000beef" {
+		t.Fatalf("slowops json doc: %+v", slowDoc)
 	}
 	if got := httpGet(t, srv.URL+"/debug/pprof/"); got.status != 200 {
 		t.Fatalf("/debug/pprof/ = %d", got.status)
+	}
+
+	// /debug/traces: one trace holding both spans, parent link intact.
+	tracer.Drain()
+	var traceDoc struct {
+		SpansTotal int64 `json:"spans_total"`
+		Traces     []struct {
+			TraceID string `json:"trace_id"`
+			Spans   []struct {
+				SpanID      string            `json:"span_id"`
+				ParentID    string            `json:"parent_span_id"`
+				Name        string            `json:"name"`
+				Shard       int               `json:"shard"`
+				Annotations map[string]string `json:"annotations"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	got = httpGet(t, srv.URL+"/debug/traces")
+	if got.status != 200 {
+		t.Fatalf("/debug/traces = %d %q", got.status, got.body)
+	}
+	if err := json.Unmarshal([]byte(got.body), &traceDoc); err != nil {
+		t.Fatalf("traces json: %v\n%s", err, got.body)
+	}
+	if traceDoc.SpansTotal != 2 || len(traceDoc.Traces) != 1 || len(traceDoc.Traces[0].Spans) != 2 {
+		t.Fatalf("traces doc: %+v\n%s", traceDoc, got.body)
+	}
+	spans := traceDoc.Traces[0].Spans
+	if spans[0].Name != "COMMIT" || spans[0].ParentID != "" {
+		t.Fatalf("root span: %+v", spans[0])
+	}
+	if spans[1].Name != "route" || spans[1].ParentID != spans[0].SpanID ||
+		spans[1].Shard != 0 || spans[1].Annotations["shards"] != "2" {
+		t.Fatalf("child span: %+v", spans[1])
+	}
+
+	// Filters: op match, op miss, trace-id match, bad trace id.
+	if got := httpGet(t, srv.URL+"/debug/traces?op=route"); !strings.Contains(got.body, "\"route\"") {
+		t.Fatalf("op=route filter dropped the trace: %s", got.body)
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/debug/traces?op=nonesuch").body), &traceDoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(traceDoc.Traces) != 0 {
+		t.Fatalf("op=nonesuch matched %d traces", len(traceDoc.Traces))
+	}
+	if got := httpGet(t, srv.URL+"/debug/traces?trace="+fmt.Sprintf("%016x", sp.TraceID())); !strings.Contains(got.body, "\"COMMIT\"") {
+		t.Fatalf("trace filter dropped the trace: %s", got.body)
+	}
+	if got := httpGet(t, srv.URL+"/debug/traces?trace=zzz"); got.status != 400 {
+		t.Fatalf("bad trace id = %d, want 400", got.status)
 	}
 }
 

@@ -29,6 +29,9 @@ func (p *ParsedHist) Quantile(q float64) float64 {
 
 // Sub returns the histogram delta p - q (same bounds required); a nil or
 // mismatched q returns p unchanged, so "before" scrapes are optional.
+// Negative deltas — a counter reset between the two scrapes, e.g. a server
+// restart mid-run — clamp at zero instead of poisoning the folded
+// percentiles with negative bucket populations.
 func (p *ParsedHist) Sub(q *ParsedHist) *ParsedHist {
 	if q == nil || len(q.Bounds) != len(p.Bounds) {
 		return p
@@ -36,11 +39,11 @@ func (p *ParsedHist) Sub(q *ParsedHist) *ParsedHist {
 	out := &ParsedHist{
 		Bounds: p.Bounds,
 		Counts: make([]int64, len(p.Counts)),
-		Sum:    p.Sum - q.Sum,
-		Count:  p.Count - q.Count,
+		Sum:    max(p.Sum-q.Sum, 0),
+		Count:  max(p.Count-q.Count, 0),
 	}
 	for i := range p.Counts {
-		out.Counts[i] = p.Counts[i] - q.Counts[i]
+		out.Counts[i] = max(p.Counts[i]-q.Counts[i], 0)
 	}
 	return out
 }

@@ -1,23 +1,40 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
 
 // SlowOp is one over-threshold operation: what ran, where, and for how
 // long. Shard is -1 when the op is not pinned to one shard (BEGIN, a
-// cross-shard COMMIT, SCAN fan-outs).
+// cross-shard COMMIT, SCAN fan-outs). TraceID links the hit to its trace
+// at /debug/traces ("" when no tracer was attached).
 type SlowOp struct {
 	Time       time.Time `json:"time"`
 	Op         string    `json:"op"`
 	Shard      int       `json:"shard"`
 	Txn        uint64    `json:"txn"` // wire transaction handle, 0 if none
 	DurationMs float64   `json:"duration_ms"`
+	TraceID    string    `json:"trace_id,omitempty"`
 }
 
-// slowRingSize bounds the in-memory tail served at /debug/slowops.
-const slowRingSize = 128
+// defSlowRingSize is the default bound on the in-memory tail served at
+// /debug/slowops; override with WithRingSize.
+const defSlowRingSize = 128
+
+// SlowOpOption configures a SlowOpLog at construction.
+type SlowOpOption func(*SlowOpLog)
+
+// WithRingSize sets how many recent slow ops the ring retains (<= 0 keeps
+// the default).
+func WithRingSize(n int) SlowOpOption {
+	return func(l *SlowOpLog) {
+		if n > 0 {
+			l.ring = make([]SlowOp, n)
+		}
+	}
+}
 
 // SlowOpLog records operations that exceed a wall-clock threshold: each one
 // produces a structured log line, bumps an (optional) counter, and lands in
@@ -30,18 +47,22 @@ type SlowOpLog struct {
 	total     *Counter // optional: sias_server_slow_ops_total
 
 	mu   sync.Mutex
-	ring [slowRingSize]SlowOp
+	ring []SlowOp
 	n    int // total recorded
 }
 
 // NewSlowOpLog returns a log that records ops at or over threshold through
 // logf (which may be nil to keep only the ring). A threshold <= 0 returns
 // nil — the disabled log.
-func NewSlowOpLog(threshold time.Duration, logf func(format string, args ...any)) *SlowOpLog {
+func NewSlowOpLog(threshold time.Duration, logf func(format string, args ...any), opts ...SlowOpOption) *SlowOpLog {
 	if threshold <= 0 {
 		return nil
 	}
-	return &SlowOpLog{threshold: threshold, logf: logf}
+	l := &SlowOpLog{threshold: threshold, logf: logf, ring: make([]SlowOp, defSlowRingSize)}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
 }
 
 // SetCounter attaches a registry counter bumped per recorded op.
@@ -59,22 +80,34 @@ func (l *SlowOpLog) Threshold() time.Duration {
 	return l.threshold
 }
 
-// Record logs op if d reached the threshold. Safe on a nil receiver.
-func (l *SlowOpLog) Record(op string, shard int, txn uint64, d time.Duration) {
+// RingSize reports the ring capacity (0 when disabled).
+func (l *SlowOpLog) RingSize() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.ring)
+}
+
+// Record logs op if d reached the threshold. traceID is the op's trace id
+// when one exists (0 otherwise). Safe on a nil receiver.
+func (l *SlowOpLog) Record(op string, shard int, txn uint64, traceID uint64, d time.Duration) {
 	if l == nil || d < l.threshold {
 		return
 	}
 	e := SlowOp{Time: time.Now(), Op: op, Shard: shard, Txn: txn, DurationMs: float64(d) / float64(time.Millisecond)}
+	if traceID != 0 {
+		e.TraceID = fmt.Sprintf("%016x", traceID)
+	}
 	if l.total != nil {
 		l.total.Inc()
 	}
 	l.mu.Lock()
-	l.ring[l.n%slowRingSize] = e
+	l.ring[l.n%len(l.ring)] = e
 	l.n++
 	l.mu.Unlock()
 	if l.logf != nil {
-		l.logf("slow-op op=%s shard=%d txn=%d dur=%.1fms threshold=%dms",
-			op, shard, txn, e.DurationMs, l.threshold.Milliseconds())
+		l.logf("slow-op op=%s shard=%d txn=%d trace=%s dur=%.1fms threshold=%dms",
+			op, shard, txn, e.TraceID, e.DurationMs, l.threshold.Milliseconds())
 	}
 }
 
@@ -86,12 +119,12 @@ func (l *SlowOpLog) Recent() []SlowOp {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := l.n
-	if n > slowRingSize {
-		n = slowRingSize
+	if n > len(l.ring) {
+		n = len(l.ring)
 	}
 	out := make([]SlowOp, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, l.ring[(l.n-1-i)%slowRingSize])
+		out = append(out, l.ring[(l.n-1-i)%len(l.ring)])
 	}
 	return out
 }

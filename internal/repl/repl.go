@@ -31,11 +31,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sias/internal/engine"
+	"sias/internal/obs"
 	"sias/internal/simclock"
 	"sias/internal/wal"
 	"sias/internal/wire"
@@ -59,6 +61,11 @@ type Config struct {
 	DialTimeout time.Duration
 	// Logf logs replication progress (default log.Printf).
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records a "repl.apply" span for every applied
+	// batch that carries trace-context records (wal.RecTraceCtx), linked by
+	// trace id to the originating commit so a cross-process trace shows when
+	// its writes became visible on this follower.
+	Tracer *obs.Tracer
 }
 
 // Follower streams and replays a primary's WAL. One mutex serializes state
@@ -292,12 +299,20 @@ func (f *Follower) applyBatch(shard int, start wal.LSN, data []byte, primaryDura
 	if start > cur {
 		w.SkipTo(start)
 	}
+	applyStart := time.Now()
+	var traceIDs map[uint64]int // trace id -> records applied under it
 	for len(data) > 0 {
 		rec, n, derr := wal.DecodeRecord(data)
 		if derr != nil {
 			return fmt.Errorf("repl: shard %d: corrupt record at LSN %d: %w", shard, start, derr)
 		}
 		f.recvRecs[shard].Add(1)
+		if f.cfg.Tracer != nil && rec.Type == wal.RecTraceCtx {
+			if traceIDs == nil {
+				traceIDs = map[uint64]int{}
+			}
+			traceIDs[rec.Aux]++
+		}
 		w.Append(&rec)
 		if err := fc.Advance(func(at simclock.Time) (simclock.Time, error) {
 			return db.ApplyRecord(at, &rec)
@@ -315,6 +330,19 @@ func (f *Follower) applyBatch(shard int, start wal.LSN, data []byte, primaryDura
 		return err
 	}
 	f.applied[shard].Store(uint64(w.NextLSN()))
+	if len(traceIDs) > 0 {
+		// Stitch the apply back into the originating trace. The span is
+		// parentless (the parent span id never crosses the log, only the
+		// trace id does) and forced past the sampler — the primary already
+		// decided this transaction is sampled by logging RecTraceCtx at all.
+		end := time.Now()
+		for id := range traceIDs {
+			sp := f.cfg.Tracer.LinkedSpanAt(id, "repl.apply", applyStart)
+			sp.SetShard(shard)
+			sp.Annotate("applied_lsn", strconv.FormatUint(uint64(w.NextLSN()), 10))
+			sp.FinishAt(end)
+		}
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"sias/internal/client"
 	"sias/internal/device"
 	"sias/internal/engine"
+	"sias/internal/obs"
 	"sias/internal/page"
 	"sias/internal/repl"
 	"sias/internal/server"
@@ -139,7 +140,13 @@ func TestReplicationBasic(t *testing.T) {
 		openPrimary(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false),
 		openPrimary(t, device.NewMem(page.Size, 1<<16), device.NewMem(page.Size, 1<<14), false),
 	)
-	psrv, err := server.New(server.Config{Router: prim})
+	// Tracers on both sides: the primary records the commit pipeline, the
+	// follower links its apply work back via the WAL-carried trace context.
+	ptracer := obs.NewTracer(0, 0)
+	t.Cleanup(ptracer.Close)
+	ftracer := obs.NewTracer(0, 0)
+	t.Cleanup(ftracer.Close)
+	psrv, err := server.New(server.Config{Router: prim, Tracer: ptracer})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,6 +168,7 @@ func TestReplicationBasic(t *testing.T) {
 		PrimaryAddr: pln.Addr().String(),
 		Shards:      []*engine.Facade{follow[0].Facade, follow[1].Facade},
 		Logf:        t.Logf,
+		Tracer:      ftracer,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -190,7 +198,78 @@ func TestReplicationBasic(t *testing.T) {
 	const n = 100
 	loadKeys(t, pc, 0, n, "v")
 
+	// One client-sampled cross-shard commit: its trace context travels the
+	// wire to the primary and then the WAL stream to the follower.
+	tracedC, err := client.Dial(pln.Addr().String(), client.Options{TraceSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k0, k1 int64 = -1, -1
+	for k := int64(2000); k0 < 0 || k1 < 0; k++ {
+		switch {
+		case shard.Of(k, 2) == 0 && k0 < 0:
+			k0 = k
+		case shard.Of(k, 2) == 1 && k1 < 0:
+			k1 = k
+		}
+	}
+	ttx, err := tracedC.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ttx.Insert(k0, []byte("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ttx.Insert(k1, []byte("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ttx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tracedC.Close()
+
 	waitFor(t, 10*time.Second, "replication lag to reach zero", func() bool { return caughtUp(f) })
+
+	// The follower emitted a repl.apply span per participant shard, all
+	// under the trace id the client minted on the primary side. caughtUp
+	// compares against the follower's last-received view of the primary
+	// durable LSN, which can lag the traced commit — wait for the spans.
+	ptracer.Drain()
+	var wantTrace uint64
+	for _, rec := range ptracer.Snapshot() {
+		if rec.Name == "COMMIT" {
+			wantTrace = rec.TraceID
+		}
+	}
+	if wantTrace == 0 {
+		t.Fatal("primary tracer retained no COMMIT span for the sampled transaction")
+	}
+	waitFor(t, 10*time.Second, "repl.apply spans from both shards", func() bool {
+		ftracer.Drain()
+		seen := map[int]bool{}
+		for _, rec := range ftracer.Snapshot() {
+			if rec.Name == "repl.apply" {
+				seen[rec.Shard] = true
+			}
+		}
+		return seen[0] && seen[1]
+	})
+	applyShards := map[int]bool{}
+	for _, rec := range ftracer.Snapshot() {
+		if rec.Name != "repl.apply" {
+			t.Fatalf("unexpected follower span %q", rec.Name)
+		}
+		if rec.TraceID != wantTrace {
+			t.Fatalf("repl.apply trace id %016x, want the primary's %016x", rec.TraceID, wantTrace)
+		}
+		if rec.Annotations["applied_lsn"] == "" {
+			t.Fatalf("repl.apply span missing applied_lsn: %+v", rec)
+		}
+		applyShards[rec.Shard] = true
+	}
+	if !applyShards[0] || !applyShards[1] {
+		t.Fatalf("repl.apply spans on shards %v, want both 2PC participants", applyShards)
+	}
 
 	fc, err := client.Dial(fln.Addr().String(), client.Options{})
 	if err != nil {

@@ -75,6 +75,18 @@ func (s *Server) setupMetrics(reg *obs.Registry, slow *obs.SlowOpLog) {
 		"Requests read but not yet fully answered.", func(emit func(obs.Labels, float64)) {
 			emit(nil, float64(s.inflight.Load()))
 		})
+	if s.tracer != nil {
+		reg.CollectCounter("sias_trace_spans_total",
+			"Distributed trace spans recorded (sampled or force-kept).",
+			func(emit func(obs.Labels, float64)) {
+				emit(nil, float64(s.tracer.Spans()))
+			})
+		reg.CollectCounter("sias_trace_dropped_total",
+			"Distributed trace spans dropped by a full collector queue.",
+			func(emit func(obs.Labels, float64)) {
+				emit(nil, float64(s.tracer.Dropped()))
+			})
+	}
 	reg.CollectGauge("sias_server_subscribers",
 		"Connections currently streaming the WAL to followers.", func(emit func(obs.Labels, float64)) {
 			s.mu.Lock()
@@ -454,16 +466,26 @@ func (s *Server) setupMetrics(reg *obs.Registry, slow *obs.SlowOpLog) {
 // observeOp records one handled request into the per-op histogram and the
 // slow-op log. Label metadata for the slow path (owning shard, transaction
 // handle) is decoded from the request payload only once the op is already
-// known to be slow.
-func (s *Server) observeOp(op wire.Op, payload []byte, d time.Duration) {
+// known to be slow. sp is the op's trace span (nil when untraced): slow-op
+// records carry its trace id, and a slow op that was NOT sampled gets a
+// retrospective force-kept root span so every slow-op record links to a
+// trace regardless of the sampling rate.
+func (s *Server) observeOp(op wire.Op, payload []byte, sp *obs.Span, t0 time.Time, d time.Duration) {
 	if int(op) < len(s.opHist) {
 		if h := s.opHist[op]; h != nil {
 			h.Observe(d.Seconds())
 		}
 	}
 	if s.slow != nil && d >= s.slow.Threshold() {
+		traceID := sp.TraceID()
+		if traceID == 0 && s.tracer != nil && traceable(op) {
+			fsp := s.tracer.ForceRootAt(op.String(), t0)
+			fsp.Annotate("slow", "forced")
+			fsp.FinishAt(t0.Add(d))
+			traceID = fsp.TraceID()
+		}
 		sh, txn := s.slowOpMeta(op, payload)
-		s.slow.Record(op.String(), sh, txn, d)
+		s.slow.Record(op.String(), sh, txn, traceID, d)
 	}
 }
 

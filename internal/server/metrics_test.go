@@ -20,10 +20,13 @@ import (
 func TestMetricsMatchStatsFrame(t *testing.T) {
 	reg := obs.NewRegistry()
 	slow := obs.NewSlowOpLog(time.Hour, nil) // threshold no op ever reaches
+	tracer := obs.NewTracer(1, 0)            // every data op traced
+	t.Cleanup(tracer.Close)
 	r := memRouter(t, 3)
 	_, addr := startServer(t, r, func(cfg *server.Config) {
 		cfg.Obs = reg
 		cfg.SlowOps = slow
+		cfg.Tracer = tracer
 	})
 
 	c, err := client.Dial(addr, client.Options{PoolSize: 4})
@@ -243,6 +246,19 @@ func TestMetricsMatchStatsFrame(t *testing.T) {
 	}
 	if flushes == 0 || fsync < flushes {
 		t.Fatalf("WAL fsync observations = %d, want >= commit flushes = %d (> 0)", fsync, flushes)
+	}
+	// Trace counters: the STATS frame and the exposition read the same
+	// tracer, and every data op above was sampled so spans accumulated.
+	if st.Trace == nil || st.Trace.Spans == 0 {
+		t.Fatalf("trace section = %+v after fully-sampled traffic", st.Trace)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("sias_trace_spans_total %d\n", st.Trace.Spans),
+		fmt.Sprintf("sias_trace_dropped_total %d\n", st.Trace.Dropped),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 	// Repl families must expose HELP/TYPE even on a primary (CI greps them).
 	if !strings.Contains(text, "# TYPE sias_repl_lag_records gauge") {

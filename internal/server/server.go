@@ -72,6 +72,12 @@ type Config struct {
 	// SlowOps, when set with Obs, records over-threshold requests. Nil (or a
 	// nil-returning NewSlowOpLog) disables the slow path entirely.
 	SlowOps *obs.SlowOpLog
+	// Tracer, when set, records distributed trace spans: every data op
+	// arriving in a TRACE envelope continues its carried trace, bare data ops
+	// are head-sampled server-side, and over-threshold ops are force-kept.
+	// Meta ops (STATS, REPL_LSN, PROMOTE, SUBSCRIBE) are never traced — their
+	// replies must not race the tracer's own counters.
+	Tracer *obs.Tracer
 }
 
 // Stats counts service-layer events, exposed through the STATS op next to
@@ -123,6 +129,7 @@ type Server struct {
 	opHist  [maxOp]*obs.Histogram
 	slow    *obs.SlowOpLog
 	timeOps bool
+	tracer  *obs.Tracer
 }
 
 // New validates cfg and returns a Server.
@@ -163,6 +170,10 @@ func New(cfg Config) (*Server, error) {
 		sessions:  map[*session]struct{}{},
 		subs:      map[*session]*subscriber{},
 		drainedCh: make(chan struct{}),
+	}
+	s.tracer = cfg.Tracer
+	if s.tracer != nil {
+		cfg.Router.SetTracer(s.tracer)
 	}
 	if cfg.Obs != nil {
 		s.setupMetrics(cfg.Obs, cfg.SlowOps)
@@ -428,11 +439,32 @@ func (c *session) run() {
 	}()
 
 	for {
-		op, payload, err := wire.ReadFrame(c.br)
+		rawOp, payload, err := wire.ReadFrame(c.br)
 		if err != nil {
 			return // EOF, client went away, or force-closed during drain
 		}
-		if wire.Op(op) == wire.OpSubscribe {
+		op := wire.Op(rawOp)
+		// Unwrap the trace envelope before anything looks at the op: the
+		// inner op drives the subscribe switch, admission, histograms and
+		// the slow-op log exactly as if it had arrived bare; only the span
+		// context is peeled off.
+		var tc obs.SpanContext
+		if op == wire.OpTrace {
+			traceID, parentSpan, sampled, inner, innerPayload, derr := wire.DecodeTraceEnvelope(payload)
+			if derr != nil {
+				var eb wire.Buf
+				eb.B = append(eb.B, fmt.Sprintf("bad request: malformed TRACE envelope: %v", derr)...)
+				if wire.WriteFrame(c.bw, uint8(wire.CodeBadRequest), eb.B) != nil || c.bw.Flush() != nil {
+					return
+				}
+				continue
+			}
+			op, payload = inner, innerPayload
+			if sampled && traceID != 0 {
+				tc = obs.SpanContext{TraceID: traceID, SpanID: parentSpan, Sampled: true}
+			}
+		}
+		if op == wire.OpSubscribe {
 			// The connection becomes a one-way log stream; it speaks no
 			// further request frames and never returns to this loop.
 			c.runSubscriber(payload)
@@ -440,12 +472,29 @@ func (c *session) run() {
 		}
 		c.srv.inflight.Add(1)
 		var t0 time.Time
-		if c.srv.timeOps {
+		if c.srv.timeOps || c.srv.tracer != nil {
 			t0 = time.Now()
 		}
-		resp, herr := c.handle(wire.Op(op), payload)
+		// Op span: continue a carried trace, or head-sample a bare data op
+		// server-side. Meta ops are never traced (see Config.Tracer).
+		var sp *obs.Span
+		if c.srv.tracer != nil && traceable(op) {
+			if !tc.Sampled && c.srv.tracer.Sample() {
+				tc = c.srv.tracer.NewContext()
+			}
+			sp = c.srv.tracer.StartSpanAt(tc, op.String(), t0)
+		}
+		resp, herr := c.handle(op, payload, sp)
+		if sp != nil {
+			if herr != nil {
+				sp.Annotate("error", herr.Error())
+			}
+			// Finished (and counted) before the reply hits the wire, so a
+			// scrape after the client observes the ack sees the span.
+			sp.Finish()
+		}
 		if c.srv.timeOps {
-			c.srv.observeOp(wire.Op(op), payload, time.Since(t0))
+			c.srv.observeOp(op, payload, sp, t0, time.Since(t0))
 		}
 		if herr != nil {
 			var eb wire.Buf
@@ -754,7 +803,19 @@ func (s *Server) admit() bool {
 	}
 }
 
-func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
+// traceable reports whether op may get a trace span. Meta ops are excluded:
+// their replies carry (or gate) the very counters the tracer bumps, so
+// tracing them would let a span land after the reply's numbers were read —
+// breaking the STATS == /metrics exact-equality invariant at quiescence.
+func traceable(op wire.Op) bool {
+	switch op {
+	case wire.OpStats, wire.OpReplLSN, wire.OpPromote, wire.OpSubscribe:
+		return false
+	}
+	return true
+}
+
+func (c *session) handle(op wire.Op, payload []byte, sp *obs.Span) ([]byte, error) {
 	srv := c.srv
 	srv.mu.Lock()
 	draining := srv.draining
@@ -840,6 +901,9 @@ func (c *session) handle(op wire.Op, payload []byte) ([]byte, error) {
 		delete(c.txs, h)
 		srv.openTxns.Add(-1)
 		if op == wire.OpCommit {
+			// Hand the op span's context to the router so the commit path
+			// (route/2PC phases/group-commit stages) records child spans.
+			tx.SetTrace(sp.Context())
 			if err := tx.Commit(); err != nil {
 				return nil, err
 			}
@@ -1021,6 +1085,15 @@ type StatsReply struct {
 	// Ops summarizes server-side latency per wire op, read from the same
 	// histograms /metrics exposes. Present only when metrics are wired.
 	Ops map[string]OpLatency `json:"ops,omitempty"`
+	// Trace reports the distributed tracer's counters, matching the
+	// sias_trace_* metric families. Present only when tracing is wired.
+	Trace *TraceStats `json:"trace,omitempty"`
+}
+
+// TraceStats mirrors the tracer's counters into the STATS reply.
+type TraceStats struct {
+	Spans   int64 `json:"spans"`   // spans recorded (sampled or force-kept)
+	Dropped int64 `json:"dropped"` // spans lost to a full collector queue
 }
 
 func (c *session) handleStats() ([]byte, error) {
@@ -1035,6 +1108,9 @@ func (c *session) handleStats() ([]byte, error) {
 	if c.srv.cfg.Replica != nil {
 		rs := c.srv.cfg.Replica.Stats()
 		reply.Repl = &rs
+	}
+	if t := c.srv.tracer; t != nil {
+		reply.Trace = &TraceStats{Spans: t.Spans(), Dropped: t.Dropped()}
 	}
 	return json.Marshal(reply)
 }

@@ -38,6 +38,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,11 +73,25 @@ type Router struct {
 	// fan-out (nil = not collected). Set once via SetTwoPCMetrics before the
 	// router is shared.
 	prepareHist *obs.Histogram
+
+	// tracer records commit-path spans for sampled transactions (Txn.SetTrace);
+	// nil disables tracing. Set once via SetTracer before the router is shared.
+	tracer *obs.Tracer
 }
 
 // SetTwoPCMetrics attaches the 2PC prepare-phase latency histogram. Must be
 // called before the router is shared between goroutines.
 func (r *Router) SetTwoPCMetrics(prepare *obs.Histogram) { r.prepareHist = prepare }
+
+// SetTracer attaches the distributed tracer recording commit-path spans,
+// propagating it to every shard's facade so group-commit stages trace too.
+// Must be called before the router is shared between goroutines.
+func (r *Router) SetTracer(t *obs.Tracer) {
+	r.tracer = t
+	for _, s := range r.shards {
+		s.Facade.SetTracer(t)
+	}
+}
 
 // NewRouter validates the shards (at least one, same schema everywhere) and
 // returns a Router over them.
@@ -280,7 +295,16 @@ type Txn struct {
 	// token instead of taking fresh snapshots, and writes are rejected.
 	asOf   bool
 	tokens []uint64
+
+	// tc is the distributed-trace context of the request driving this
+	// transaction (SetTrace); the zero value means unsampled.
+	tc obs.SpanContext
 }
+
+// SetTrace attaches the request's trace context so Commit records router
+// and engine stage spans under it. Call before Commit; the zero context
+// (unsampled) is the default and records nothing.
+func (t *Txn) SetTrace(tc obs.SpanContext) { t.tc = tc }
 
 // Begin starts a transaction. No sub-transaction is opened yet: an empty
 // commit touches no shard at all.
@@ -355,6 +379,10 @@ func (t *Txn) Delete(key int64) error {
 // records logged (the 2PC-free fast path). Multiple touched shards go
 // through two-phase commit (commit2PC), which makes the commit atomic
 // across shards even through a crash at any point of the protocol.
+//
+// For a sampled transaction (SetTrace) the whole router-side commit is the
+// "route" span; 2PC phases and engine group-commit stages become its
+// children, all finished before Commit returns.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrFinished
@@ -366,12 +394,16 @@ func (t *Txn) Commit() error {
 			touched = append(touched, i)
 		}
 	}
+	sp := t.r.tracer.StartSpan(t.tc, "route")
+	sp.Annotate("shards", strconv.Itoa(len(touched)))
+	defer sp.Finish()
 	switch len(touched) {
 	case 0:
 		return nil
 	case 1:
 		i := touched[0]
-		return t.r.shards[i].Facade.Commit(t.sub[i])
+		sp.SetShard(i)
+		return t.r.shards[i].Facade.CommitTraced(t.sub[i], sp.Context())
 	}
 	t.r.crossCommits.Add(1)
 	if t.asOf {
@@ -385,7 +417,7 @@ func (t *Txn) Commit() error {
 		}
 		return first
 	}
-	return t.commit2PC(touched)
+	return t.commit2PC(touched, sp)
 }
 
 // commit2PC runs two-phase commit over the touched shards. The lowest
@@ -403,10 +435,11 @@ func (t *Txn) Commit() error {
 // means abort — presumed abort), but followers flip visibility only on a
 // shipped outcome record, so the commit path makes them durable before
 // acknowledging.
-func (t *Txn) commit2PC(touched []int) error {
+func (t *Txn) commit2PC(touched []int, parent *obs.Span) error {
 	r := t.r
 	coord := touched[0]
 	gid := GlobalID(uint32(coord), uint64(t.sub[coord].ID))
+	parent.SetShard(coord) // the coordinator anchors the route span
 
 	var t0 time.Time
 	if r.prepareHist != nil {
@@ -418,7 +451,17 @@ func (t *Txn) commit2PC(touched []int) error {
 		wg.Add(1)
 		go func(j, i int) {
 			defer wg.Done()
+			psp := r.tracer.StartSpan(parent.Context(), "prepare")
+			psp.SetShard(i)
 			errs[j] = r.shards[i].Facade.Prepare(t.sub[i], gid, uint32(coord))
+			if errs[j] != nil {
+				psp.Annotate("error", errs[j].Error())
+			} else {
+				// Prepare forces the participant's WAL through the PREPARE
+				// record: this span's window includes that fsync.
+				psp.Annotate("wal_fsync", "forced")
+			}
+			psp.Finish()
 		}(j, i)
 	}
 	wg.Wait()
@@ -437,6 +480,7 @@ func (t *Txn) commit2PC(touched []int) error {
 		// means abort), so it is appended without a flush; every participant
 		// then aborts — the prepared ones via their outcome record, the one
 		// whose prepare failed simply rolls back.
+		parent.Annotate("result", "abort-prepare")
 		r.shards[coord].Facade.Decide(t.sub[coord], gid, false)
 		for _, i := range touched {
 			r.shards[i].Facade.FinishPrepared(t.sub[i], false)
@@ -447,7 +491,11 @@ func (t *Txn) commit2PC(touched []int) error {
 	crashpoint(crashAfterPrepare, nil)
 
 	// The commit point: the decision is durable in the coordinator's log.
+	dsp := r.tracer.StartSpan(parent.Context(), "decide")
+	dsp.SetShard(coord)
 	if err := r.shards[coord].Facade.Decide(t.sub[coord], gid, true); err != nil {
+		dsp.Annotate("result", "in-doubt")
+		dsp.Finish()
 		// The decide record was appended before the flush failed, so it may
 		// or may not have reached the device — a torn flush can leave the
 		// decision durable even as the flush reports failure. Presumed abort
@@ -460,11 +508,24 @@ func (t *Txn) commit2PC(touched []int) error {
 		r.twopcInDoubt.Add(1)
 		return fmt.Errorf("%w: commit-decision flush on coordinator shard %d: %w", ErrInDoubt, coord, err)
 	}
+	// The Decide flush above forced the coordinator's WAL through the
+	// decision record — the transaction's commit point.
+	dsp.Annotate("wal_fsync", "commit-point")
+	dsp.Finish()
 	crashpoint(crashAfterDecide, nil)
 
 	// Outcome records: the CLOG flips here, which is what makes the writes
 	// visible (and releases the write locks) on each shard.
+	osp := r.tracer.StartSpan(parent.Context(), "outcome")
+	osp.SetShard(coord)
+	osp.Annotate("participants", strconv.Itoa(len(touched)))
 	for n, i := range touched {
+		if t.tc.Sampled && r.tracer != nil {
+			// Link each participant's WAL records to the originating trace so
+			// a follower's apply span can carry the same trace id. Advisory
+			// and unflushed — it rides the outcome-flush round below.
+			r.shards[i].Facade.NoteTrace(t.sub[i], t.tc.TraceID)
+		}
 		if err := r.shards[i].Facade.FinishPrepared(t.sub[i], true); err != nil && first == nil {
 			first = err
 		}
@@ -496,6 +557,7 @@ func (t *Txn) commit2PC(touched []int) error {
 		}(j, i)
 	}
 	fwg.Wait()
+	osp.Finish()
 	for j, err := range ferrs {
 		if err != nil && first == nil {
 			first = fmt.Errorf("shard %d: outcome-record flush after commit: %w", touched[j], err)

@@ -68,6 +68,13 @@ const (
 	// local sub-transaction id, Aux the global transaction id, Data a single
 	// commit/abort byte (EncodeDecideData).
 	RecDecide
+	// RecTraceCtx links a transaction's WAL records to a distributed trace:
+	// Tx is the local transaction id, Aux the trace id. Appended unflushed on
+	// the primary for sampled commits (it rides the commit's own flush) and
+	// purely advisory: recovery and replica apply ignore it, while a
+	// follower's replication loop uses it to record an apply span under the
+	// originating request's trace id.
+	RecTraceCtx
 )
 
 func (t RecType) String() string {
@@ -92,6 +99,8 @@ func (t RecType) String() string {
 		return "prepare"
 	case RecDecide:
 		return "decide"
+	case RecTraceCtx:
+		return "trace-ctx"
 	}
 	return "unknown"
 }

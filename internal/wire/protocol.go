@@ -36,6 +36,14 @@
 //	                  hi i64, limit u32                                -> count u32, {ikey i64, row bytes}*
 //	25  LIST_TABLES   ()                                               -> JSON bytes (catalog listing)
 //	26  REPL_LSN      ()                                               -> shards u32, {applied LSN u64}*
+//	27  TRACE         trace id u64, parent span u64, sampled u8,
+//	                  inner op u8, inner payload                       -> the inner op's reply
+//
+// TRACE is a transparent envelope: the server records a span for the inner
+// op under the carried trace context and then dispatches the inner frame
+// exactly as if it had arrived bare — the reply is the inner op's reply.
+// Clients only send it when tracing is enabled, so an old server answering
+// BAD_REQUEST degrades tracing, not the workload.
 //
 // COMMIT's reply vector is the per-shard durable WAL position at ack time —
 // an upper bound on everything the transaction wrote. REPL_LSN reports the
@@ -127,6 +135,11 @@ const (
 	// (applied positions on a follower, durable positions on a primary). Cheap
 	// and admission-exempt: clients probe it before routing a read.
 	OpReplLSN Op = 26
+
+	// OpTrace wraps another request in a trace-context envelope: {trace id
+	// u64, parent span u64, sampled u8, inner op u8, inner payload}. See the
+	// package table; Encode/DecodeTraceEnvelope are the codec.
+	OpTrace Op = 27
 )
 
 func (o Op) String() string {
@@ -183,6 +196,8 @@ func (o Op) String() string {
 		return "LIST_TABLES"
 	case OpReplLSN:
 		return "REPL_LSN"
+	case OpTrace:
+		return "TRACE"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }

@@ -1,0 +1,44 @@
+package wire
+
+// Trace-context envelope codec for OpTrace (see protocol.go). The envelope
+// prepends the propagated span context to an otherwise unchanged request
+// frame body:
+//
+//	| u64 trace id | u64 parent span id | u8 sampled | u8 inner op | inner payload |
+
+// EncodeTraceEnvelope builds an OpTrace payload wrapping inner+payload.
+func EncodeTraceEnvelope(traceID, parentSpan uint64, sampled bool, inner Op, payload []byte) []byte {
+	b := Buf{B: make([]byte, 0, 18+len(payload))}
+	b.U64(traceID)
+	b.U64(parentSpan)
+	s := uint8(0)
+	if sampled {
+		s = 1
+	}
+	b.U8(s)
+	b.U8(uint8(inner))
+	b.B = append(b.B, payload...)
+	return b.B
+}
+
+// DecodeTraceEnvelope splits an OpTrace payload back into the span context
+// and the inner request.
+func DecodeTraceEnvelope(payload []byte) (traceID, parentSpan uint64, sampled bool, inner Op, innerPayload []byte, err error) {
+	r := Reader{B: payload}
+	if traceID, err = r.U64(); err != nil {
+		return
+	}
+	if parentSpan, err = r.U64(); err != nil {
+		return
+	}
+	var s uint8
+	if s, err = r.U8(); err != nil {
+		return
+	}
+	sampled = s != 0
+	var op uint8
+	if op, err = r.U8(); err != nil {
+		return
+	}
+	return traceID, parentSpan, sampled, Op(op), r.B, nil
+}

@@ -136,3 +136,30 @@ func TestErrorCodeMappingTotal(t *testing.T) {
 		t.Error("unknown code must decode to a non-nil error")
 	}
 }
+
+func TestTraceEnvelopeRoundTrip(t *testing.T) {
+	inner := []byte{1, 2, 3, 4}
+	env := EncodeTraceEnvelope(0xdeadbeefcafef00d, 0x1122334455667788, true, OpCommit, inner)
+	traceID, parentSpan, sampled, op, payload, err := DecodeTraceEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceID != 0xdeadbeefcafef00d || parentSpan != 0x1122334455667788 || !sampled ||
+		op != OpCommit || !bytes.Equal(payload, inner) {
+		t.Fatalf("round trip: trace=%x parent=%x sampled=%v op=%v payload=%v",
+			traceID, parentSpan, sampled, op, payload)
+	}
+	// Empty inner payload and unsampled bit survive too.
+	env = EncodeTraceEnvelope(1, 0, false, OpBegin, nil)
+	_, parentSpan, sampled, op, payload, err = DecodeTraceEnvelope(env)
+	if err != nil || parentSpan != 0 || sampled || op != OpBegin || len(payload) != 0 {
+		t.Fatalf("empty round trip: parent=%x sampled=%v op=%v payload=%v err=%v",
+			parentSpan, sampled, op, payload, err)
+	}
+	// Every truncation of the 18-byte header is a decode error, not a panic.
+	for cut := 0; cut < 18; cut++ {
+		if _, _, _, _, _, err := DecodeTraceEnvelope(env[:cut]); err == nil {
+			t.Fatalf("truncated envelope (%d bytes) decoded", cut)
+		}
+	}
+}

@@ -114,7 +114,10 @@ cleanup() {
 trap cleanup EXIT
 
 echo "building binaries..."
-(cd "$ROOT" && go build -o "$WORK/siasserver" ./cmd/siasserver)
+# Stamp the build so sias_build_info on the metrics endpoint identifies the
+# exact tree a bench run measured.
+VERSION="$(cd "$ROOT" && git describe --always --dirty 2>/dev/null || echo dev)"
+(cd "$ROOT" && go build -ldflags "-X main.version=$VERSION" -o "$WORK/siasserver" ./cmd/siasserver)
 (cd "$ROOT" && go build -o "$WORK/siasload" ./cmd/siasload)
 
 wait_port() { # port
